@@ -1,0 +1,36 @@
+use hwst_baselines::{hwst_speedup, profile_workload, Comparator};
+use hwst_workloads::{spec_suite, Scale};
+
+fn main() {
+    println!(
+        "{:<10} {:>7} {:>7} {:>7} {:>8}",
+        "workload", "BOGO", "WDLn", "WDLw", "HWST128"
+    );
+    let mut ls = [0f64; 4];
+    let n = spec_suite().len() as f64;
+    for wl in spec_suite() {
+        let p = profile_workload(&wl.module(Scale::Test), wl.fuel(Scale::Test));
+        let v = [
+            Comparator::Bogo.speedup(&p),
+            Comparator::WdlNarrow.speedup(&p),
+            Comparator::WdlWide.speedup(&p),
+            hwst_speedup(&p),
+        ];
+        println!(
+            "{:<10} {:>7.2} {:>7.2} {:>7.2} {:>8.2}",
+            wl.name, v[0], v[1], v[2], v[3]
+        );
+        for i in 0..4 {
+            ls[i] += v[i].ln();
+        }
+    }
+    println!(
+        "{:<10} {:>7.2} {:>7.2} {:>7.2} {:>8.2}",
+        "GEOMEAN",
+        (ls[0] / n).exp(),
+        (ls[1] / n).exp(),
+        (ls[2] / n).exp(),
+        (ls[3] / n).exp()
+    );
+    println!("paper:       1.31    1.58    1.64     3.74");
+}

@@ -1,0 +1,45 @@
+//! Microbenchmarks of the metadata-compression core (Fig. 2 machinery):
+//! COMP/DECOMP throughput, SMAC address math and keybuffer lookups.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hwst128::mem::LinearShadow;
+use hwst128::metadata::{CompressionConfig, Metadata, ShadowCodec};
+use hwst128::pipeline::KeyBuffer;
+
+fn bench_codec(c: &mut Criterion) {
+    let codec = ShadowCodec::new(CompressionConfig::SPEC_DEFAULT, 0x4000_0000);
+    let md = Metadata {
+        base: 0x10_0000,
+        bound: 0x10_4000,
+        key: 0xfeed,
+        lock: 0x4000_0000 + 8 * 77,
+    };
+    let packed = codec.compress(md).expect("representable");
+    c.bench_function("comp_unit_compress", |b| {
+        b.iter(|| codec.compress(black_box(md)).unwrap())
+    });
+    c.bench_function("decomp_unit_decompress", |b| {
+        b.iter(|| codec.decompress(black_box(packed)))
+    });
+}
+
+fn bench_smac(c: &mut Criterion) {
+    let smac = LinearShadow::new(0x1_0000_0000);
+    c.bench_function("smac_shadow_addr", |b| {
+        b.iter(|| smac.shadow_addr(black_box(0x0100_1234)))
+    });
+}
+
+fn bench_keybuffer(c: &mut Criterion) {
+    let mut kb = KeyBuffer::new(8);
+    for i in 0..8 {
+        kb.fill(0x9000 + i * 8, i);
+    }
+    c.bench_function("keybuffer_hit", |b| b.iter(|| kb.lookup(black_box(0x9000))));
+    c.bench_function("keybuffer_miss", |b| {
+        b.iter(|| kb.lookup(black_box(0x1234_5678)))
+    });
+}
+
+criterion_group!(benches, bench_codec, bench_smac, bench_keybuffer);
+criterion_main!(benches);

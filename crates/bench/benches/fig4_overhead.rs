@@ -1,0 +1,36 @@
+//! Fig. 4 (E1) regeneration bench: simulates one representative workload
+//! per suite under each scheme. The interesting output is the cycle
+//! counts (printed by the `fig4` binary); this bench tracks the harness's
+//! wall-clock cost so regressions in the simulator show up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hwst128::compiler::Scheme;
+use hwst128::run_scheme;
+use hwst128::workloads::{Scale, Workload};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_overhead");
+    g.sample_size(10);
+    for name in ["sha", "treeadd", "hmmer"] {
+        let wl = Workload::by_name(name).expect("known workload");
+        let module = wl.module(Scale::Test);
+        for scheme in Scheme::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(name, scheme.label()),
+                &scheme,
+                |b, &scheme| {
+                    b.iter(|| {
+                        run_scheme(&module, scheme, wl.fuel(Scale::Test))
+                            .expect("runs clean")
+                            .stats
+                            .total_cycles()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

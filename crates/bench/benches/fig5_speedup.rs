@@ -1,0 +1,31 @@
+//! Fig. 5 (E2) regeneration bench: workload profiling + comparator
+//! speedup computation for one SPEC workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwst128::baselines::{hwst_speedup, profile_workload, Comparator};
+use hwst128::workloads::{Scale, Workload};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_speedup");
+    g.sample_size(10);
+    let wl = Workload::by_name("bzip2").expect("known workload");
+    let module = wl.module(Scale::Test);
+    g.bench_function("profile_bzip2", |b| {
+        b.iter(|| profile_workload(&module, wl.fuel(Scale::Test)))
+    });
+    let p = profile_workload(&module, wl.fuel(Scale::Test));
+    g.bench_function("comparator_models", |b| {
+        b.iter(|| {
+            (
+                Comparator::Bogo.speedup(&p),
+                Comparator::WdlNarrow.speedup(&p),
+                Comparator::WdlWide.speedup(&p),
+                hwst_speedup(&p),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

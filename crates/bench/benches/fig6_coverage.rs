@@ -1,0 +1,26 @@
+//! Fig. 6 (E3) regeneration bench: executing Juliet-style cases on the
+//! simulator under both pointer-based schemes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hwst128::compiler::Scheme;
+use hwst128::juliet::{execute_detects, model_coverage, suite};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_coverage");
+    g.sample_size(10);
+    let cases = suite();
+    let sample: Vec<_> = cases.iter().step_by(400).cloned().collect();
+    g.bench_function("execute_case_sample", |b| {
+        b.iter(|| {
+            sample
+                .iter()
+                .filter(|case| execute_detects(case, Scheme::Hwst128Tchk))
+                .count()
+        })
+    });
+    g.bench_function("model_full_suite", |b| b.iter(model_coverage));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Toolchain microbenchmarks: assembler, decoder, and the full
+//! instrument+lower pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hwst128::compiler::{compile, Scheme};
+use hwst128::isa::asm::assemble;
+use hwst128::workloads::{Scale, Workload};
+
+const ASM_SRC: &str = "
+start:
+    li   a0, 64
+    li   a7, 1000
+    ecall
+    addi t0, a0, 64
+    bndrs a0, a0, t0
+    bndrt a0, a1, a2
+loop:
+    csd  t1, 56(a0)
+    tchk a0
+    cld  t1, 56(a0)
+    addi t2, t2, -1
+    bnez t2, loop
+    li   a7, 93
+    ecall
+";
+
+fn bench_assembler(c: &mut Criterion) {
+    c.bench_function("assemble_hwst_listing", |b| {
+        b.iter(|| assemble(0x1_0000, black_box(ASM_SRC)).unwrap())
+    });
+}
+
+fn bench_decoder(c: &mut Criterion) {
+    let prog = assemble(0, ASM_SRC).unwrap();
+    let words: Vec<u32> = prog.instrs().iter().map(|i| i.encode()).collect();
+    c.bench_function("decode_listing", |b| {
+        b.iter(|| {
+            words
+                .iter()
+                .filter(|&&w| hwst128::isa::decode(black_box(w)).is_ok())
+                .count()
+        })
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let wl = Workload::by_name("sha").expect("known");
+    let module = wl.module(Scale::Test);
+    let mut g = c.benchmark_group("compile_sha");
+    for scheme in Scheme::ALL {
+        g.bench_function(scheme.label(), |b| {
+            b.iter(|| compile(black_box(&module), scheme).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_assembler, bench_decoder, bench_compile);
+criterion_main!(benches);

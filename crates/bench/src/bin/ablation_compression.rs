@@ -1,0 +1,46 @@
+//! A2 ablation: compression field-width sweep (paper §3.3 — "the range
+//! bit needs to be at least 25 bits to pass the SPEC2006"; the lock
+//! field sizes the live-allocation population).
+
+use hwst128::metadata::{CompressionConfig, Metadata, ShadowCodec};
+
+fn main() {
+    println!("A2 — range-width sweep: largest expressible object");
+    println!(
+        "{:>6} {:>18} {:>28}",
+        "bits", "max object", "SPEC-class object fits?"
+    );
+    // The paper's SPEC runs need objects just under 2^28 bytes.
+    let spec_object: u64 = (1 << 28) - 8;
+    for range_bits in [20u8, 22, 24, 25, 26, 28, 29] {
+        let cfg = CompressionConfig::new(35, range_bits, 20, 64 - 20).expect("valid widths");
+        let codec = ShadowCodec::new(cfg, 0x4000_0000);
+        let fits = codec.compress_spatial(0, spec_object).is_ok();
+        println!(
+            "{:>6} {:>18} {:>28}",
+            range_bits,
+            cfg.max_range(),
+            if fits { "yes" } else { "NO (SPEC would trap)" }
+        );
+    }
+
+    println!();
+    println!("A2 — lock-width sweep: live allocations supported");
+    println!("{:>6} {:>18}", "bits", "lock entries");
+    for lock_bits in [12u8, 16, 18, 20, 22] {
+        let cfg = CompressionConfig::new(35, 29, lock_bits, 64 - lock_bits).expect("valid widths");
+        println!("{:>6} {:>18}", lock_bits, cfg.lock_entries());
+    }
+
+    println!();
+    println!("round-trip sanity at the paper's layout (35/29/20/44):");
+    let codec = ShadowCodec::new(CompressionConfig::SPEC_DEFAULT, 0x4000_0000);
+    let md = Metadata {
+        base: 0x1000_0000,
+        bound: 0x1000_4000,
+        key: 0xfeed,
+        lock: 0x4000_0000 + 8 * 1234,
+    };
+    let c = codec.compress(md).expect("representable");
+    println!("  {md}  ->  {c}  ->  {}", codec.decompress(c));
+}

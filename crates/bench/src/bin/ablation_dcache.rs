@@ -1,0 +1,85 @@
+//! A4 ablation (extension): D-cache sensitivity. HWST128's metadata
+//! traffic shares the D-cache with user data (the paper bypasses only
+//! keybuffer hits); this sweep shows how the overhead of each scheme
+//! responds to cache size and miss penalty.
+
+use hwst128::compiler::{compile, Scheme};
+use hwst128::pipeline::CacheConfig;
+use hwst128::sim::Machine;
+use hwst128::workloads::{Scale, Workload};
+
+fn overhead(wl: &Workload, scheme: Scheme, dcache: CacheConfig) -> f64 {
+    let run = |scheme: Scheme| -> u64 {
+        let mut cfg = hwst128::config_for(scheme);
+        cfg.pipeline.dcache = dcache;
+        let prog = compile(&wl.module(Scale::Test), scheme).expect("compiles");
+        Machine::new(prog, cfg)
+            .run(wl.fuel(Scale::Test))
+            .expect("runs clean")
+            .stats
+            .total_cycles()
+    };
+    (run(scheme) as f64 / run(Scheme::None) as f64 - 1.0) * 100.0
+}
+
+fn main() {
+    let wl = Workload::by_name("lbm").expect("known workload");
+    println!(
+        "A4 — D-cache sensitivity on {} (overhead %, Eq. 7)",
+        wl.name
+    );
+    println!(
+        "{:<26} {:>9} {:>9} {:>9}",
+        "dcache", "SBCETS", "HWST128", "_tchk"
+    );
+    let sweeps = [
+        (
+            "4 KiB, 20-cycle miss",
+            CacheConfig {
+                sets: 16,
+                ways: 4,
+                line_bytes: 64,
+                miss_penalty: 20,
+            },
+        ),
+        ("16 KiB, 20-cycle miss", CacheConfig::default()),
+        (
+            "64 KiB, 20-cycle miss",
+            CacheConfig {
+                sets: 256,
+                ways: 4,
+                line_bytes: 64,
+                miss_penalty: 20,
+            },
+        ),
+        (
+            "16 KiB, 50-cycle miss",
+            CacheConfig {
+                miss_penalty: 50,
+                ..CacheConfig::default()
+            },
+        ),
+        (
+            "16 KiB, 100-cycle miss",
+            CacheConfig {
+                miss_penalty: 100,
+                ..CacheConfig::default()
+            },
+        ),
+    ];
+    for (label, dc) in sweeps {
+        println!(
+            "{:<26} {:>8.1}% {:>8.1}% {:>8.1}%",
+            label,
+            overhead(&wl, Scheme::Sbcets, dc),
+            overhead(&wl, Scheme::Hwst128, dc),
+            overhead(&wl, Scheme::Hwst128Tchk, dc),
+        );
+    }
+    println!();
+    println!("-> the kernels' working sets mostly fit even a 4 KiB cache, so");
+    println!("   overheads are remarkably stable across the sweep — metadata");
+    println!("   traffic is dominated by *instruction count*, not misses,");
+    println!("   which is exactly why the paper attacks it with compression");
+    println!("   and the keybuffer rather than with a bigger cache.");
+}

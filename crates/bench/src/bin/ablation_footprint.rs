@@ -1,0 +1,58 @@
+//! A7 ablation (the compression claim, measured): shadow-memory
+//! footprint of *through-memory metadata propagation* with 128-bit
+//! compressed metadata (HWST128) vs 256-bit uncompressed metadata
+//! (SBCETS) — 16 vs 32 bytes per pointer container.
+//!
+//! The measurement excludes the shadow window of the stack region: in
+//! the `-O0` back-end every frame slot doubles as a hardware metadata
+//! home (register-spill shadow traffic), which is codegen bookkeeping,
+//! not the paper's through-memory propagation. What remains is the
+//! shadow of heap and global containers — the containers both schemes
+//! shadow identically in *set*, differing only in bytes per entry.
+
+use hwst128::compiler::{compile, Scheme};
+use hwst128::config_for;
+use hwst128::sim::Machine;
+use hwst128::workloads::{Scale, Workload};
+
+/// Nonzero shadow bytes for heap/global containers after running `wl`.
+fn container_shadow_bytes(wl: &Workload, scheme: Scheme) -> u64 {
+    let prog = compile(&wl.module(Scale::Test), scheme).expect("compiles");
+    let cfg = config_for(scheme);
+    let l = cfg.layout;
+    let shadow = |a: u64| (a << 2) + l.shadow_offset;
+    let mut m = Machine::new(prog, cfg);
+    m.run(wl.fuel(Scale::Test)).expect("runs clean");
+    let all = m.mem().nonzero_bytes_in(l.shadow_offset, u64::MAX);
+    let stack = m
+        .mem()
+        .nonzero_bytes_in(shadow(l.stack_limit()), shadow(l.stack_top));
+    all - stack
+}
+
+fn main() {
+    println!("A7 — container-shadow footprint (nonzero bytes, stack excluded)");
+    println!(
+        "{:<11} {:>16} {:>18} {:>8}",
+        "workload", "SBCETS (256b)", "HWST128 (128b)", "ratio"
+    );
+    let mut ratios = Vec::new();
+    for name in ["treeadd", "em3d", "health", "tsp", "mst", "perimeter"] {
+        let wl = Workload::by_name(name).expect("known workload");
+        let sb = container_shadow_bytes(&wl, Scheme::Sbcets);
+        let hw = container_shadow_bytes(&wl, Scheme::Hwst128Tchk);
+        let ratio = sb as f64 / hw as f64;
+        ratios.push(ratio);
+        println!("{name:<11} {sb:>14} B {hw:>16} B {ratio:>7.2}x");
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!();
+    println!(
+        "mean ratio {mean:.2}x measured on nonzero bytes. Architecturally the \
+record"
+    );
+    println!("shrinks exactly 2x (32 -> 16 bytes per container); the measured");
+    println!("ratio is lower because uncompressed records carry many zero");
+    println!("bytes (high address bytes, small keys) that the counter skips —");
+    println!("the denser compressed encoding is precisely the paper's point.");
+}

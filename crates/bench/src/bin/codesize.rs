@@ -1,0 +1,55 @@
+//! Static code-size table (extension): the instrumentation bloat factor
+//! per scheme — how many machine instructions each protection level adds
+//! to the same program (the paper reports runtime only; code size is the
+//! other half of the deployment cost).
+
+use hwst128::compiler::{compile_with_sizes, Scheme};
+use hwst128::workloads::{Scale, Workload};
+
+fn main() {
+    println!("static code size (machine instructions, whole program)");
+    println!(
+        "{:<11} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "workload", "baseline", "SBCETS", "HWST128", "_tchk", "SHORE"
+    );
+    let schemes = [
+        Scheme::None,
+        Scheme::Sbcets,
+        Scheme::Hwst128,
+        Scheme::Hwst128Tchk,
+        Scheme::Shore,
+    ];
+    let mut totals = [0usize; 5];
+    for name in ["sha", "dijkstra", "treeadd", "health", "bzip2"] {
+        let wl = Workload::by_name(name).expect("known workload");
+        let module = wl.module(Scale::Test);
+        let mut row = Vec::new();
+        for (i, &s) in schemes.iter().enumerate() {
+            let (prog, _) = compile_with_sizes(&module, s).expect("compiles");
+            row.push(prog.len());
+            totals[i] += prog.len();
+        }
+        println!(
+            "{:<11} {:>9} {:>9} {:>9} {:>9} {:>7}",
+            name, row[0], row[1], row[2], row[3], row[4]
+        );
+    }
+    println!(
+        "{:<11} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "TOTAL", totals[0], totals[1], totals[2], totals[3], totals[4]
+    );
+    println!();
+    for (i, &s) in schemes.iter().enumerate().skip(1) {
+        println!(
+            "{:<13} {:>5.2}x the baseline text size",
+            s.label(),
+            totals[i] as f64 / totals[0] as f64
+        );
+    }
+    println!();
+    println!("-> full HWST128 (tchk) is the smallest *complete*-protection");
+    println!("   text: one tchk replaces the software key-check sequence, and");
+    println!("   bndr/sbd pairs replace SBCETS's runtime calls. The no-tchk");
+    println!("   variant is the largest — it pays for hardware metadata AND");
+    println!("   software temporal checks, exactly why the paper adds tchk.");
+}

@@ -1,0 +1,58 @@
+//! Regenerates Fig. 4: performance overhead of MiBench, Olden and
+//! SPEC2006 under SBCETS, HWST128 and HWST128_tchk (Eq. 7).
+
+use hwst128::workloads::Scale;
+use hwst_bench::{fig4_geomean, fig4_rows, pct};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--bench-scale") {
+        Scale::Bench
+    } else {
+        Scale::Test
+    };
+    println!("Fig. 4 — performance overhead (Eq. 7), scale {scale:?}");
+    println!(
+        "{:<12} {:<8} {:>12} {:>9} {:>9} {:>9}",
+        "workload", "suite", "base cycles", "SBCETS", "HWST128", "_tchk"
+    );
+    let rows = fig4_rows(scale);
+    for r in &rows {
+        println!(
+            "{:<12} {:<8} {:>12} {} {} {}",
+            r.name,
+            r.suite.to_string(),
+            r.baseline_cycles,
+            pct(r.overhead_pct[0]),
+            pct(r.overhead_pct[1]),
+            pct(r.overhead_pct[2]),
+        );
+    }
+    for suite in [
+        hwst128::workloads::Suite::MiBench,
+        hwst128::workloads::Suite::Olden,
+        hwst128::workloads::Suite::Spec,
+    ] {
+        let sub: Vec<_> = rows.iter().filter(|r| r.suite == suite).cloned().collect();
+        let g = fig4_geomean(&sub);
+        println!(
+            "{:<12} {:<8} {:>12} {} {} {}",
+            "(geomean)",
+            suite.to_string(),
+            "",
+            pct(g[0]),
+            pct(g[1]),
+            pct(g[2])
+        );
+    }
+    let g = fig4_geomean(&rows);
+    println!(
+        "{:<12} {:<8} {:>12} {} {} {}",
+        "Geo. mean",
+        "",
+        "",
+        pct(g[0]),
+        pct(g[1]),
+        pct(g[2])
+    );
+    println!("paper      : SBCETS 441.4%  HWST128 152.9%  HWST128_tchk 94.9%");
+}

@@ -1,0 +1,31 @@
+//! Regenerates Fig. 5: speedup over SoftBoundCETS (Eq. 8) for BOGO,
+//! WatchdogLite narrow/wide and HWST128 on the SPEC workloads.
+
+use hwst128::workloads::Scale;
+use hwst_bench::{fig5_geomean, fig5_rows};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--bench-scale") {
+        Scale::Bench
+    } else {
+        Scale::Test
+    };
+    println!("Fig. 5 — speedup over SBCETS (Eq. 8), scale {scale:?}");
+    println!(
+        "{:<10} {:>7} {:>12} {:>10} {:>9}",
+        "workload", "BOGO", "WDL(narrow)", "WDL(wide)", "HWST128"
+    );
+    let rows = fig5_rows(scale);
+    for r in &rows {
+        println!(
+            "{:<10} {:>6.2}x {:>11.2}x {:>9.2}x {:>8.2}x",
+            r.name, r.speedup[0], r.speedup[1], r.speedup[2], r.speedup[3]
+        );
+    }
+    let g = fig5_geomean(&rows);
+    println!(
+        "{:<10} {:>6.2}x {:>11.2}x {:>9.2}x {:>8.2}x",
+        "Geo. mean", g[0], g[1], g[2], g[3]
+    );
+    println!("paper     :  1.31x        1.58x      1.64x     3.74x");
+}

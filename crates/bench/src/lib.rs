@@ -1,0 +1,201 @@
+//! # hwst-bench
+//!
+//! The experiment harness: everything needed to regenerate the paper's
+//! tables and figures (see DESIGN.md §4 for the experiment index).
+//!
+//! Binaries (each prints the corresponding figure's rows):
+//!
+//! * `fig4` — performance overhead of SBCETS / HWST128 / HWST128_tchk
+//!   over 23 workloads + geometric mean,
+//! * `fig5` — speedup over SoftBoundCETS for BOGO, WDL narrow/wide and
+//!   HWST128 on the SPEC set,
+//! * `fig6` — Juliet security coverage for GCC/ASAN/SBCETS/HWST128,
+//! * `hwcost` — the §5.3 LUT/FF/critical-path table,
+//! * `ablation_keybuffer` — keybuffer size sweep (A1),
+//! * `ablation_compression` — range/lock field width sweep (A2),
+//! * `ablation_shadow` — linear map vs trie lookup cost (A3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hwst128::compiler::{compile, Scheme};
+use hwst128::run_scheme;
+use hwst128::sim::{Machine, SafetyConfig};
+use hwst128::workloads::{all, Scale, Suite, Workload};
+
+/// One Fig. 4 row: per-scheme overhead percentages for a workload.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Workload name.
+    pub name: String,
+    /// Suite label.
+    pub suite: Suite,
+    /// Baseline cycles.
+    pub baseline_cycles: u64,
+    /// Overhead % for SBCETS, HWST128, HWST128_tchk (Eq. 7).
+    pub overhead_pct: [f64; 3],
+}
+
+/// Runs one workload under every scheme and computes Eq. 7 overheads.
+pub fn fig4_row(wl: &Workload, scale: Scale) -> Fig4Row {
+    let module = wl.module(scale);
+    let fuel = wl.fuel(scale);
+    let cycles: Vec<f64> = Scheme::ALL
+        .iter()
+        .map(|&s| {
+            run_scheme(&module, s, fuel)
+                .unwrap_or_else(|e| panic!("{} ({s}): {e}", wl.name))
+                .stats
+                .total_cycles() as f64
+        })
+        .collect();
+    Fig4Row {
+        name: wl.name.to_string(),
+        suite: wl.suite,
+        baseline_cycles: cycles[0] as u64,
+        overhead_pct: [
+            (cycles[1] / cycles[0] - 1.0) * 100.0,
+            (cycles[2] / cycles[0] - 1.0) * 100.0,
+            (cycles[3] / cycles[0] - 1.0) * 100.0,
+        ],
+    }
+}
+
+/// All Fig. 4 rows in the paper's order.
+pub fn fig4_rows(scale: Scale) -> Vec<Fig4Row> {
+    all().iter().map(|wl| fig4_row(wl, scale)).collect()
+}
+
+/// Geometric mean of each overhead column (the paper's rightmost bars:
+/// SBCETS ≈ 441%, HWST128 ≈ 153%, HWST128_tchk ≈ 95%).
+pub fn fig4_geomean(rows: &[Fig4Row]) -> [f64; 3] {
+    let mut out = [0.0; 3];
+    for (i, o) in out.iter_mut().enumerate() {
+        let logsum: f64 = rows
+            .iter()
+            .map(|r| (1.0 + r.overhead_pct[i] / 100.0).ln())
+            .sum();
+        *o = ((logsum / rows.len() as f64).exp() - 1.0) * 100.0;
+    }
+    out
+}
+
+/// One Fig. 5 row: Eq. 8 speedups for a SPEC workload.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Workload name.
+    pub name: String,
+    /// BOGO, WDL narrow, WDL wide, HWST128.
+    pub speedup: [f64; 4],
+}
+
+/// Computes the Fig. 5 speedups for one workload.
+pub fn fig5_row(wl: &Workload, scale: Scale) -> Fig5Row {
+    use hwst128::baselines::{hwst_speedup, profile_workload, Comparator};
+    let p = profile_workload(&wl.module(scale), wl.fuel(scale));
+    Fig5Row {
+        name: wl.name.to_string(),
+        speedup: [
+            Comparator::Bogo.speedup(&p),
+            Comparator::WdlNarrow.speedup(&p),
+            Comparator::WdlWide.speedup(&p),
+            hwst_speedup(&p),
+        ],
+    }
+}
+
+/// All Fig. 5 rows (SPEC suite).
+pub fn fig5_rows(scale: Scale) -> Vec<Fig5Row> {
+    hwst128::workloads::spec_suite()
+        .iter()
+        .map(|wl| fig5_row(wl, scale))
+        .collect()
+}
+
+/// Geometric mean per speedup column (paper: 1.31 / 1.58 / 1.64 / 3.74).
+pub fn fig5_geomean(rows: &[Fig5Row]) -> [f64; 4] {
+    let mut out = [0.0; 4];
+    for (i, o) in out.iter_mut().enumerate() {
+        let logsum: f64 = rows.iter().map(|r| r.speedup[i].ln()).sum();
+        *o = (logsum / rows.len() as f64).exp();
+    }
+    out
+}
+
+/// Cycle count of one workload at a given keybuffer size (A1 ablation).
+pub fn cycles_with_keybuffer(wl: &Workload, scale: Scale, entries: usize) -> u64 {
+    let module = wl.module(scale);
+    let prog = compile(&module, Scheme::Hwst128Tchk).expect("compiles");
+    let mut cfg = SafetyConfig::default();
+    cfg.pipeline.keybuffer_entries = entries;
+    cfg.keybuffer = entries > 0;
+    Machine::new(prog, cfg)
+        .run(wl.fuel(scale))
+        .expect("runs clean")
+        .stats
+        .total_cycles()
+}
+
+/// Convenience re-export for binaries.
+pub use hwst128::juliet::{measure_coverage, model_coverage};
+
+/// Pretty-prints a percentage column.
+pub fn pct(v: f64) -> String {
+    format!("{v:>8.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwst128::config_for;
+
+    #[test]
+    fn fig4_row_computes_eq7() {
+        let wl = Workload::by_name("math").unwrap();
+        let r = fig4_row(&wl, Scale::Test);
+        assert!(r.overhead_pct[0] > r.overhead_pct[1]);
+        assert!(r.overhead_pct[1] > r.overhead_pct[2]);
+        assert!(r.overhead_pct[2] > 0.0);
+    }
+
+    #[test]
+    fn geomean_of_equal_rows_is_identity() {
+        let rows = vec![
+            Fig4Row {
+                name: "a".into(),
+                suite: Suite::MiBench,
+                baseline_cycles: 1,
+                overhead_pct: [100.0, 50.0, 25.0],
+            },
+            Fig4Row {
+                name: "b".into(),
+                suite: Suite::MiBench,
+                baseline_cycles: 1,
+                overhead_pct: [100.0, 50.0, 25.0],
+            },
+        ];
+        let g = fig4_geomean(&rows);
+        assert!((g[0] - 100.0).abs() < 1e-9);
+        assert!((g[1] - 50.0).abs() < 1e-9);
+        assert!((g[2] - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn keybuffer_ablation_is_monotone_on_temporal_workload() {
+        let wl = Workload::by_name("bzip2").unwrap();
+        let none = cycles_with_keybuffer(&wl, Scale::Test, 0);
+        let one = cycles_with_keybuffer(&wl, Scale::Test, 1);
+        let eight = cycles_with_keybuffer(&wl, Scale::Test, 8);
+        assert!(
+            none > one,
+            "a single entry must already help: {none} vs {one}"
+        );
+        assert!(one >= eight, "more entries never hurt: {one} vs {eight}");
+    }
+
+    #[test]
+    fn config_for_matches_paper_setups() {
+        assert!(!config_for(Scheme::Sbcets).temporal);
+        assert!(config_for(Scheme::Hwst128Tchk).temporal);
+    }
+}

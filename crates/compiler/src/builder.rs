@@ -1,0 +1,400 @@
+//! Ergonomic IR construction.
+
+use crate::ir::{
+    BinOp, Block, BlockId, Function, Global, GlobalId, Inst, LocalId, Module, Terminator, VarId,
+    Width,
+};
+
+/// Builds a [`Module`] function by function.
+///
+/// # Example
+///
+/// ```
+/// use hwst_compiler::{ModuleBuilder, ir::BinOp};
+///
+/// let mut mb = ModuleBuilder::new();
+/// let buf = mb.global("buf", 64);
+/// let mut f = mb.func("main");
+/// let p = f.addr_of_global(buf);
+/// let v = f.konst(7);
+/// f.store(v, p, 0, hwst_compiler::ir::Width::U64);
+/// let r = f.load(p, 0, hwst_compiler::ir::Width::U64);
+/// f.ret(Some(r));
+/// f.finish();
+/// let module = mb.finish();
+/// assert_eq!(module.funcs.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Creates an empty module builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a zero-initialised global of `size` bytes.
+    pub fn global(&mut self, name: &str, size: u64) -> GlobalId {
+        self.global_init(name, size, vec![])
+    }
+
+    /// Declares a global with initial 64-bit words at byte offsets.
+    pub fn global_init(&mut self, name: &str, size: u64, init: Vec<(u64, u64)>) -> GlobalId {
+        let id = GlobalId(self.module.globals.len() as u32);
+        self.module.globals.push(Global {
+            name: name.into(),
+            size,
+            init,
+        });
+        id
+    }
+
+    /// Starts building a function; call [`FuncBuilder::finish`] to commit
+    /// it.
+    pub fn func(&mut self, name: &str) -> FuncBuilder<'_> {
+        FuncBuilder {
+            mb: self,
+            func: Function {
+                name: name.into(),
+                params: vec![],
+                param_is_ptr: vec![],
+                num_vars: 0,
+                num_locals: 0,
+                blocks: vec![],
+            },
+            blocks: vec![PartialBlock::default()],
+            cur: 0,
+        }
+    }
+
+    /// Finalises the module.
+    pub fn finish(self) -> Module {
+        self.module
+    }
+}
+
+#[derive(Debug, Default)]
+struct PartialBlock {
+    insts: Vec<Inst>,
+    term: Option<Terminator>,
+}
+
+/// Builds one function. Dropping the builder without calling
+/// [`finish`](Self::finish) discards the function.
+#[derive(Debug)]
+pub struct FuncBuilder<'m> {
+    mb: &'m mut ModuleBuilder,
+    func: Function,
+    blocks: Vec<PartialBlock>,
+    cur: usize,
+}
+
+impl FuncBuilder<'_> {
+    fn fresh(&mut self) -> VarId {
+        let v = VarId(self.func.num_vars);
+        self.func.num_vars += 1;
+        v
+    }
+
+    fn push(&mut self, inst: Inst) {
+        assert!(
+            self.blocks[self.cur].term.is_none(),
+            "emitting into a terminated block b{}",
+            self.cur
+        );
+        self.blocks[self.cur].insts.push(inst);
+    }
+
+    /// Declares the next parameter (call before emitting body code).
+    pub fn param(&mut self, is_pointer: bool) -> VarId {
+        let v = self.fresh();
+        self.func.params.push(v);
+        self.func.param_is_ptr.push(is_pointer);
+        v
+    }
+
+    /// `dst = value`.
+    pub fn konst(&mut self, value: i64) -> VarId {
+        let dst = self.fresh();
+        self.push(Inst::Const { dst, value });
+        dst
+    }
+
+    /// `dst = lhs <op> rhs`.
+    pub fn bin(&mut self, op: BinOp, lhs: VarId, rhs: VarId) -> VarId {
+        let dst = self.fresh();
+        self.push(Inst::Bin { op, dst, lhs, rhs });
+        dst
+    }
+
+    /// `dst = lhs <op> imm`.
+    pub fn bin_imm(&mut self, op: BinOp, lhs: VarId, imm: i64) -> VarId {
+        let dst = self.fresh();
+        self.push(Inst::BinImm { op, dst, lhs, imm });
+        dst
+    }
+
+    /// Scalar load.
+    pub fn load(&mut self, addr: VarId, offset: i64, width: Width) -> VarId {
+        let dst = self.fresh();
+        self.push(Inst::Load {
+            dst,
+            addr,
+            offset,
+            width,
+        });
+        dst
+    }
+
+    /// Scalar store.
+    pub fn store(&mut self, src: VarId, addr: VarId, offset: i64, width: Width) {
+        self.push(Inst::Store {
+            src,
+            addr,
+            offset,
+            width,
+        });
+    }
+
+    /// Pointer load (metadata follows).
+    pub fn load_ptr(&mut self, addr: VarId, offset: i64) -> VarId {
+        let dst = self.fresh();
+        self.push(Inst::LoadPtr { dst, addr, offset });
+        dst
+    }
+
+    /// Pointer store (metadata follows).
+    pub fn store_ptr(&mut self, src: VarId, addr: VarId, offset: i64) {
+        self.push(Inst::StorePtr { src, addr, offset });
+    }
+
+    /// Pointer to a global.
+    pub fn addr_of_global(&mut self, g: GlobalId) -> VarId {
+        let dst = self.fresh();
+        self.push(Inst::AddrOfGlobal { dst, global: g });
+        dst
+    }
+
+    /// Frame slot of `size` bytes.
+    pub fn stack_alloc(&mut self, size: u64) -> VarId {
+        let dst = self.fresh();
+        self.push(Inst::StackAlloc { dst, size });
+        dst
+    }
+
+    /// Heap allocation.
+    pub fn malloc(&mut self, size: VarId) -> VarId {
+        let dst = self.fresh();
+        self.push(Inst::Malloc { dst, size });
+        dst
+    }
+
+    /// Heap allocation of a constant size (convenience).
+    pub fn malloc_bytes(&mut self, size: u64) -> VarId {
+        let s = self.konst(size as i64);
+        self.malloc(s)
+    }
+
+    /// Frees a heap pointer.
+    pub fn free(&mut self, ptr: VarId) {
+        self.push(Inst::Free { ptr });
+    }
+
+    /// Pointer arithmetic with a variable offset.
+    pub fn gep(&mut self, base: VarId, offset: VarId) -> VarId {
+        let dst = self.fresh();
+        self.push(Inst::Gep { dst, base, offset });
+        dst
+    }
+
+    /// Pointer arithmetic with a constant offset.
+    pub fn gep_imm(&mut self, base: VarId, imm: i64) -> VarId {
+        let dst = self.fresh();
+        self.push(Inst::GepImm { dst, base, imm });
+        dst
+    }
+
+    /// Call with a result.
+    pub fn call(&mut self, func: &str, args: &[VarId]) -> VarId {
+        let dst = self.fresh();
+        self.push(Inst::Call {
+            dst: Some(dst),
+            func: func.into(),
+            args: args.to_vec(),
+        });
+        dst
+    }
+
+    /// Call without a result.
+    pub fn call_void(&mut self, func: &str, args: &[VarId]) {
+        self.push(Inst::Call {
+            dst: None,
+            func: func.into(),
+            args: args.to_vec(),
+        });
+    }
+
+    /// Emits one output byte.
+    pub fn putchar(&mut self, src: VarId) {
+        self.push(Inst::PutChar { src });
+    }
+
+    /// Emits a decimal integer and newline.
+    pub fn print_u64(&mut self, src: VarId) {
+        self.push(Inst::PrintU64 { src });
+    }
+
+    /// Declares a scalar local slot (unchecked frame storage for loop
+    /// counters and other non-pointer locals).
+    pub fn local(&mut self) -> LocalId {
+        let l = LocalId(self.func.num_locals);
+        self.func.num_locals += 1;
+        l
+    }
+
+    /// Reads a local slot.
+    pub fn local_get(&mut self, index: LocalId) -> VarId {
+        let dst = self.fresh();
+        self.push(Inst::LocalGet { dst, index });
+        dst
+    }
+
+    /// Writes a local slot.
+    pub fn local_set(&mut self, index: LocalId, src: VarId) {
+        self.push(Inst::LocalSet { src, index });
+    }
+
+    /// Creates a new (empty, unpositioned) block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(PartialBlock::default());
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    /// Moves the insertion point to `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` does not exist.
+    pub fn switch_to(&mut self, b: BlockId) {
+        assert!((b.0 as usize) < self.blocks.len(), "no such block {b}");
+        self.cur = b.0 as usize;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        BlockId(self.cur as u32)
+    }
+
+    fn terminate(&mut self, t: Terminator) {
+        assert!(
+            self.blocks[self.cur].term.is_none(),
+            "block b{} already terminated",
+            self.cur
+        );
+        self.blocks[self.cur].term = Some(t);
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<VarId>) {
+        self.terminate(Terminator::Ret { value });
+    }
+
+    /// Terminates with a conditional branch (`cond != 0` → `then_`).
+    pub fn br(&mut self, cond: VarId, then_: BlockId, else_: BlockId) {
+        self.terminate(Terminator::Br { cond, then_, else_ });
+    }
+
+    /// Terminates with an unconditional jump.
+    pub fn jmp(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jmp(target));
+    }
+
+    /// Commits the function to the module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block lacks a terminator.
+    pub fn finish(mut self) {
+        for (i, b) in self.blocks.iter().enumerate() {
+            assert!(
+                b.term.is_some(),
+                "function {}: block b{i} lacks a terminator",
+                self.func.name
+            );
+        }
+        self.func.blocks = self
+            .blocks
+            .drain(..)
+            .map(|b| Block {
+                insts: b.insts,
+                term: b.term.expect("checked"),
+            })
+            .collect();
+        self.mb.module.funcs.push(self.func);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_loop() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("main");
+        // i = 0; acc = 0; while (i != 10) { acc += i; i += 1 } return acc
+        let head = f.new_block();
+        let body = f.new_block();
+        let done = f.new_block();
+        let zero = f.konst(0);
+        f.jmp(head);
+        f.switch_to(head);
+        // NOTE: without phis the loop state lives in memory; here we keep
+        // it simple by re-checking a constant (structure test only).
+        let c = f.bin_imm(BinOp::Ne, zero, 10);
+        f.br(c, body, done);
+        f.switch_to(body);
+        f.jmp(head);
+        f.switch_to(done);
+        f.ret(Some(zero));
+        f.finish();
+        let m = mb.finish();
+        assert_eq!(m.funcs[0].blocks.len(), 4);
+        assert!(crate::analysis::analyze(&m).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn double_termination_panics() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("main");
+        f.ret(None);
+        f.ret(None);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks a terminator")]
+    fn unterminated_block_panics() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("main");
+        f.new_block();
+        f.ret(None);
+        f.finish();
+    }
+
+    #[test]
+    fn params_come_first() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("sum");
+        let a = f.param(false);
+        let b = f.param(true);
+        let r = f.bin(BinOp::Add, a, b);
+        f.ret(Some(r));
+        f.finish();
+        let m = mb.finish();
+        assert_eq!(m.funcs[0].params.len(), 2);
+        assert_eq!(m.funcs[0].param_is_ptr, vec![false, true]);
+    }
+}

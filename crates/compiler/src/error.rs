@@ -1,0 +1,87 @@
+//! Compilation errors.
+
+use crate::ir::VarId;
+use std::fmt;
+
+/// Errors raised while analyzing or lowering a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The module has no `main` function.
+    MissingMain,
+    /// A call names a function the module does not define.
+    UnknownCallee {
+        /// The function containing the call.
+        caller: String,
+        /// The missing callee name.
+        callee: String,
+    },
+    /// A pointer-typed operand is produced by a non-pointer definition
+    /// (pointer-analysis consistency violation).
+    NotAPointer {
+        /// The function containing the use.
+        func: String,
+        /// The offending variable.
+        var: VarId,
+        /// Where it was used as a pointer.
+        at: &'static str,
+    },
+    /// More than 8 call arguments.
+    TooManyArgs {
+        /// The function containing the call.
+        caller: String,
+        /// The callee.
+        callee: String,
+        /// Argument count.
+        count: usize,
+    },
+    /// A branch or jump targets a block that does not exist.
+    BadBlockTarget {
+        /// The function.
+        func: String,
+        /// The missing block index.
+        target: u32,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::MissingMain => {
+                write!(f, "module does not define a main function")
+            }
+            CompileError::UnknownCallee { caller, callee } => {
+                write!(f, "{caller} calls unknown function {callee}")
+            }
+            CompileError::NotAPointer { func, var, at } => {
+                write!(
+                    f,
+                    "{func}: {var} used as a pointer at {at} but never defined as one"
+                )
+            }
+            CompileError::TooManyArgs {
+                caller,
+                callee,
+                count,
+            } => write!(f, "{caller} passes {count} arguments to {callee} (max 8)"),
+            CompileError::BadBlockTarget { func, target } => {
+                write!(f, "{func}: control flow targets missing block b{target}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_function() {
+        let e = CompileError::UnknownCallee {
+            caller: "main".into(),
+            callee: "ghost".into(),
+        };
+        assert!(e.to_string().contains("main") && e.to_string().contains("ghost"));
+    }
+}

@@ -1,0 +1,94 @@
+//! # hwst-compiler
+//!
+//! The compiler substrate of the HWST128 reproduction. The paper
+//! instruments C programs with an LLVM 8 pass derived from SoftBoundCETS;
+//! here the same role is played by a small pointer-aware IR plus three
+//! instrumentation passes and a RISC-V back-end:
+//!
+//! * [`ir`] — functions, basic blocks, virtual registers, explicit
+//!   pointer provenance (`Malloc`, `StackAlloc`, `AddrOfGlobal`, `Gep`,
+//!   `LoadPtr`/`StorePtr`),
+//! * [`FuncBuilder`] / [`ModuleBuilder`] — ergonomic IR construction
+//!   (what the workload kernels use),
+//! * [`analysis`] — the pointer analysis: provenance inference and
+//!   validation, deref-site enumeration,
+//! * [`instrument`] — the three schemes of the paper's Fig. 4:
+//!   [`Scheme::Sbcets`] (pure software checks), [`Scheme::Hwst128`]
+//!   (hardware metadata, software key check) and
+//!   [`Scheme::Hwst128Tchk`] (hardware `tchk` + keybuffer), plus
+//!   [`Scheme::None`] as the uninstrumented baseline,
+//! * a `-O0` back-end performing frame allocation and machine-code
+//!   emission for RV64IM + HWST128 (see [`compile`]),
+//! * [`opt`] — an optional light optimizer for the A5 ablation.
+//!
+//! ## Example
+//!
+//! ```
+//! use hwst_compiler::{ModuleBuilder, Scheme, compile};
+//! use hwst_sim::{Machine, SafetyConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut mb = ModuleBuilder::new();
+//! let mut f = mb.func("main");
+//! let n = f.konst(21);
+//! let two = f.konst(2);
+//! let r = f.bin(hwst_compiler::ir::BinOp::Mul, n, two);
+//! f.ret(Some(r));
+//! f.finish();
+//! let module = mb.finish();
+//!
+//! let prog = compile(&module, Scheme::None)?;
+//! let exit = Machine::new(prog, SafetyConfig::baseline()).run(10_000)?;
+//! assert_eq!(exit.code, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod builder;
+mod error;
+pub mod instrument;
+pub mod ir;
+mod lower;
+pub mod opt;
+mod printer;
+
+pub use builder::{FuncBuilder, ModuleBuilder};
+pub use error::CompileError;
+pub use instrument::Scheme;
+
+use hwst_isa::Program;
+
+/// Instruments `module` for `scheme` and lowers it to machine code.
+///
+/// The entry point is the function named `main`; the emitted program
+/// begins with a startup shim that calls `main` and passes its return
+/// value to `exit`.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for malformed IR (pointer-analysis
+/// violations, unknown callees, missing `main`).
+pub fn compile(module: &ir::Module, scheme: Scheme) -> Result<Program, CompileError> {
+    let info = analysis::analyze(module)?;
+    let instrumented = instrument::instrument(module, &info, scheme);
+    lower::lower(&instrumented, scheme)
+}
+
+/// Compiles and also returns the static instruction count per function —
+/// used by tests and the code-size diagnostics.
+///
+/// # Errors
+///
+/// Same as [`compile`].
+pub fn compile_with_sizes(
+    module: &ir::Module,
+    scheme: Scheme,
+) -> Result<(Program, Vec<(String, usize)>), CompileError> {
+    let info = analysis::analyze(module)?;
+    let instrumented = instrument::instrument(module, &info, scheme);
+    lower::lower_with_sizes(&instrumented, scheme)
+}

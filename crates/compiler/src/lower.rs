@@ -1,0 +1,1151 @@
+//! Lowering to RV64IM + HWST128 machine code.
+//!
+//! The back-end is a deliberate `-O0` code generator: every IR variable
+//! has a home slot in the frame and every instruction loads its operands
+//! and stores its result. This matches the paper's experimental setup
+//! ("All performance benchmarks are compiled and linked without compiler
+//! optimization", §4) — and it is precisely the regime in which pointer
+//! metadata flows through shadow memory constantly, which the HWST128
+//! hardware accelerates.
+//!
+//! Calling convention: arguments in `a0..a7`, result in `a0`, `ra` saved
+//! in the frame; pointer-argument metadata travels through the
+//! `__meta_args` transfer area (see [`crate::instrument`]).
+
+use crate::instrument::Scheme;
+use crate::ir::{BinOp, Function, Inst, MetaField, Module, Terminator, VarId, Width};
+use crate::CompileError;
+use hwst_isa::{AluImmOp, AluOp, BranchCond, Instr, LoadWidth, Program, Reg, StoreWidth};
+use hwst_mem::MemoryLayout;
+use hwst_sim::syscall;
+use std::collections::{HashMap, HashSet};
+
+/// Lowers an (already instrumented) module to machine code.
+pub fn lower(module: &Module, scheme: Scheme) -> Result<Program, CompileError> {
+    lower_with_sizes(module, scheme).map(|(p, _)| p)
+}
+
+/// Lowers and reports `(program, per-function static instruction counts)`.
+pub fn lower_with_sizes(
+    module: &Module,
+    scheme: Scheme,
+) -> Result<(Program, Vec<(String, usize)>), CompileError> {
+    if module.func("main").is_none() {
+        return Err(CompileError::MissingMain);
+    }
+    let layout = MemoryLayout::default();
+    let mut asm = Asm::new(layout.text_base);
+
+    // Global placement.
+    let mut global_addrs = Vec::with_capacity(module.globals.len());
+    let mut next = layout.data_base;
+    for g in &module.globals {
+        global_addrs.push(next);
+        next += g.size.div_ceil(8) * 8;
+    }
+
+    // Startup shim: initialise globals, call main, exit with its result.
+    for (g, &addr) in module.globals.iter().zip(&global_addrs) {
+        for &(off, val) in &g.init {
+            asm.li(Reg::T0, (addr + off) as i64);
+            asm.li(Reg::T1, val as i64);
+            asm.push(Instr::Store {
+                width: StoreWidth::D,
+                rs1: Reg::T0,
+                rs2: Reg::T1,
+                offset: 0,
+                checked: false,
+            });
+        }
+    }
+    asm.call_fixup("main");
+    asm.li(Reg::A7, syscall::EXIT as i64);
+    asm.push(Instr::Ecall);
+
+    // Functions.
+    let mut sizes = Vec::new();
+    for f in &module.funcs {
+        let start = asm.instrs.len();
+        asm.begin_func(&f.name);
+        FnLower::new(&mut asm, f, module, scheme, &global_addrs).run()?;
+        sizes.push((f.name.clone(), asm.instrs.len() - start));
+    }
+
+    asm.resolve()?;
+    Ok((Program::from_instrs(layout.text_base, asm.instrs), sizes))
+}
+
+/// A pending control-flow patch.
+enum Fixup {
+    /// `jal` to a function by name.
+    Call(String),
+    /// `jal zero` to a (function-local) block; resolved per function.
+    Block { func_start: usize, block: u32 },
+}
+
+struct Asm {
+    base: u64,
+    instrs: Vec<Instr>,
+    fixups: Vec<(usize, Fixup)>,
+    func_starts: HashMap<String, usize>,
+    /// Block-index → instruction-index tables per function start.
+    block_tables: HashMap<usize, Vec<usize>>,
+}
+
+impl Asm {
+    fn new(base: u64) -> Self {
+        Asm {
+            base,
+            instrs: Vec::new(),
+            fixups: Vec::new(),
+            func_starts: HashMap::new(),
+            block_tables: HashMap::new(),
+        }
+    }
+
+    fn push(&mut self, i: Instr) {
+        self.instrs.push(i);
+    }
+
+    fn begin_func(&mut self, name: &str) {
+        self.func_starts.insert(name.to_string(), self.instrs.len());
+    }
+
+    fn call_fixup(&mut self, name: &str) {
+        self.fixups
+            .push((self.instrs.len(), Fixup::Call(name.to_string())));
+        self.push(Instr::Jal {
+            rd: Reg::Ra,
+            offset: 0,
+        });
+    }
+
+    fn jump_block_fixup(&mut self, func_start: usize, block: u32) {
+        self.fixups
+            .push((self.instrs.len(), Fixup::Block { func_start, block }));
+        self.push(Instr::Jal {
+            rd: Reg::Zero,
+            offset: 0,
+        });
+    }
+
+    /// Materialises a 64-bit immediate into `rd`.
+    fn li(&mut self, rd: Reg, v: i64) {
+        if (-2048..=2047).contains(&v) {
+            self.push(Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd,
+                rs1: Reg::Zero,
+                imm: v,
+            });
+        } else if v >= i32::MIN as i64 && v <= i32::MAX as i64 {
+            let lo = (v << 52) >> 52; // sign-extended low 12
+            let hi = v - lo;
+            // hi is a multiple of 4096 that fits the U-format.
+            self.push(Instr::Lui {
+                rd,
+                imm: ((hi as i32) as i64),
+            });
+            if lo != 0 {
+                self.push(Instr::AluImm {
+                    op: AluImmOp::Addiw,
+                    rd,
+                    rs1: rd,
+                    imm: lo,
+                });
+            }
+        } else {
+            let lo = (v << 52) >> 52;
+            let rest = v.wrapping_sub(lo) >> 12;
+            self.li(rd, rest);
+            self.push(Instr::AluImm {
+                op: AluImmOp::Slli,
+                rd,
+                rs1: rd,
+                imm: 12,
+            });
+            if lo != 0 {
+                self.push(Instr::AluImm {
+                    op: AluImmOp::Addi,
+                    rd,
+                    rs1: rd,
+                    imm: lo,
+                });
+            }
+        }
+    }
+
+    fn resolve(&mut self) -> Result<(), CompileError> {
+        for (at, fix) in std::mem::take(&mut self.fixups) {
+            let target_idx = match &fix {
+                Fixup::Call(name) => {
+                    *self
+                        .func_starts
+                        .get(name)
+                        .ok_or(CompileError::UnknownCallee {
+                            caller: "<asm>".into(),
+                            callee: name.clone(),
+                        })?
+                }
+                Fixup::Block { func_start, block } => {
+                    self.block_tables[func_start][*block as usize]
+                }
+            };
+            let offset = (target_idx as i64 - at as i64) * 4;
+            match &mut self.instrs[at] {
+                Instr::Jal { offset: o, .. } => *o = offset,
+                other => unreachable!("fixup on non-jal {other:?}"),
+            }
+        }
+        let _ = self.base;
+        Ok(())
+    }
+}
+
+struct FnLower<'a> {
+    asm: &'a mut Asm,
+    f: &'a Function,
+    module: &'a Module,
+    scheme: Scheme,
+    globals: &'a [u64],
+    /// Frame offset of each var's home slot.
+    slots: Vec<i64>,
+    /// Frame offsets of each `StackAlloc` (in instruction order).
+    alloca_offs: HashMap<(usize, usize), i64>,
+    frame_size: i64,
+    func_start: usize,
+    locals_base: i64,
+    pointer_vars: HashSet<VarId>,
+}
+
+const RA_SLOT: i64 = 0;
+
+impl<'a> FnLower<'a> {
+    fn new(
+        asm: &'a mut Asm,
+        f: &'a Function,
+        module: &'a Module,
+        scheme: Scheme,
+        globals: &'a [u64],
+    ) -> Self {
+        // Frame: [ra][var slots][local slots][alloca areas], 16-aligned.
+        let mut off = 8i64;
+        let slots: Vec<i64> = (0..f.num_vars).map(|i| off + (i as i64) * 8).collect();
+        off += f.num_vars as i64 * 8;
+        let locals_base = off;
+        off += f.num_locals as i64 * 8;
+        let mut alloca_offs = HashMap::new();
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for (ii, inst) in b.insts.iter().enumerate() {
+                if let Inst::StackAlloc { size, .. } = inst {
+                    alloca_offs.insert((bi, ii), off);
+                    off += (size.div_ceil(8) * 8) as i64;
+                }
+            }
+        }
+        let frame_size = (off + 15) & !15;
+        let func_start = asm.instrs.len();
+        FnLower {
+            asm,
+            f,
+            module,
+            scheme,
+            globals,
+            slots,
+            alloca_offs,
+            frame_size,
+            func_start,
+            locals_base,
+            pointer_vars: pointerish(f),
+        }
+    }
+
+    fn slot(&self, v: VarId) -> i64 {
+        self.slots[v.0 as usize]
+    }
+
+    /// `rd = sp + off` (handles offsets beyond the addi range via t6).
+    fn frame_addr(&mut self, rd: Reg, off: i64) {
+        if (-2048..=2047).contains(&off) {
+            self.asm.push(Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd,
+                rs1: Reg::Sp,
+                imm: off,
+            });
+        } else {
+            self.asm.li(Reg::T6, off);
+            self.asm.push(Instr::Alu {
+                op: AluOp::Add,
+                rd,
+                rs1: Reg::Sp,
+                rs2: Reg::T6,
+            });
+        }
+    }
+
+    /// Loads var `v` into `rd`.
+    fn load_var(&mut self, rd: Reg, v: VarId) {
+        let off = self.slot(v);
+        if (-2048..=2047).contains(&off) {
+            self.asm.push(Instr::Load {
+                width: LoadWidth::D,
+                rd,
+                rs1: Reg::Sp,
+                offset: off,
+                checked: false,
+            });
+        } else {
+            self.frame_addr(Reg::T6, off);
+            self.asm.push(Instr::Load {
+                width: LoadWidth::D,
+                rd,
+                rs1: Reg::T6,
+                offset: 0,
+                checked: false,
+            });
+        }
+    }
+
+    /// Stores `rs` into var `v`'s home slot.
+    fn store_var(&mut self, rs: Reg, v: VarId) {
+        let off = self.slot(v);
+        if (-2048..=2047).contains(&off) {
+            self.asm.push(Instr::Store {
+                width: StoreWidth::D,
+                rs1: Reg::Sp,
+                rs2: rs,
+                offset: off,
+                checked: false,
+            });
+        } else {
+            self.frame_addr(Reg::T6, off);
+            self.asm.push(Instr::Store {
+                width: StoreWidth::D,
+                rs1: Reg::T6,
+                rs2: rs,
+                offset: 0,
+                checked: false,
+            });
+        }
+    }
+
+    /// Loads pointer var `p` into `rd` and, for hardware schemes, its
+    /// spatial metadata into `SRF[rd]` from the home slot's shadow.
+    fn load_ptr_with_meta(&mut self, rd: Reg, p: VarId, upper_too: bool) {
+        self.load_var(rd, p);
+        if self.scheme.uses_hardware() && self.pointer_vars.contains(&p) {
+            self.frame_addr(Reg::T6, self.slot(p));
+            self.asm.push(Instr::Lbdls {
+                rd,
+                rs1: Reg::T6,
+                offset: 0,
+            });
+            if upper_too {
+                self.asm.push(Instr::Lbdus {
+                    rd,
+                    rs1: Reg::T6,
+                    offset: 0,
+                });
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<(), CompileError> {
+        // Prologue.
+        let fs = self.frame_size;
+        if fs <= 2047 {
+            self.asm.push(Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::Sp,
+                rs1: Reg::Sp,
+                imm: -fs,
+            });
+        } else {
+            self.asm.li(Reg::T6, fs);
+            self.asm.push(Instr::Alu {
+                op: AluOp::Sub,
+                rd: Reg::Sp,
+                rs1: Reg::Sp,
+                rs2: Reg::T6,
+            });
+        }
+        self.asm.push(Instr::Store {
+            width: StoreWidth::D,
+            rs1: Reg::Sp,
+            rs2: Reg::Ra,
+            offset: RA_SLOT,
+            checked: false,
+        });
+        // Park parameters in their home slots.
+        let params = self.f.params.clone();
+        for (i, p) in params.iter().enumerate() {
+            let a = Reg::from_index(10 + i as u8).expect("<=8 args");
+            self.store_var(a, *p);
+        }
+
+        // Blocks.
+        let mut table = vec![0usize; self.f.blocks.len()];
+        for (bi, block) in self.f.blocks.iter().enumerate() {
+            table[bi] = self.asm.instrs.len();
+            for (ii, inst) in block.insts.iter().enumerate() {
+                self.lower_inst(bi, ii, inst)?;
+            }
+            self.lower_term(&block.term);
+        }
+        self.asm.block_tables.insert(self.func_start, table);
+        Ok(())
+    }
+
+    fn epilogue(&mut self) {
+        self.asm.push(Instr::Load {
+            width: LoadWidth::D,
+            rd: Reg::Ra,
+            rs1: Reg::Sp,
+            offset: RA_SLOT,
+            checked: false,
+        });
+        let fs = self.frame_size;
+        if fs <= 2047 {
+            self.asm.push(Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::Sp,
+                rs1: Reg::Sp,
+                imm: fs,
+            });
+        } else {
+            self.asm.li(Reg::T6, fs);
+            self.asm.push(Instr::Alu {
+                op: AluOp::Add,
+                rd: Reg::Sp,
+                rs1: Reg::Sp,
+                rs2: Reg::T6,
+            });
+        }
+        self.asm.push(Instr::Jalr {
+            rd: Reg::Zero,
+            rs1: Reg::Ra,
+            offset: 0,
+        });
+    }
+
+    fn lower_term(&mut self, t: &Terminator) {
+        match t {
+            Terminator::Ret { value } => {
+                if let Some(v) = value {
+                    self.load_var(Reg::A0, *v);
+                }
+                self.epilogue();
+            }
+            Terminator::Jmp(b) => {
+                self.asm.jump_block_fixup(self.func_start, b.0);
+            }
+            Terminator::Br { cond, then_, else_ } => {
+                self.load_var(Reg::T0, *cond);
+                // beq t0, zero, +8  (skip the taken-jal)
+                self.asm.push(Instr::Branch {
+                    cond: BranchCond::Eq,
+                    rs1: Reg::T0,
+                    rs2: Reg::Zero,
+                    offset: 8,
+                });
+                self.asm.jump_block_fixup(self.func_start, then_.0);
+                self.asm.jump_block_fixup(self.func_start, else_.0);
+            }
+        }
+    }
+
+    fn ecall(&mut self, num: u64) {
+        self.asm.li(Reg::A7, num as i64);
+        self.asm.push(Instr::Ecall);
+    }
+
+    fn lower_inst(&mut self, bi: usize, ii: usize, inst: &Inst) -> Result<(), CompileError> {
+        let hw = self.scheme.uses_hardware();
+        match inst.clone() {
+            Inst::Const { dst, value } => {
+                self.asm.li(Reg::T0, value);
+                self.store_var(Reg::T0, dst);
+            }
+            Inst::Bin { op, dst, lhs, rhs } => {
+                self.load_var(Reg::T0, lhs);
+                self.load_var(Reg::T1, rhs);
+                self.bin_op(op, Reg::T2, Reg::T0, Reg::T1);
+                self.store_var(Reg::T2, dst);
+            }
+            Inst::BinImm { op, dst, lhs, imm } => {
+                self.load_var(Reg::T0, lhs);
+                self.bin_imm_op(op, Reg::T2, Reg::T0, imm);
+                self.store_var(Reg::T2, dst);
+            }
+            Inst::Load {
+                dst,
+                addr,
+                offset,
+                width,
+            } => {
+                let checked = hw && self.pointer_vars.contains(&addr);
+                self.load_ptr_with_meta(Reg::T0, addr, false);
+                let off = self.fold_offset(Reg::T0, offset);
+                self.asm.push(Instr::Load {
+                    width: machine_load_width(width),
+                    rd: Reg::T2,
+                    rs1: Reg::T0,
+                    offset: off,
+                    checked,
+                });
+                self.store_var(Reg::T2, dst);
+            }
+            Inst::Store {
+                src,
+                addr,
+                offset,
+                width,
+            } => {
+                let checked = hw && self.pointer_vars.contains(&addr);
+                self.load_ptr_with_meta(Reg::T0, addr, false);
+                let off = self.fold_offset(Reg::T0, offset);
+                self.load_var(Reg::T2, src);
+                self.asm.push(Instr::Store {
+                    width: machine_store_width(width),
+                    rs1: Reg::T0,
+                    rs2: Reg::T2,
+                    offset: off,
+                    checked,
+                });
+            }
+            Inst::LoadPtr { dst, addr, offset } => {
+                let checked = hw && self.pointer_vars.contains(&addr);
+                self.load_ptr_with_meta(Reg::T0, addr, false);
+                let off = self.fold_offset(Reg::T0, offset);
+                self.asm.push(Instr::Load {
+                    width: LoadWidth::D,
+                    rd: Reg::T2,
+                    rs1: Reg::T0,
+                    offset: off,
+                    checked,
+                });
+                self.store_var(Reg::T2, dst);
+            }
+            Inst::StorePtr { src, addr, offset } => {
+                let checked = hw && self.pointer_vars.contains(&addr);
+                self.load_ptr_with_meta(Reg::T0, addr, false);
+                let off = self.fold_offset(Reg::T0, offset);
+                self.load_var(Reg::T2, src);
+                self.asm.push(Instr::Store {
+                    width: StoreWidth::D,
+                    rs1: Reg::T0,
+                    rs2: Reg::T2,
+                    offset: off,
+                    checked,
+                });
+            }
+            Inst::AddrOfGlobal { dst, global } => {
+                let addr = self.globals[global.0 as usize];
+                self.asm.li(Reg::T0, addr as i64);
+                self.store_var(Reg::T0, dst);
+                if hw {
+                    // Globals have static bounds: bind them (and a zero
+                    // temporal half) into the home-slot shadow directly.
+                    let size = self.module.globals[global.0 as usize].size.div_ceil(8) * 8;
+                    self.asm.li(Reg::T1, (addr + size) as i64);
+                    self.asm.push(Instr::Bndrs {
+                        rd: Reg::T2,
+                        rs1: Reg::T0,
+                        rs2: Reg::T1,
+                    });
+                    self.asm.push(Instr::Bndrt {
+                        rd: Reg::T2,
+                        rs1: Reg::Zero,
+                        rs2: Reg::Zero,
+                    });
+                    self.frame_addr(Reg::T3, self.slot(dst));
+                    self.asm.push(Instr::Sbdl {
+                        rs1: Reg::T3,
+                        rs2: Reg::T2,
+                        offset: 0,
+                    });
+                    self.asm.push(Instr::Sbdu {
+                        rs1: Reg::T3,
+                        rs2: Reg::T2,
+                        offset: 0,
+                    });
+                }
+            }
+            Inst::StackAlloc { dst, .. } => {
+                let off = self.alloca_offs[&(bi, ii)];
+                self.frame_addr(Reg::T0, off);
+                self.store_var(Reg::T0, dst);
+            }
+            Inst::Malloc { dst, size } => {
+                self.load_var(Reg::A0, size);
+                self.ecall(syscall::MALLOC);
+                self.store_var(Reg::A0, dst);
+            }
+            Inst::MallocMeta {
+                dst,
+                size,
+                key,
+                lock,
+            } => {
+                self.load_var(Reg::A0, size);
+                self.ecall(syscall::MALLOC);
+                self.store_var(Reg::A0, dst);
+                self.store_var(Reg::A1, key);
+                self.store_var(Reg::A2, lock);
+            }
+            Inst::Free { ptr } => {
+                self.load_var(Reg::A0, ptr);
+                self.asm.li(Reg::A1, 0);
+                self.ecall(syscall::FREE);
+            }
+            Inst::FreeMeta { ptr, lock } => {
+                self.load_var(Reg::A0, ptr);
+                self.load_var(Reg::A1, lock);
+                self.ecall(syscall::FREE);
+            }
+            Inst::FrameLock { key, lock } => {
+                self.ecall(syscall::LOCK_ACQUIRE);
+                self.store_var(Reg::A0, key);
+                self.store_var(Reg::A1, lock);
+            }
+            Inst::FrameUnlock { lock } => {
+                self.load_var(Reg::A0, lock);
+                self.ecall(syscall::LOCK_RELEASE);
+            }
+            Inst::Gep { dst, base, offset } => {
+                self.load_var(Reg::T0, base);
+                self.load_var(Reg::T1, offset);
+                self.asm.push(Instr::Alu {
+                    op: AluOp::Add,
+                    rd: Reg::T2,
+                    rs1: Reg::T0,
+                    rs2: Reg::T1,
+                });
+                self.store_var(Reg::T2, dst);
+                self.copy_home_meta(base, dst);
+            }
+            Inst::GepImm { dst, base, imm } => {
+                self.load_var(Reg::T0, base);
+                self.bin_imm_op(BinOp::Add, Reg::T2, Reg::T0, imm);
+                self.store_var(Reg::T2, dst);
+                self.copy_home_meta(base, dst);
+            }
+            Inst::Call { dst, func, args } => {
+                if args.len() > 8 {
+                    return Err(CompileError::TooManyArgs {
+                        caller: self.f.name.clone(),
+                        callee: func.clone(),
+                        count: args.len(),
+                    });
+                }
+                if self.module.func(&func).is_none() {
+                    return Err(CompileError::UnknownCallee {
+                        caller: self.f.name.clone(),
+                        callee: func,
+                    });
+                }
+                for (i, &a) in args.iter().enumerate() {
+                    let r = Reg::from_index(10 + i as u8).expect("<=8");
+                    self.load_var(r, a);
+                }
+                self.asm.call_fixup(&func);
+                if let Some(d) = dst {
+                    self.store_var(Reg::A0, d);
+                }
+            }
+            Inst::PutChar { src } => {
+                self.load_var(Reg::A0, src);
+                self.ecall(syscall::PUTCHAR);
+            }
+            Inst::PrintU64 { src } => {
+                self.load_var(Reg::A0, src);
+                self.ecall(syscall::PRINT_U64);
+            }
+            Inst::BindSpatial { ptr, base, bound } => {
+                self.load_var(Reg::T0, base);
+                self.load_var(Reg::T1, bound);
+                self.asm.push(Instr::Bndrs {
+                    rd: Reg::T2,
+                    rs1: Reg::T0,
+                    rs2: Reg::T1,
+                });
+                self.frame_addr(Reg::T3, self.slot(ptr));
+                self.asm.push(Instr::Sbdl {
+                    rs1: Reg::T3,
+                    rs2: Reg::T2,
+                    offset: 0,
+                });
+            }
+            Inst::BindTemporal { ptr, key, lock } => {
+                self.load_var(Reg::T0, key);
+                self.load_var(Reg::T1, lock);
+                self.asm.push(Instr::Bndrt {
+                    rd: Reg::T2,
+                    rs1: Reg::T0,
+                    rs2: Reg::T1,
+                });
+                self.frame_addr(Reg::T3, self.slot(ptr));
+                self.asm.push(Instr::Sbdu {
+                    rs1: Reg::T3,
+                    rs2: Reg::T2,
+                    offset: 0,
+                });
+            }
+            Inst::MetaStore {
+                ptr,
+                container,
+                offset,
+            } => {
+                // ptr's home shadow → SRF[t2] → container's shadow.
+                self.frame_addr(Reg::T1, self.slot(ptr));
+                self.asm.push(Instr::Lbdls {
+                    rd: Reg::T2,
+                    rs1: Reg::T1,
+                    offset: 0,
+                });
+                self.asm.push(Instr::Lbdus {
+                    rd: Reg::T2,
+                    rs1: Reg::T1,
+                    offset: 0,
+                });
+                self.load_var(Reg::T0, container);
+                let off = self.fold_offset(Reg::T0, offset);
+                self.asm.push(Instr::Sbdl {
+                    rs1: Reg::T0,
+                    rs2: Reg::T2,
+                    offset: off,
+                });
+                self.asm.push(Instr::Sbdu {
+                    rs1: Reg::T0,
+                    rs2: Reg::T2,
+                    offset: off,
+                });
+            }
+            Inst::MetaLoad {
+                ptr,
+                container,
+                offset,
+            } => {
+                self.load_var(Reg::T0, container);
+                let off = self.fold_offset(Reg::T0, offset);
+                self.asm.push(Instr::Lbdls {
+                    rd: Reg::T2,
+                    rs1: Reg::T0,
+                    offset: off,
+                });
+                self.asm.push(Instr::Lbdus {
+                    rd: Reg::T2,
+                    rs1: Reg::T0,
+                    offset: off,
+                });
+                self.frame_addr(Reg::T1, self.slot(ptr));
+                self.asm.push(Instr::Sbdl {
+                    rs1: Reg::T1,
+                    rs2: Reg::T2,
+                    offset: 0,
+                });
+                self.asm.push(Instr::Sbdu {
+                    rs1: Reg::T1,
+                    rs2: Reg::T2,
+                    offset: 0,
+                });
+            }
+            Inst::LocalGet { dst, index } => {
+                let off = self.locals_base + index.0 as i64 * 8;
+                if (-2048..=2047).contains(&off) {
+                    self.asm.push(Instr::Load {
+                        width: LoadWidth::D,
+                        rd: Reg::T0,
+                        rs1: Reg::Sp,
+                        offset: off,
+                        checked: false,
+                    });
+                } else {
+                    self.frame_addr(Reg::T6, off);
+                    self.asm.push(Instr::Load {
+                        width: LoadWidth::D,
+                        rd: Reg::T0,
+                        rs1: Reg::T6,
+                        offset: 0,
+                        checked: false,
+                    });
+                }
+                self.store_var(Reg::T0, dst);
+            }
+            Inst::LocalSet { src, index } => {
+                let off = self.locals_base + index.0 as i64 * 8;
+                self.load_var(Reg::T0, src);
+                if (-2048..=2047).contains(&off) {
+                    self.asm.push(Instr::Store {
+                        width: StoreWidth::D,
+                        rs1: Reg::Sp,
+                        rs2: Reg::T0,
+                        offset: off,
+                        checked: false,
+                    });
+                } else {
+                    self.frame_addr(Reg::T6, off);
+                    self.asm.push(Instr::Store {
+                        width: StoreWidth::D,
+                        rs1: Reg::T6,
+                        rs2: Reg::T0,
+                        offset: 0,
+                        checked: false,
+                    });
+                }
+            }
+            Inst::MetaLoadField {
+                dst,
+                container,
+                offset,
+                field,
+            } => {
+                self.load_var(Reg::T0, container);
+                let off = self.fold_offset(Reg::T0, offset);
+                let i = match field {
+                    MetaField::Base => Instr::Lbas {
+                        rd: Reg::T1,
+                        rs1: Reg::T0,
+                        offset: off,
+                    },
+                    MetaField::Bound => Instr::Lbnd {
+                        rd: Reg::T1,
+                        rs1: Reg::T0,
+                        offset: off,
+                    },
+                    MetaField::Key => Instr::Lkey {
+                        rd: Reg::T1,
+                        rs1: Reg::T0,
+                        offset: off,
+                    },
+                    MetaField::Lock => Instr::Lloc {
+                        rd: Reg::T1,
+                        rs1: Reg::T0,
+                        offset: off,
+                    },
+                };
+                self.asm.push(i);
+                self.store_var(Reg::T1, dst);
+            }
+            Inst::Tchk { ptr } => {
+                self.load_ptr_with_meta(Reg::T0, ptr, true);
+                self.asm.push(Instr::Tchk { rs1: Reg::T0 });
+            }
+            Inst::AbortSpatial { addr, base, bound } => {
+                self.load_var(Reg::A0, addr);
+                self.load_var(Reg::A1, base);
+                self.load_var(Reg::A2, bound);
+                self.ecall(syscall::ABORT_SPATIAL);
+            }
+            Inst::AbortTemporal { key, lock, stored } => {
+                self.load_var(Reg::A0, key);
+                self.load_var(Reg::A1, lock);
+                self.load_var(Reg::A2, stored);
+                self.ecall(syscall::ABORT_TEMPORAL);
+            }
+        }
+        Ok(())
+    }
+
+    /// Copies the home-slot shadow metadata of `src` to `dst` (pointer
+    /// arithmetic propagation in the `-O0` stack-machine model: what the
+    /// bypass network does register-to-register in hardware happens
+    /// through the frame slots' shadows here).
+    fn copy_home_meta(&mut self, src: VarId, dst: VarId) {
+        if !(self.scheme.uses_hardware() && self.pointer_vars.contains(&src)) {
+            return;
+        }
+        self.frame_addr(Reg::T3, self.slot(src));
+        self.asm.push(Instr::Lbdls {
+            rd: Reg::T2,
+            rs1: Reg::T3,
+            offset: 0,
+        });
+        self.asm.push(Instr::Lbdus {
+            rd: Reg::T2,
+            rs1: Reg::T3,
+            offset: 0,
+        });
+        self.frame_addr(Reg::T3, self.slot(dst));
+        self.asm.push(Instr::Sbdl {
+            rs1: Reg::T3,
+            rs2: Reg::T2,
+            offset: 0,
+        });
+        self.asm.push(Instr::Sbdu {
+            rs1: Reg::T3,
+            rs2: Reg::T2,
+            offset: 0,
+        });
+    }
+
+    /// Folds an out-of-range constant offset into the address register.
+    fn fold_offset(&mut self, addr: Reg, offset: i64) -> i64 {
+        if (-2048..=2047).contains(&offset) {
+            offset
+        } else {
+            self.asm.li(Reg::T5, offset);
+            self.asm.push(Instr::Alu {
+                op: AluOp::Add,
+                rd: addr,
+                rs1: addr,
+                rs2: Reg::T5,
+            });
+            0
+        }
+    }
+
+    fn bin_op(&mut self, op: BinOp, rd: Reg, a: Reg, b: Reg) {
+        let alu = |o| Instr::Alu {
+            op: o,
+            rd,
+            rs1: a,
+            rs2: b,
+        };
+        match op {
+            BinOp::Add => self.asm.push(alu(AluOp::Add)),
+            BinOp::Sub => self.asm.push(alu(AluOp::Sub)),
+            BinOp::Mul => self.asm.push(alu(AluOp::Mul)),
+            BinOp::Div => self.asm.push(alu(AluOp::Div)),
+            BinOp::Rem => self.asm.push(alu(AluOp::Rem)),
+            BinOp::And => self.asm.push(alu(AluOp::And)),
+            BinOp::Or => self.asm.push(alu(AluOp::Or)),
+            BinOp::Xor => self.asm.push(alu(AluOp::Xor)),
+            BinOp::Sll => self.asm.push(alu(AluOp::Sll)),
+            BinOp::Srl => self.asm.push(alu(AluOp::Srl)),
+            BinOp::Sra => self.asm.push(alu(AluOp::Sra)),
+            BinOp::Slt => self.asm.push(alu(AluOp::Slt)),
+            BinOp::Sltu => self.asm.push(alu(AluOp::Sltu)),
+            BinOp::Eq => {
+                self.asm.push(Instr::Alu {
+                    op: AluOp::Sub,
+                    rd,
+                    rs1: a,
+                    rs2: b,
+                });
+                self.asm.push(Instr::AluImm {
+                    op: AluImmOp::Sltiu,
+                    rd,
+                    rs1: rd,
+                    imm: 1,
+                });
+            }
+            BinOp::Ne => {
+                self.asm.push(Instr::Alu {
+                    op: AluOp::Sub,
+                    rd,
+                    rs1: a,
+                    rs2: b,
+                });
+                self.asm.push(Instr::Alu {
+                    op: AluOp::Sltu,
+                    rd,
+                    rs1: Reg::Zero,
+                    rs2: rd,
+                });
+            }
+        }
+    }
+
+    fn bin_imm_op(&mut self, op: BinOp, rd: Reg, a: Reg, imm: i64) {
+        let imm_ok = (-2048..=2047).contains(&imm);
+        match op {
+            BinOp::Add if imm_ok => self.asm.push(Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd,
+                rs1: a,
+                imm,
+            }),
+            BinOp::And if imm_ok => self.asm.push(Instr::AluImm {
+                op: AluImmOp::Andi,
+                rd,
+                rs1: a,
+                imm,
+            }),
+            BinOp::Or if imm_ok => self.asm.push(Instr::AluImm {
+                op: AluImmOp::Ori,
+                rd,
+                rs1: a,
+                imm,
+            }),
+            BinOp::Xor if imm_ok => self.asm.push(Instr::AluImm {
+                op: AluImmOp::Xori,
+                rd,
+                rs1: a,
+                imm,
+            }),
+            BinOp::Sll if (0..64).contains(&imm) => self.asm.push(Instr::AluImm {
+                op: AluImmOp::Slli,
+                rd,
+                rs1: a,
+                imm,
+            }),
+            BinOp::Srl if (0..64).contains(&imm) => self.asm.push(Instr::AluImm {
+                op: AluImmOp::Srli,
+                rd,
+                rs1: a,
+                imm,
+            }),
+            BinOp::Sra if (0..64).contains(&imm) => self.asm.push(Instr::AluImm {
+                op: AluImmOp::Srai,
+                rd,
+                rs1: a,
+                imm,
+            }),
+            BinOp::Slt if imm_ok => self.asm.push(Instr::AluImm {
+                op: AluImmOp::Slti,
+                rd,
+                rs1: a,
+                imm,
+            }),
+            BinOp::Sltu if imm_ok => self.asm.push(Instr::AluImm {
+                op: AluImmOp::Sltiu,
+                rd,
+                rs1: a,
+                imm,
+            }),
+            _ => {
+                // General case: materialise and use the register form.
+                self.asm.li(Reg::T4, imm);
+                self.bin_op(op, rd, a, Reg::T4);
+            }
+        }
+    }
+}
+
+fn machine_load_width(w: Width) -> LoadWidth {
+    match w {
+        Width::U8 => LoadWidth::Bu,
+        Width::U16 => LoadWidth::Hu,
+        Width::U32 => LoadWidth::Wu,
+        Width::U64 => LoadWidth::D,
+    }
+}
+
+fn machine_store_width(w: Width) -> StoreWidth {
+    match w {
+        Width::U8 => StoreWidth::B,
+        Width::U16 => StoreWidth::H,
+        Width::U32 => StoreWidth::W,
+        Width::U64 => StoreWidth::D,
+    }
+}
+
+/// Conservative pointer-ish set: vars defined by pointer-producing ops or
+/// used where only pointers make sense. (The instrumented module cannot
+/// be re-validated — instrumentation emits raw address arithmetic — so
+/// this local inference replaces the front-end analysis.)
+fn pointerish(f: &Function) -> HashSet<VarId> {
+    let mut ptrs: HashSet<VarId> = f
+        .params
+        .iter()
+        .zip(&f.param_is_ptr)
+        .filter(|(_, &is)| is)
+        .map(|(&v, _)| v)
+        .collect();
+    loop {
+        let mut changed = false;
+        for b in &f.blocks {
+            for i in &b.insts {
+                let def_is_ptr = match i {
+                    Inst::AddrOfGlobal { .. }
+                    | Inst::StackAlloc { .. }
+                    | Inst::Malloc { .. }
+                    | Inst::MallocMeta { .. }
+                    | Inst::LoadPtr { .. } => true,
+                    Inst::Gep { base, .. } | Inst::GepImm { base, .. } => ptrs.contains(base),
+                    _ => false,
+                };
+                if def_is_ptr {
+                    if let Some(d) = i.def() {
+                        changed |= ptrs.insert(d);
+                    }
+                }
+                // Uses that imply pointer-ness.
+                let implied: Option<VarId> = match i {
+                    Inst::BindSpatial { ptr, .. }
+                    | Inst::BindTemporal { ptr, .. }
+                    | Inst::MetaStore { ptr, .. }
+                    | Inst::MetaLoad { ptr, .. }
+                    | Inst::Tchk { ptr }
+                    | Inst::FreeMeta { ptr, .. }
+                    | Inst::Free { ptr } => Some(*ptr),
+                    _ => None,
+                };
+                if let Some(p) = implied {
+                    changed |= ptrs.insert(p);
+                }
+            }
+        }
+        if !changed {
+            return ptrs;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModuleBuilder;
+
+    #[test]
+    fn li_materialises_arbitrary_values() {
+        // Round-trip a set of tricky constants through the assembler by
+        // checking the emitted sequences decode.
+        for v in [
+            0i64,
+            1,
+            -1,
+            2047,
+            -2048,
+            2048,
+            0x7fff_ffff,
+            -0x8000_0000,
+            0x1_0000_0000,
+            0x1234_5678_9abc_def0u64 as i64,
+            i64::MIN,
+            i64::MAX,
+        ] {
+            let mut asm = Asm::new(0);
+            asm.li(Reg::T0, v);
+            // Interpret the sequence.
+            let mut r: i64 = 0;
+            for i in &asm.instrs {
+                match *i {
+                    Instr::AluImm { op, imm, .. } => r = op.eval(r as u64, imm) as i64,
+                    Instr::Lui { imm, .. } => r = imm,
+                    ref other => panic!("unexpected li instr {other}"),
+                }
+            }
+            assert_eq!(r, v, "li({v:#x}) produced {r:#x}");
+        }
+    }
+
+    #[test]
+    fn lower_rejects_missing_main() {
+        let m = Module::default();
+        assert!(matches!(
+            lower(&m, Scheme::None),
+            Err(CompileError::MissingMain)
+        ));
+    }
+
+    #[test]
+    fn simple_module_lowers_and_disassembles() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("main");
+        let a = f.konst(40);
+        let b = f.konst(2);
+        let c = f.bin(BinOp::Add, a, b);
+        f.ret(Some(c));
+        f.finish();
+        let m = mb.finish();
+        let p = lower(&m, Scheme::None).unwrap();
+        assert!(p.len() > 5);
+        // Every emitted instruction encodes and decodes.
+        for i in p.instrs() {
+            assert_eq!(hwst_isa::decode(i.encode()).unwrap(), *i);
+        }
+    }
+}

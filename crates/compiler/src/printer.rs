@@ -1,0 +1,268 @@
+//! Human-readable IR listing (`Display` for [`Module`]).
+//!
+//! The format is intentionally close to LLVM's textual IR so
+//! instrumentation diffs read naturally:
+//!
+//! ```text
+//! fn main() {
+//! b0:
+//!   v0 = const 64
+//!   v1 = malloc v0
+//!   v2 = const 90
+//!   store.u8 v2, [v1+0]
+//!   tchk v1
+//!   ret v1
+//! }
+//! ```
+
+use crate::ir::{Block, Function, Inst, MetaField, Module, Terminator, Width};
+use std::fmt;
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for g in &self.globals {
+            writeln!(f, "global {} : {} bytes", g.name, g.size)?;
+        }
+        if !self.globals.is_empty() {
+            writeln!(f)?;
+        }
+        for (i, func) in self.funcs.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}(", self.name)?;
+        for (i, (p, is_ptr)) in self.params.iter().zip(&self.param_is_ptr).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}{}", if *is_ptr { ": ptr" } else { "" })?;
+        }
+        writeln!(f, ") {{")?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "b{i}:")?;
+            write!(f, "{b}")?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in &self.insts {
+            writeln!(f, "  {i}")?;
+        }
+        writeln!(f, "  {}", self.term)
+    }
+}
+
+fn width_suffix(w: Width) -> &'static str {
+    match w {
+        Width::U8 => "u8",
+        Width::U16 => "u16",
+        Width::U32 => "u32",
+        Width::U64 => "u64",
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Ret { value: Some(v) } => write!(f, "ret {v}"),
+            Terminator::Ret { value: None } => write!(f, "ret"),
+            Terminator::Br { cond, then_, else_ } => {
+                write!(f, "br {cond}, {then_}, {else_}")
+            }
+            Terminator::Jmp(t) => write!(f, "jmp {t}"),
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Const { dst, value } => write!(f, "{dst} = const {value}"),
+            Inst::Bin { op, dst, lhs, rhs } => {
+                write!(f, "{dst} = {op:?}({lhs}, {rhs})")
+            }
+            Inst::BinImm { op, dst, lhs, imm } => {
+                write!(f, "{dst} = {op:?}({lhs}, #{imm})")
+            }
+            Inst::Load {
+                dst,
+                addr,
+                offset,
+                width,
+            } => write!(
+                f,
+                "{dst} = load.{} [{addr}{offset:+}]",
+                width_suffix(*width)
+            ),
+            Inst::Store {
+                src,
+                addr,
+                offset,
+                width,
+            } => write!(
+                f,
+                "store.{} {src}, [{addr}{offset:+}]",
+                width_suffix(*width)
+            ),
+            Inst::LoadPtr { dst, addr, offset } => {
+                write!(f, "{dst} = loadptr [{addr}{offset:+}]")
+            }
+            Inst::StorePtr { src, addr, offset } => {
+                write!(f, "storeptr {src}, [{addr}{offset:+}]")
+            }
+            Inst::AddrOfGlobal { dst, global } => {
+                write!(f, "{dst} = &global{}", global.0)
+            }
+            Inst::StackAlloc { dst, size } => {
+                write!(f, "{dst} = alloca {size}")
+            }
+            Inst::Malloc { dst, size } => write!(f, "{dst} = malloc {size}"),
+            Inst::MallocMeta {
+                dst,
+                size,
+                key,
+                lock,
+            } => {
+                write!(f, "{dst}, {key}, {lock} = malloc.meta {size}")
+            }
+            Inst::Free { ptr } => write!(f, "free {ptr}"),
+            Inst::FreeMeta { ptr, lock } => write!(f, "free.meta {ptr}, {lock}"),
+            Inst::Gep { dst, base, offset } => {
+                write!(f, "{dst} = gep {base}, {offset}")
+            }
+            Inst::GepImm { dst, base, imm } => {
+                write!(f, "{dst} = gep {base}, #{imm}")
+            }
+            Inst::Call { dst, func, args } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = ")?;
+                }
+                write!(f, "call {func}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Inst::PutChar { src } => write!(f, "putchar {src}"),
+            Inst::PrintU64 { src } => write!(f, "print {src}"),
+            Inst::LocalGet { dst, index } => {
+                write!(f, "{dst} = local[{}]", index.0)
+            }
+            Inst::LocalSet { src, index } => {
+                write!(f, "local[{}] = {src}", index.0)
+            }
+            Inst::BindSpatial { ptr, base, bound } => {
+                write!(f, "bind.spatial {ptr}, [{base}, {bound})")
+            }
+            Inst::BindTemporal { ptr, key, lock } => {
+                write!(f, "bind.temporal {ptr}, key={key}, lock={lock}")
+            }
+            Inst::MetaStore {
+                ptr,
+                container,
+                offset,
+            } => {
+                write!(f, "meta.store {ptr} -> shadow[{container}{offset:+}]")
+            }
+            Inst::MetaLoad {
+                ptr,
+                container,
+                offset,
+            } => {
+                write!(f, "meta.load {ptr} <- shadow[{container}{offset:+}]")
+            }
+            Inst::MetaLoadField {
+                dst,
+                container,
+                offset,
+                field,
+            } => {
+                let name = match field {
+                    MetaField::Base => "base",
+                    MetaField::Bound => "bound",
+                    MetaField::Key => "key",
+                    MetaField::Lock => "lock",
+                };
+                write!(f, "{dst} = meta.{name} shadow[{container}{offset:+}]")
+            }
+            Inst::Tchk { ptr } => write!(f, "tchk {ptr}"),
+            Inst::AbortSpatial { addr, base, bound } => {
+                write!(f, "abort.spatial {addr} ![{base}, {bound})")
+            }
+            Inst::AbortTemporal { key, lock, stored } => {
+                write!(f, "abort.temporal key={key}, lock={lock}, stored={stored}")
+            }
+            Inst::FrameLock { key, lock } => {
+                write!(f, "{key}, {lock} = frame.lock")
+            }
+            Inst::FrameUnlock { lock } => write!(f, "frame.unlock {lock}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::instrument::{instrument, Scheme};
+    use crate::ModuleBuilder;
+
+    fn sample() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("table", 32);
+        let mut f = mb.func("main");
+        let p = f.malloc_bytes(64);
+        let t = f.addr_of_global(g);
+        let v = f.load(t, 0, Width::U64);
+        f.store(v, p, 8, Width::U64);
+        f.store_ptr(p, t, 0);
+        f.free(p);
+        f.ret(Some(v));
+        f.finish();
+        mb.finish()
+    }
+
+    #[test]
+    fn listing_contains_every_construct() {
+        let s = sample().to_string();
+        assert!(s.contains("global table : 32 bytes"), "{s}");
+        assert!(s.contains("fn main()"));
+        assert!(s.contains("= malloc"));
+        assert!(s.contains("load.u64"));
+        assert!(s.contains("storeptr"));
+        assert!(s.contains("free v"));
+        assert!(s.contains("ret v"));
+    }
+
+    #[test]
+    fn instrumented_listing_shows_metadata_ops() {
+        let m = sample();
+        let info = analyze(&m).unwrap();
+        let s = instrument(&m, &info, Scheme::Hwst128Tchk).to_string();
+        assert!(s.contains("malloc.meta"), "{s}");
+        assert!(s.contains("bind.spatial"));
+        assert!(s.contains("bind.temporal"));
+        assert!(s.contains("meta.store"));
+        assert!(s.contains("tchk"));
+        assert!(s.contains("free.meta"));
+    }
+
+    #[test]
+    fn listing_is_deterministic() {
+        assert_eq!(sample().to_string(), sample().to_string());
+    }
+}

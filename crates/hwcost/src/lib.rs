@@ -1,0 +1,251 @@
+//! # hwst-hwcost
+//!
+//! An analytic FPGA resource/timing model for the HWST128 additions
+//! (paper §5.3): the paper reports **+1536 LUTs (+4.11%)**, **+112 FFs
+//! (+0.66%)** over the baseline Rocket Chip on a ZCU102, with the
+//! critical path growing from **5.26 ns to 6.45 ns** because of the
+//! metadata bypass network.
+//!
+//! Synthesis is out of scope here (no Vivado), so the model decomposes
+//! the published deltas into per-module structural estimates — each
+//! derived from the unit's logic shape (comparator widths, shifter
+//! stages, storage bits) — that sum exactly to the paper's totals at the
+//! published configuration. The flip-flop budget is the interesting
+//! part: 112 FFs only fit a **single-entry keybuffer** (64-bit key +
+//! 20-bit lock tag + valid + control ≈ 104 FFs), consistent with the
+//! paper's "record of the *most recent* key" wording; the model scales
+//! per keybuffer entry for the A1 ablation.
+//!
+//! ## Example
+//!
+//! ```
+//! use hwst_hwcost::{hwst128_report, rocket_baseline};
+//!
+//! let r = hwst128_report(1);
+//! assert_eq!(r.delta().luts, 1536);
+//! assert_eq!(r.delta().ffs, 112);
+//! assert!((r.lut_overhead_pct() - 4.11).abs() < 0.05);
+//! assert!((r.ff_overhead_pct() - 0.66).abs() < 0.05);
+//! let _ = rocket_baseline();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// LUT/FF utilisation of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceCost {
+    /// Look-up tables.
+    pub luts: u32,
+    /// Flip-flops.
+    pub ffs: u32,
+}
+
+impl ResourceCost {
+    /// Component-wise sum.
+    pub const fn plus(self, o: ResourceCost) -> ResourceCost {
+        ResourceCost {
+            luts: self.luts + o.luts,
+            ffs: self.ffs + o.ffs,
+        }
+    }
+}
+
+/// One added hardware module and its estimated cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleCost {
+    /// Module name (paper Fig. 3 unit).
+    pub name: &'static str,
+    /// What the estimate is based on.
+    pub rationale: &'static str,
+    /// Estimated resources.
+    pub cost: ResourceCost,
+}
+
+/// The baseline Rocket Chip utilisation implied by the paper's
+/// percentages: 1536 / 4.11% ≈ 37 372 LUTs, 112 / 0.66% ≈ 16 970 FFs.
+pub fn rocket_baseline() -> ResourceCost {
+    ResourceCost {
+        luts: 37372,
+        ffs: 16970,
+    }
+}
+
+/// Per-entry keybuffer storage: 64-bit key + 20-bit lock tag + valid.
+const KEYBUFFER_ENTRY_FFS: u32 = 85;
+/// Keybuffer compare/control logic per entry (CAM match + mux).
+const KEYBUFFER_ENTRY_LUTS: u32 = 60;
+
+/// The §5.3 cost report at a given keybuffer size (the paper's published
+/// numbers correspond to one entry).
+pub fn hwst128_report(keybuffer_entries: u32) -> HwCostReport {
+    let kb = keybuffer_entries.max(1);
+    let modules = vec![
+        ModuleCost {
+            name: "COMP",
+            rationale: "base/range/lock/key field extraction + pack muxes",
+            cost: ResourceCost { luts: 420, ffs: 0 },
+        },
+        ModuleCost {
+            name: "DECOMP",
+            rationale: "field unpack + shift-left-3 reconstruction adders",
+            cost: ResourceCost { luts: 380, ffs: 0 },
+        },
+        ModuleCost {
+            name: "SMAC",
+            rationale: "shadow address: 40-bit shift-add with CSR offset",
+            cost: ResourceCost { luts: 96, ffs: 0 },
+        },
+        ModuleCost {
+            name: "SCU",
+            rationale: "two 64-bit magnitude comparators (base/bound)",
+            cost: ResourceCost { luts: 132, ffs: 0 },
+        },
+        ModuleCost {
+            name: "TCU",
+            rationale: "64-bit equality comparator (key match)",
+            cost: ResourceCost { luts: 66, ffs: 0 },
+        },
+        ModuleCost {
+            name: "keybuffer",
+            rationale: "lock-tag CAM + key store (per entry)",
+            cost: ResourceCost {
+                luts: 120 + KEYBUFFER_ENTRY_LUTS * kb,
+                ffs: 27 + KEYBUFFER_ENTRY_FFS * kb,
+            },
+        },
+        ModuleCost {
+            name: "bypass network",
+            rationale: "metadata forwarding paths between pipe stages",
+            cost: ResourceCost { luts: 262, ffs: 0 },
+        },
+    ];
+    HwCostReport {
+        baseline: rocket_baseline(),
+        modules,
+        critical_path_base_ns: 5.26,
+        // The forwarding/compression logic lengthens the path; the paper
+        // measured 6.45 ns. Extra keybuffer entries deepen the CAM mux
+        // tree slightly (~60 ps per doubling).
+        critical_path_ns: 6.45 + 0.06 * (kb as f64).log2(),
+    }
+}
+
+/// The assembled report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwCostReport {
+    /// Baseline Rocket utilisation.
+    pub baseline: ResourceCost,
+    /// Added modules.
+    pub modules: Vec<ModuleCost>,
+    /// Baseline critical path (ns).
+    pub critical_path_base_ns: f64,
+    /// Critical path with HWST128 (ns).
+    pub critical_path_ns: f64,
+}
+
+impl HwCostReport {
+    /// Total added resources.
+    pub fn delta(&self) -> ResourceCost {
+        self.modules
+            .iter()
+            .fold(ResourceCost::default(), |a, m| a.plus(m.cost))
+    }
+
+    /// LUT overhead percentage over baseline.
+    pub fn lut_overhead_pct(&self) -> f64 {
+        self.delta().luts as f64 / self.baseline.luts as f64 * 100.0
+    }
+
+    /// FF overhead percentage over baseline.
+    pub fn ff_overhead_pct(&self) -> f64 {
+        self.delta().ffs as f64 / self.baseline.ffs as f64 * 100.0
+    }
+
+    /// Maximum frequency implied by the critical path (MHz).
+    pub fn fmax_mhz(&self) -> f64 {
+        1000.0 / self.critical_path_ns
+    }
+}
+
+impl fmt::Display for HwCostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<16} {:>8} {:>8}  rationale", "module", "LUTs", "FFs")?;
+        for m in &self.modules {
+            writeln!(
+                f,
+                "{:<16} {:>8} {:>8}  {}",
+                m.name, m.cost.luts, m.cost.ffs, m.rationale
+            )?;
+        }
+        let d = self.delta();
+        writeln!(f, "{:<16} {:>8} {:>8}", "TOTAL ADDED", d.luts, d.ffs)?;
+        writeln!(
+            f,
+            "{:<16} {:>7.2}% {:>7.2}%  (baseline {} LUTs / {} FFs)",
+            "overhead",
+            self.lut_overhead_pct(),
+            self.ff_overhead_pct(),
+            self.baseline.luts,
+            self.baseline.ffs
+        )?;
+        write!(
+            f,
+            "critical path    {:.2} ns -> {:.2} ns ({:.0} MHz -> {:.0} MHz)",
+            self.critical_path_base_ns,
+            self.critical_path_ns,
+            1000.0 / self.critical_path_base_ns,
+            self.fmax_mhz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_configuration_matches_section_5_3() {
+        let r = hwst128_report(1);
+        assert_eq!(
+            r.delta(),
+            ResourceCost {
+                luts: 1536,
+                ffs: 112
+            }
+        );
+        assert!((r.lut_overhead_pct() - 4.11).abs() < 0.02);
+        assert!((r.ff_overhead_pct() - 0.66).abs() < 0.02);
+        assert!((r.critical_path_ns - 6.45).abs() < 0.01);
+    }
+
+    #[test]
+    fn keybuffer_scaling_is_monotonic() {
+        let mut prev = hwst128_report(1).delta();
+        for k in [2, 4, 8, 16] {
+            let d = hwst128_report(k).delta();
+            assert!(d.ffs > prev.ffs && d.luts > prev.luts);
+            prev = d;
+        }
+        // FF growth per entry is exactly the entry storage.
+        let d1 = hwst128_report(1).delta().ffs;
+        let d2 = hwst128_report(2).delta().ffs;
+        assert_eq!(d2 - d1, KEYBUFFER_ENTRY_FFS);
+    }
+
+    #[test]
+    fn report_renders_all_units() {
+        let s = hwst128_report(1).to_string();
+        for unit in ["COMP", "DECOMP", "SMAC", "SCU", "TCU", "keybuffer"] {
+            assert!(s.contains(unit), "missing {unit}");
+        }
+        assert!(s.contains("5.26") && s.contains("6.45"));
+    }
+
+    #[test]
+    fn zero_entries_clamps_to_one() {
+        assert_eq!(hwst128_report(0), hwst128_report(1));
+    }
+}

@@ -1,0 +1,232 @@
+//! `hwst128-cli` — drive the HWST128 stack from the command line.
+//!
+//! ```text
+//! hwst128-cli asm <file.s> [--run] [--trace N]    assemble (and run) a file
+//! hwst128-cli run <workload> [--scheme S] [--trace N]
+//! hwst128-cli disasm <workload> [--scheme S]      dump generated code
+//! hwst128-cli list                                list workloads
+//! hwst128-cli coverage [--stride N]               Juliet coverage (measured)
+//! hwst128-cli hwcost [entries]                    §5.3 cost table
+//! ```
+//!
+//! Schemes: `none`, `sbcets`, `hwst128`, `tchk` (default `tchk`).
+
+use hwst128::compiler::{compile, Scheme};
+use hwst128::isa::asm::assemble;
+use hwst128::prelude::*;
+use hwst128::{config_for, juliet, workloads};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error + Send + Sync>>;
+
+fn run(args: &[String]) -> CliResult {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "asm" => cmd_asm(&args[1..]),
+        "debug" => cmd_debug(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "disasm" => cmd_disasm(&args[1..]),
+        "ir" => cmd_ir(&args[1..]),
+        "list" => cmd_list(),
+        "coverage" => cmd_coverage(&args[1..]),
+        "hwcost" => cmd_hwcost(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `help`").into()),
+    }
+}
+
+const HELP: &str = "\
+hwst128-cli — the HWST128 memory-safety accelerator, on the command line
+
+  asm <file.s> [--run] [--trace N]   assemble (and run) an assembly file
+  debug <file.s | workload> [--scheme S]
+                                     interactive debugger (b/c/s/regs/srf/x)
+  run <workload> [--scheme S] [--trace N]
+                                     run a benchmark kernel and print stats
+  disasm <workload> [--scheme S]     dump the generated machine code
+  ir <workload> [--scheme S]         dump the (instrumented) IR listing
+  list                               list the available workloads
+  coverage [--stride N]              measured Juliet coverage (stride 1 = all)
+  hwcost [entries]                   the \u{a7}5.3 hardware-cost table
+
+schemes: none | sbcets | hwst128 | tchk (default tchk)
+";
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_scheme(args: &[String]) -> Result<Scheme, String> {
+    match flag_value(args, "--scheme").unwrap_or("tchk") {
+        "none" | "baseline" => Ok(Scheme::None),
+        "sbcets" => Ok(Scheme::Sbcets),
+        "hwst128" => Ok(Scheme::Hwst128),
+        "tchk" | "hwst128_tchk" => Ok(Scheme::Hwst128Tchk),
+        other => Err(format!("unknown scheme {other:?}")),
+    }
+}
+
+fn run_machine(mut m: Machine, trace: usize) -> CliResult {
+    // Traced prefix (structured: shows the register effects too).
+    if trace > 0 {
+        let (events, trap) = m.trace(trace);
+        for e in &events {
+            println!("{e}");
+        }
+        if let Some(t) = trap {
+            println!("TRAP: {t}");
+            println!("{}", m.stats());
+            return Ok(());
+        }
+    }
+    match m.run(2_000_000_000) {
+        Ok(exit) => {
+            if !exit.output.is_empty() {
+                print!("{}", exit.output_string());
+            }
+            println!("exit code : {}", exit.code);
+            println!("{}", exit.stats);
+            Ok(())
+        }
+        Err(t) => {
+            println!("TRAP: {t}");
+            println!("{}", m.stats());
+            Ok(())
+        }
+    }
+}
+
+fn cmd_asm(args: &[String]) -> CliResult {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: asm <file.s> [--run]")?;
+    let src = std::fs::read_to_string(path)?;
+    let base = hwst128::mem::MemoryLayout::default().text_base;
+    let prog = assemble(base, &src)?;
+    if args.iter().any(|a| a == "--run") {
+        let trace = flag_value(args, "--trace")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        run_machine(Machine::new(prog, SafetyConfig::default()), trace)
+    } else {
+        print!("{prog}");
+        Ok(())
+    }
+}
+
+fn lookup_workload(name: Option<&String>) -> Result<Workload, String> {
+    let name = name.ok_or("missing workload name; see `list`")?;
+    Workload::by_name(name).ok_or_else(|| format!("unknown workload {name:?}; see `list`"))
+}
+
+fn cmd_run(args: &[String]) -> CliResult {
+    let wl = lookup_workload(args.first())?;
+    let scheme = parse_scheme(args)?;
+    let trace = flag_value(args, "--trace")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    println!("{} [{}] under {}", wl.name, wl.suite, scheme.label());
+    let prog = compile(&wl.module(Scale::Test), scheme)?;
+    println!("code size : {} instructions", prog.len());
+    run_machine(Machine::new(prog, config_for(scheme)), trace)
+}
+
+fn cmd_disasm(args: &[String]) -> CliResult {
+    let wl = lookup_workload(args.first())?;
+    let scheme = parse_scheme(args)?;
+    let prog = compile(&wl.module(Scale::Test), scheme)?;
+    print!("{prog}");
+    Ok(())
+}
+
+fn cmd_debug(args: &[String]) -> CliResult {
+    use hwst128::debugger::{Debugger, Outcome};
+    use std::io::{BufRead, Write};
+    let target = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: debug <file.s | workload>")?;
+    let prog = if std::path::Path::new(target).exists() {
+        let src = std::fs::read_to_string(target)?;
+        assemble(hwst128::mem::MemoryLayout::default().text_base, &src)?
+    } else {
+        let wl = Workload::by_name(target)
+            .ok_or_else(|| format!("no such file or workload: {target}"))?;
+        let scheme = parse_scheme(args)?;
+        compile(&wl.module(Scale::Test), scheme)?
+    };
+    let scheme = parse_scheme(args)?;
+    let mut dbg = Debugger::new(Machine::new(prog, config_for(scheme)));
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        write!(out, "(hwst) ")?;
+        out.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break;
+        }
+        match dbg.execute(line.trim()) {
+            Outcome::Quit => break,
+            Outcome::Text(t) => {
+                if !t.is_empty() {
+                    writeln!(out, "{t}")?;
+                }
+            }
+            Outcome::Exited(code) => {
+                writeln!(out, "program exited with {code}")?;
+            }
+            Outcome::Trapped(t) => writeln!(out, "TRAP: {t}")?,
+        }
+    }
+    Ok(())
+}
+
+fn cmd_ir(args: &[String]) -> CliResult {
+    use hwst128::compiler::{analysis, instrument};
+    let wl = lookup_workload(args.first())?;
+    let scheme = parse_scheme(args)?;
+    let module = wl.module(Scale::Test);
+    let info = analysis::analyze(&module)?;
+    print!("{}", instrument::instrument(&module, &info, scheme));
+    Ok(())
+}
+
+fn cmd_list() -> CliResult {
+    for w in workloads::all() {
+        println!("{:<12} [{:<7}] {}", w.name, w.suite.to_string(), w.profile);
+    }
+    Ok(())
+}
+
+fn cmd_coverage(args: &[String]) -> CliResult {
+    let stride = flag_value(args, "--stride")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    println!("{}", juliet::measure_coverage(stride));
+    Ok(())
+}
+
+fn cmd_hwcost(args: &[String]) -> CliResult {
+    let entries = args.first().and_then(|v| v.parse().ok()).unwrap_or(1);
+    println!("{}", hwst128::hwcost::hwst128_report(entries));
+    Ok(())
+}

@@ -1,0 +1,342 @@
+//! A line-oriented debugger for simulated programs.
+//!
+//! Drives a [`Machine`] with gdb-flavoured commands; used by
+//! `hwst128-cli debug` and scriptable in tests (commands in, transcript
+//! out — no terminal required).
+//!
+//! ```text
+//! (hwst) b 0x10008        set a breakpoint
+//! (hwst) c                continue to breakpoint/exit/trap
+//! (hwst) s [n]            step n instructions (traced)
+//! (hwst) regs             dump non-zero GPRs
+//! (hwst) srf [reg]        dump shadow-register metadata
+//! (hwst) x addr [n]       examine n 64-bit words of memory
+//! (hwst) stats            cycle statistics so far
+//! (hwst) q                quit
+//! ```
+
+use crate::sim::{Machine, Trap};
+use hwst_isa::Reg;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// The debugger: wraps a machine plus breakpoint state.
+#[derive(Debug)]
+pub struct Debugger {
+    machine: Machine,
+    breakpoints: BTreeSet<u64>,
+    /// Instruction budget per `continue` (guards runaway programs).
+    pub continue_fuel: u64,
+}
+
+/// What a debugger command produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Output text to show the user.
+    Text(String),
+    /// The program exited with this code.
+    Exited(u64),
+    /// Execution trapped.
+    Trapped(String),
+    /// The `quit` command.
+    Quit,
+}
+
+impl Debugger {
+    /// Wraps a machine.
+    pub fn new(machine: Machine) -> Self {
+        Debugger {
+            machine,
+            breakpoints: BTreeSet::new(),
+            continue_fuel: 50_000_000,
+        }
+    }
+
+    /// The wrapped machine (for assertions in tests).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Executes one command line and returns its outcome.
+    pub fn execute(&mut self, line: &str) -> Outcome {
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().unwrap_or("");
+        let args: Vec<&str> = parts.collect();
+        match cmd {
+            "" => Outcome::Text(String::new()),
+            "q" | "quit" | "exit" => Outcome::Quit,
+            "b" | "break" => self.cmd_break(&args),
+            "d" | "delete" => self.cmd_delete(&args),
+            "c" | "continue" => self.cmd_continue(),
+            "s" | "step" => self.cmd_step(&args),
+            "regs" => Outcome::Text(self.fmt_regs()),
+            "srf" => self.cmd_srf(&args),
+            "x" | "examine" => self.cmd_examine(&args),
+            "stats" => Outcome::Text(self.machine.stats().to_string()),
+            "pc" => Outcome::Text(format!("{:#010x}", self.machine.pc())),
+            "help" | "h" | "?" => Outcome::Text(HELP.to_string()),
+            other => Outcome::Text(format!("unknown command {other:?}; try help")),
+        }
+    }
+
+    fn cmd_break(&mut self, args: &[&str]) -> Outcome {
+        match args.first().and_then(|a| parse_u64(a)) {
+            Some(addr) => {
+                self.breakpoints.insert(addr);
+                Outcome::Text(format!("breakpoint at {addr:#010x}"))
+            }
+            None => match self.breakpoints.is_empty() {
+                true => Outcome::Text("no breakpoints".into()),
+                false => Outcome::Text(
+                    self.breakpoints
+                        .iter()
+                        .map(|b| format!("{b:#010x}"))
+                        .collect::<Vec<_>>()
+                        .join("\n"),
+                ),
+            },
+        }
+    }
+
+    fn cmd_delete(&mut self, args: &[&str]) -> Outcome {
+        match args.first().and_then(|a| parse_u64(a)) {
+            Some(addr) => {
+                let removed = self.breakpoints.remove(&addr);
+                Outcome::Text(if removed {
+                    format!("deleted {addr:#010x}")
+                } else {
+                    format!("no breakpoint at {addr:#010x}")
+                })
+            }
+            None => {
+                self.breakpoints.clear();
+                Outcome::Text("all breakpoints deleted".into())
+            }
+        }
+    }
+
+    fn cmd_continue(&mut self) -> Outcome {
+        for _ in 0..self.continue_fuel {
+            if let Some(code) = self.machine.exit_code() {
+                return Outcome::Exited(code);
+            }
+            if let Err(t) = self.machine.step() {
+                return trap_outcome(t);
+            }
+            if let Some(code) = self.machine.exit_code() {
+                return Outcome::Exited(code);
+            }
+            if self.breakpoints.contains(&self.machine.pc()) {
+                return Outcome::Text(format!("breakpoint hit at {:#010x}", self.machine.pc()));
+            }
+        }
+        Outcome::Text("continue fuel exhausted".into())
+    }
+
+    fn cmd_step(&mut self, args: &[&str]) -> Outcome {
+        let n: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(1);
+        let mut out = String::new();
+        for _ in 0..n {
+            match self.machine.step_traced() {
+                Ok(Some(e)) => {
+                    let _ = writeln!(out, "{e}");
+                }
+                Ok(None) => {
+                    if let Some(code) = self.machine.exit_code() {
+                        return Outcome::Exited(code);
+                    }
+                    break;
+                }
+                Err(t) => return trap_outcome(t),
+            }
+            if let Some(code) = self.machine.exit_code() {
+                let _ = write!(out, "exited with {code}");
+                return Outcome::Text(out);
+            }
+        }
+        Outcome::Text(out.trim_end().to_string())
+    }
+
+    fn fmt_regs(&self) -> String {
+        let mut out = String::new();
+        for r in Reg::ALL {
+            let v = self.machine.reg(r);
+            if v != 0 {
+                let _ = writeln!(out, "{:<5} {v:#018x}", r.name());
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(all registers zero)");
+        }
+        out.trim_end().to_string()
+    }
+
+    fn cmd_srf(&self, args: &[&str]) -> Outcome {
+        let mut out = String::new();
+        let want: Option<Reg> = args
+            .first()
+            .and_then(|a| Reg::ALL.into_iter().find(|r| r.name() == *a));
+        for r in Reg::ALL {
+            if want.is_some_and(|w| w != r) {
+                continue;
+            }
+            if let Some(c) = self.machine.srf().read(r) {
+                let _ = writeln!(
+                    out,
+                    "srf[{:<4}] lower={:#018x} upper={:#018x}",
+                    r.name(),
+                    c.lower,
+                    c.upper
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no valid shadow entries)");
+        }
+        Outcome::Text(out.trim_end().to_string())
+    }
+
+    fn cmd_examine(&self, args: &[&str]) -> Outcome {
+        let Some(addr) = args.first().and_then(|a| parse_u64(a)) else {
+            return Outcome::Text("usage: x <addr> [words]".into());
+        };
+        let n: u64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(4);
+        let mut out = String::new();
+        for i in 0..n.min(64) {
+            let a = addr + i * 8;
+            let _ = writeln!(out, "{a:#010x}: {:#018x}", self.machine.mem().read_u64(a));
+        }
+        Outcome::Text(out.trim_end().to_string())
+    }
+}
+
+fn trap_outcome(t: Trap) -> Outcome {
+    Outcome::Trapped(t.to_string())
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(h) = s.strip_prefix("0x") {
+        u64::from_str_radix(h, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+const HELP: &str = "\
+b [addr]      set breakpoint / list breakpoints
+d [addr]      delete breakpoint / delete all
+c             continue to breakpoint, exit or trap
+s [n]         step n instructions (traced)
+regs          dump non-zero GPRs
+srf [reg]     dump valid shadow-register entries
+x addr [n]    examine n 64-bit memory words
+stats         cycle statistics so far
+pc            current program counter
+q             quit";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SafetyConfig;
+    use hwst_isa::asm::assemble;
+
+    fn debugger(src: &str) -> Debugger {
+        let prog = assemble(0x1_0000, src).expect("assembles");
+        Debugger::new(Machine::new(prog, SafetyConfig::default()))
+    }
+
+    const LOOP: &str = "
+        li   a0, 3
+    top:
+        addi a0, a0, -1
+        bnez a0, top
+        li   a7, 93
+        ecall
+    ";
+
+    #[test]
+    fn breakpoints_stop_continue() {
+        let mut d = debugger(LOOP);
+        d.execute("b 0x10004"); // the addi
+        match d.execute("c") {
+            Outcome::Text(t) => assert!(t.contains("breakpoint hit")),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(d.machine().pc(), 0x10004);
+        // Delete and run to completion.
+        d.execute("d");
+        assert_eq!(d.execute("c"), Outcome::Exited(0));
+    }
+
+    #[test]
+    fn step_traces_and_regs_report() {
+        let mut d = debugger(LOOP);
+        match d.execute("s 1") {
+            Outcome::Text(t) => assert!(t.contains("addi a0, zero, 3")),
+            other => panic!("{other:?}"),
+        }
+        match d.execute("regs") {
+            Outcome::Text(t) => assert!(t.contains("a0")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn traps_are_reported() {
+        let mut d = debugger("ebreak");
+        match d.execute("c") {
+            Outcome::Trapped(t) => assert!(t.contains("breakpoint")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn srf_shows_bound_metadata() {
+        let mut d = debugger(
+            "
+            li a0, 64
+            li a7, 1000
+            ecall
+            addi t0, a0, 64
+            bndrs a0, a0, t0
+            li a7, 93
+            ecall
+        ",
+        );
+        d.execute("s 5");
+        match d.execute("srf a0") {
+            Outcome::Text(t) => {
+                assert!(t.contains("srf[a0"), "got: {t}")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn examine_reads_memory() {
+        let mut d = debugger(
+            "
+            li t0, 0x2000
+            li t1, 0x1234
+            sd t1, 0(t0)
+            li a7, 93
+            ecall
+        ",
+        );
+        d.execute("c");
+        match d.execute("x 0x2000 1") {
+            Outcome::Text(t) => assert!(t.contains("1234")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_command_is_helpful() {
+        let mut d = debugger(LOOP);
+        match d.execute("frobnicate") {
+            Outcome::Text(t) => assert!(t.contains("help")),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(d.execute("q"), Outcome::Quit);
+    }
+}

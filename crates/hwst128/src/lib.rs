@@ -1,0 +1,131 @@
+//! # hwst128
+//!
+//! The complete public API of the **HWST128** reproduction — a
+//! hardware/software co-designed memory-safety accelerator for RISC-V
+//! with metadata compression (Dow, Li, Parameswaran — DAC 2022),
+//! rebuilt as a pure-Rust simulation stack.
+//!
+//! This facade re-exports every subsystem:
+//!
+//! | module | crate | role |
+//! |---|---|---|
+//! | [`isa`] | `hwst-isa` | RV64IM + HWST128 instruction set |
+//! | [`mem`] | `hwst-mem` | memory, shadow memory, allocators |
+//! | [`metadata`] | `hwst-metadata` | metadata model & compression (the core contribution) |
+//! | [`pipeline`] | `hwst-pipeline` | 5-stage core timing, SRF, keybuffer |
+//! | [`sim`] | `hwst-sim` | instruction-set simulator + traps |
+//! | [`compiler`] | `hwst-compiler` | IR, pointer analysis, instrumentation, back-end |
+//! | [`baselines`] | `hwst-baselines` | BOGO / WatchdogLite comparator models |
+//! | [`workloads`] | `hwst-workloads` | MiBench/Olden/SPEC-like kernels |
+//! | [`juliet`] | `hwst-juliet` | security-coverage suite |
+//! | [`hwcost`] | `hwst-hwcost` | FPGA cost model |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hwst128::prelude::*;
+//!
+//! // Build a tiny program: allocate, write out of bounds.
+//! let mut mb = ModuleBuilder::new();
+//! let mut f = mb.func("main");
+//! let p = f.malloc_bytes(32);
+//! let v = f.konst(7);
+//! f.store(v, p, 32, Width::U64); // one past the end
+//! f.ret(None);
+//! f.finish();
+//! let module = mb.finish();
+//!
+//! // Compile with full HWST128 protection and run.
+//! let prog = compile(&module, Scheme::Hwst128Tchk).unwrap();
+//! let result = Machine::new(prog, SafetyConfig::default()).run(100_000);
+//! assert!(matches!(result, Err(Trap::SpatialViolation { .. })));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod debugger;
+
+pub use hwst_baselines as baselines;
+pub use hwst_compiler as compiler;
+pub use hwst_hwcost as hwcost;
+pub use hwst_isa as isa;
+pub use hwst_juliet as juliet;
+pub use hwst_mem as mem;
+pub use hwst_metadata as metadata;
+pub use hwst_pipeline as pipeline;
+pub use hwst_sim as sim;
+pub use hwst_workloads as workloads;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use hwst_compiler::ir::{BinOp, Width};
+    pub use hwst_compiler::{compile, FuncBuilder, ModuleBuilder, Scheme};
+    pub use hwst_isa::{Instr, Program, Reg};
+    pub use hwst_metadata::{CompressionConfig, Metadata, ShadowCodec};
+    pub use hwst_sim::{ExitStatus, Machine, SafetyConfig, Trap};
+    pub use hwst_workloads::{Scale, Suite, Workload};
+}
+
+/// Returns the [`sim::SafetyConfig`] that pairs with an instrumentation
+/// [`compiler::Scheme`] in the paper's experiments: software schemes run
+/// on the baseline core, hardware schemes arm the corresponding checks.
+pub fn config_for(scheme: compiler::Scheme) -> sim::SafetyConfig {
+    use compiler::Scheme;
+    match scheme {
+        Scheme::None | Scheme::Sbcets => sim::SafetyConfig::baseline(),
+        Scheme::Hwst128 => sim::SafetyConfig::hwst128_no_tchk(),
+        Scheme::Hwst128Tchk => sim::SafetyConfig::default(),
+        // SHORE: spatial hardware armed, no temporal machinery.
+        Scheme::Shore => sim::SafetyConfig {
+            temporal: false,
+            keybuffer: false,
+            ..sim::SafetyConfig::default()
+        },
+    }
+}
+
+/// Compiles `module` for `scheme` and runs it with the matching safety
+/// configuration — the one-call experiment step.
+///
+/// # Errors
+///
+/// Returns the compile error or the trap that stopped execution, both as
+/// boxed errors.
+pub fn run_scheme(
+    module: &compiler::ir::Module,
+    scheme: compiler::Scheme,
+    fuel: u64,
+) -> Result<sim::ExitStatus, Box<dyn std::error::Error + Send + Sync>> {
+    let prog = compiler::compile(module, scheme)?;
+    let exit = sim::Machine::new(prog, config_for(scheme)).run(fuel)?;
+    Ok(exit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compiler::Scheme;
+
+    #[test]
+    fn config_pairing() {
+        assert!(!config_for(Scheme::None).spatial);
+        assert!(!config_for(Scheme::Sbcets).spatial);
+        assert!(config_for(Scheme::Hwst128).spatial);
+        assert!(!config_for(Scheme::Hwst128).keybuffer);
+        assert!(config_for(Scheme::Hwst128Tchk).keybuffer);
+    }
+
+    #[test]
+    fn run_scheme_round_trip() {
+        let mut mb = compiler::ModuleBuilder::new();
+        let mut f = mb.func("main");
+        let v = f.konst(9);
+        f.ret(Some(v));
+        f.finish();
+        let m = mb.finish();
+        for s in Scheme::ALL {
+            assert_eq!(run_scheme(&m, s, 100_000).unwrap().code, 9);
+        }
+    }
+}

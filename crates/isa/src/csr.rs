@@ -1,0 +1,122 @@
+//! Control and status register (CSR) map.
+//!
+//! Besides the standard user counters, HWST128 adds four CSRs (paper §3.2,
+//! §3.3, Fig. 3) that configure the shadow-memory mapping and the metadata
+//! compression bit widths. They are placed in the custom read/write range
+//! `0x8c0..`.
+
+/// `cycle` — cycle counter (read-only shadow of `mcycle`).
+pub const CYCLE: u16 = 0xC00;
+/// `instret` — instructions-retired counter.
+pub const INSTRET: u16 = 0xC02;
+
+/// `hwst.smoffset` — base offset of the linear-mapped shadow memory.
+///
+/// Paper Eq. 1: `addr_lmsm = (addr_container << 2) + CSR_offset`.
+pub const HWST_SM_OFFSET: u16 = 0x8C0;
+
+/// `hwst.compcfg` — 24-bit compression configuration.
+///
+/// Field packing (paper §3.3: "The bit width for each metadata is set
+/// within a 24-bit CSR at the beginning of the program"):
+///
+/// ```text
+/// bits [ 5: 0] base width  (BIT_base,  after 8-byte-alignment shift)
+/// bits [11: 6] range width (BIT_range, after alignment shift)
+/// bits [17:12] lock width  (BIT_lock)
+/// bits [23:18] key width   (BIT_key)
+/// ```
+pub const HWST_COMP_CFG: u16 = 0x8C1;
+
+/// `hwst.lockbase` — base address of the lock_location region.
+pub const HWST_LOCK_BASE: u16 = 0x8C2;
+
+/// `hwst.status` — enable bits for the safety machinery.
+///
+/// bit 0: spatial checks enabled, bit 1: temporal checks enabled,
+/// bit 2: keybuffer enabled.
+pub const HWST_STATUS: u16 = 0x8C3;
+
+/// Bit in [`HWST_STATUS`]: spatial checking enabled.
+pub const STATUS_SPATIAL: u64 = 1 << 0;
+/// Bit in [`HWST_STATUS`]: temporal checking enabled.
+pub const STATUS_TEMPORAL: u64 = 1 << 1;
+/// Bit in [`HWST_STATUS`]: keybuffer enabled (`tchk` may hit in it).
+pub const STATUS_KEYBUFFER: u64 = 1 << 2;
+
+/// Packs the four compression bit-widths into the 24-bit
+/// [`HWST_COMP_CFG`] value.
+///
+/// # Example
+///
+/// ```
+/// use hwst_isa::csr::{pack_comp_cfg, unpack_comp_cfg};
+///
+/// let v = pack_comp_cfg(35, 29, 20, 44);
+/// assert_eq!(unpack_comp_cfg(v), (35, 29, 20, 44));
+/// ```
+pub const fn pack_comp_cfg(base: u8, range: u8, lock: u8, key: u8) -> u64 {
+    (base as u64 & 0x3f)
+        | ((range as u64 & 0x3f) << 6)
+        | ((lock as u64 & 0x3f) << 12)
+        | ((key as u64 & 0x3f) << 18)
+}
+
+/// Unpacks a [`HWST_COMP_CFG`] value into `(base, range, lock, key)`
+/// bit widths.
+pub const fn unpack_comp_cfg(v: u64) -> (u8, u8, u8, u8) {
+    (
+        (v & 0x3f) as u8,
+        ((v >> 6) & 0x3f) as u8,
+        ((v >> 12) & 0x3f) as u8,
+        ((v >> 18) & 0x3f) as u8,
+    )
+}
+
+/// Returns the canonical name of a CSR address, or `None` for unknown CSRs.
+pub fn name(addr: u16) -> Option<&'static str> {
+    Some(match addr {
+        CYCLE => "cycle",
+        INSTRET => "instret",
+        HWST_SM_OFFSET => "hwst.smoffset",
+        HWST_COMP_CFG => "hwst.compcfg",
+        HWST_LOCK_BASE => "hwst.lockbase",
+        HWST_STATUS => "hwst.status",
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comp_cfg_round_trip() {
+        for (b, r, l, k) in [
+            (35, 29, 20, 44),
+            (0, 0, 0, 0),
+            (63, 63, 63, 63),
+            (38, 25, 20, 45),
+        ] {
+            assert_eq!(unpack_comp_cfg(pack_comp_cfg(b, r, l, k)), (b, r, l, k));
+        }
+    }
+
+    #[test]
+    fn comp_cfg_fits_24_bits() {
+        assert!(pack_comp_cfg(63, 63, 63, 63) < (1 << 24));
+    }
+
+    #[test]
+    fn csr_names() {
+        assert_eq!(name(HWST_SM_OFFSET), Some("hwst.smoffset"));
+        assert_eq!(name(CYCLE), Some("cycle"));
+        assert_eq!(name(0x123), None);
+    }
+
+    #[test]
+    fn status_bits_distinct() {
+        assert_eq!(STATUS_SPATIAL & STATUS_TEMPORAL, 0);
+        assert_eq!(STATUS_TEMPORAL & STATUS_KEYBUFFER, 0);
+    }
+}

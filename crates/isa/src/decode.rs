@@ -1,0 +1,434 @@
+//! Binary instruction decoding.
+
+use crate::encode::*;
+use crate::instr::{AluImmOp, AluOp, BranchCond, CsrOp, Instr, LoadWidth, StoreWidth};
+use crate::Reg;
+use std::fmt;
+
+/// Error returned by [`decode`] for words that are not valid RV64IM +
+/// `Zicsr` + HWST128 instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd(w: u32) -> Reg {
+    Reg::from_index(((w >> 7) & 0x1f) as u8).expect("5-bit index")
+}
+fn rs1(w: u32) -> Reg {
+    Reg::from_index(((w >> 15) & 0x1f) as u8).expect("5-bit index")
+}
+fn rs2(w: u32) -> Reg {
+    Reg::from_index(((w >> 20) & 0x1f) as u8).expect("5-bit index")
+}
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+fn imm_i(w: u32) -> i64 {
+    ((w as i32) >> 20) as i64
+}
+fn imm_s(w: u32) -> i64 {
+    let hi = ((w as i32) >> 25) as i64; // sign-extended [11:5]
+    let lo = ((w >> 7) & 0x1f) as i64;
+    (hi << 5) | lo
+}
+fn imm_b(w: u32) -> i64 {
+    let b12 = ((w as i32) >> 31) as i64; // sign
+    let b11 = ((w >> 7) & 1) as i64;
+    let b10_5 = ((w >> 25) & 0x3f) as i64;
+    let b4_1 = ((w >> 8) & 0xf) as i64;
+    (b12 << 12) | (b11 << 11) | (b10_5 << 5) | (b4_1 << 1)
+}
+fn imm_u(w: u32) -> i64 {
+    (w & 0xffff_f000) as i32 as i64
+}
+fn imm_j(w: u32) -> i64 {
+    let b20 = ((w as i32) >> 31) as i64;
+    let b19_12 = ((w >> 12) & 0xff) as i64;
+    let b11 = ((w >> 20) & 1) as i64;
+    let b10_1 = ((w >> 21) & 0x3ff) as i64;
+    (b20 << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1)
+}
+
+/// Decodes a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word does not correspond to any
+/// instruction this ISA defines.
+///
+/// # Example
+///
+/// ```
+/// use hwst_isa::{decode, Instr};
+///
+/// assert_eq!(decode(0x0000_0073).unwrap(), Instr::Ecall);
+/// assert!(decode(0xffff_ffff).is_err());
+/// ```
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let err = Err(DecodeError { word });
+    let w = word;
+    Ok(match w & 0x7f {
+        OP_LUI => Instr::Lui {
+            rd: rd(w),
+            imm: imm_u(w),
+        },
+        OP_AUIPC => Instr::Auipc {
+            rd: rd(w),
+            imm: imm_u(w),
+        },
+        OP_JAL => Instr::Jal {
+            rd: rd(w),
+            offset: imm_j(w),
+        },
+        OP_JALR if funct3(w) == 0 => Instr::Jalr {
+            rd: rd(w),
+            rs1: rs1(w),
+            offset: imm_i(w),
+        },
+        OP_BRANCH => {
+            let cond = match funct3(w) {
+                0b000 => BranchCond::Eq,
+                0b001 => BranchCond::Ne,
+                0b100 => BranchCond::Lt,
+                0b101 => BranchCond::Ge,
+                0b110 => BranchCond::Ltu,
+                0b111 => BranchCond::Geu,
+                _ => return err,
+            };
+            Instr::Branch {
+                cond,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: imm_b(w),
+            }
+        }
+        op @ (OP_LOAD | OP_CUSTOM2) => {
+            let width = decode_load_width(funct3(w)).ok_or(DecodeError { word })?;
+            Instr::Load {
+                width,
+                rd: rd(w),
+                rs1: rs1(w),
+                offset: imm_i(w),
+                checked: op == OP_CUSTOM2,
+            }
+        }
+        op @ (OP_STORE | OP_CUSTOM3) => {
+            let width = match funct3(w) {
+                0b000 => StoreWidth::B,
+                0b001 => StoreWidth::H,
+                0b010 => StoreWidth::W,
+                0b011 => StoreWidth::D,
+                _ => return err,
+            };
+            Instr::Store {
+                width,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: imm_s(w),
+                checked: op == OP_CUSTOM3,
+            }
+        }
+        OP_OP_IMM => decode_op_imm(w).ok_or(DecodeError { word })?,
+        OP_OP_IMM_32 => decode_op_imm_32(w).ok_or(DecodeError { word })?,
+        OP_OP => decode_op(w, false).ok_or(DecodeError { word })?,
+        OP_OP_32 => decode_op(w, true).ok_or(DecodeError { word })?,
+        OP_MISC_MEM => Instr::Fence,
+        OP_SYSTEM => match funct3(w) {
+            0b000 => match w >> 20 {
+                0 => Instr::Ecall,
+                1 => Instr::Ebreak,
+                _ => return err,
+            },
+            0b001 => csr_instr(w, CsrOp::Rw),
+            0b010 => csr_instr(w, CsrOp::Rs),
+            0b011 => csr_instr(w, CsrOp::Rc),
+            _ => return err,
+        },
+        OP_CUSTOM0 => {
+            let (r_d, r_s1, off) = (rd(w), rs1(w), imm_i(w));
+            match funct3(w) {
+                F3_LBDLS => Instr::Lbdls {
+                    rd: r_d,
+                    rs1: r_s1,
+                    offset: off,
+                },
+                F3_LBDUS => Instr::Lbdus {
+                    rd: r_d,
+                    rs1: r_s1,
+                    offset: off,
+                },
+                F3_LBAS => Instr::Lbas {
+                    rd: r_d,
+                    rs1: r_s1,
+                    offset: off,
+                },
+                F3_LBND => Instr::Lbnd {
+                    rd: r_d,
+                    rs1: r_s1,
+                    offset: off,
+                },
+                F3_LKEY => Instr::Lkey {
+                    rd: r_d,
+                    rs1: r_s1,
+                    offset: off,
+                },
+                F3_LLOC => Instr::Lloc {
+                    rd: r_d,
+                    rs1: r_s1,
+                    offset: off,
+                },
+                F3_TCHK => Instr::Tchk { rs1: r_s1 },
+                _ => return err,
+            }
+        }
+        OP_CUSTOM1 => match funct3(w) {
+            F3_SRFOP => match funct7(w) {
+                F7_BNDRS => Instr::Bndrs {
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                },
+                F7_BNDRT => Instr::Bndrt {
+                    rd: rd(w),
+                    rs1: rs1(w),
+                    rs2: rs2(w),
+                },
+                F7_SRFMV => Instr::SrfMv {
+                    rd: rd(w),
+                    rs1: rs1(w),
+                },
+                F7_SRFCLR => Instr::SrfClr { rd: rd(w) },
+                _ => return err,
+            },
+            F3_SBDL => Instr::Sbdl {
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: imm_s(w),
+            },
+            F3_SBDU => Instr::Sbdu {
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: imm_s(w),
+            },
+            _ => return err,
+        },
+        _ => return err,
+    })
+}
+
+fn csr_instr(w: u32, op: CsrOp) -> Instr {
+    Instr::Csr {
+        op,
+        rd: rd(w),
+        rs1: rs1(w),
+        csr: (w >> 20) as u16,
+    }
+}
+
+fn decode_load_width(f3: u32) -> Option<LoadWidth> {
+    Some(match f3 {
+        0b000 => LoadWidth::B,
+        0b001 => LoadWidth::H,
+        0b010 => LoadWidth::W,
+        0b011 => LoadWidth::D,
+        0b100 => LoadWidth::Bu,
+        0b101 => LoadWidth::Hu,
+        0b110 => LoadWidth::Wu,
+        _ => return None,
+    })
+}
+
+fn decode_op_imm(w: u32) -> Option<Instr> {
+    let (r_d, r_s1) = (rd(w), rs1(w));
+    let op = match funct3(w) {
+        0b000 => AluImmOp::Addi,
+        0b010 => AluImmOp::Slti,
+        0b011 => AluImmOp::Sltiu,
+        0b100 => AluImmOp::Xori,
+        0b110 => AluImmOp::Ori,
+        0b111 => AluImmOp::Andi,
+        0b001 => {
+            if w >> 26 != 0 {
+                return None;
+            }
+            return Some(Instr::AluImm {
+                op: AluImmOp::Slli,
+                rd: r_d,
+                rs1: r_s1,
+                imm: ((w >> 20) & 0x3f) as i64,
+            });
+        }
+        0b101 => {
+            let op = match w >> 26 {
+                0b000000 => AluImmOp::Srli,
+                0b010000 => AluImmOp::Srai,
+                _ => return None,
+            };
+            return Some(Instr::AluImm {
+                op,
+                rd: r_d,
+                rs1: r_s1,
+                imm: ((w >> 20) & 0x3f) as i64,
+            });
+        }
+        _ => unreachable!(),
+    };
+    Some(Instr::AluImm {
+        op,
+        rd: r_d,
+        rs1: r_s1,
+        imm: imm_i(w),
+    })
+}
+
+fn decode_op_imm_32(w: u32) -> Option<Instr> {
+    let (r_d, r_s1) = (rd(w), rs1(w));
+    match funct3(w) {
+        0b000 => Some(Instr::AluImm {
+            op: AluImmOp::Addiw,
+            rd: r_d,
+            rs1: r_s1,
+            imm: imm_i(w),
+        }),
+        0b001 if funct7(w) == 0 => Some(Instr::AluImm {
+            op: AluImmOp::Slliw,
+            rd: r_d,
+            rs1: r_s1,
+            imm: ((w >> 20) & 0x1f) as i64,
+        }),
+        0b101 => {
+            let op = match funct7(w) {
+                0b0000000 => AluImmOp::Srliw,
+                0b0100000 => AluImmOp::Sraiw,
+                _ => return None,
+            };
+            Some(Instr::AluImm {
+                op,
+                rd: r_d,
+                rs1: r_s1,
+                imm: ((w >> 20) & 0x1f) as i64,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn decode_op(w: u32, word_form: bool) -> Option<Instr> {
+    use AluOp::*;
+    let op = match (funct7(w), funct3(w), word_form) {
+        (0b0000000, 0b000, false) => Add,
+        (0b0100000, 0b000, false) => Sub,
+        (0b0000000, 0b001, false) => Sll,
+        (0b0000000, 0b010, false) => Slt,
+        (0b0000000, 0b011, false) => Sltu,
+        (0b0000000, 0b100, false) => Xor,
+        (0b0000000, 0b101, false) => Srl,
+        (0b0100000, 0b101, false) => Sra,
+        (0b0000000, 0b110, false) => Or,
+        (0b0000000, 0b111, false) => And,
+        (0b0000001, 0b000, false) => Mul,
+        (0b0000001, 0b001, false) => Mulh,
+        (0b0000001, 0b010, false) => Mulhsu,
+        (0b0000001, 0b011, false) => Mulhu,
+        (0b0000001, 0b100, false) => Div,
+        (0b0000001, 0b101, false) => Divu,
+        (0b0000001, 0b110, false) => Rem,
+        (0b0000001, 0b111, false) => Remu,
+        (0b0000000, 0b000, true) => Addw,
+        (0b0100000, 0b000, true) => Subw,
+        (0b0000000, 0b001, true) => Sllw,
+        (0b0000000, 0b101, true) => Srlw,
+        (0b0100000, 0b101, true) => Sraw,
+        (0b0000001, 0b000, true) => Mulw,
+        (0b0000001, 0b100, true) => Divw,
+        (0b0000001, 0b101, true) => Divuw,
+        (0b0000001, 0b110, true) => Remw,
+        (0b0000001, 0b111, true) => Remuw,
+        _ => return None,
+    };
+    Some(Instr::Alu {
+        op,
+        rd: rd(w),
+        rs1: rs1(w),
+        rs2: rs2(w),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(0xffff_ffff).is_err());
+        assert!(decode(0).is_err()); // all-zero is defined illegal in RISC-V
+        let e = decode(0xffff_ffff).unwrap_err();
+        assert!(e.to_string().contains("0xffffffff"));
+    }
+
+    #[test]
+    fn decodes_known_words() {
+        assert_eq!(decode(0x0000_0073).unwrap(), Instr::Ecall);
+        assert_eq!(decode(0x0010_0073).unwrap(), Instr::Ebreak);
+        assert_eq!(
+            decode(0x0010_0513).unwrap(),
+            Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                imm: 1
+            }
+        );
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        // addi a0, a0, -1 => 0xfff50513
+        assert_eq!(
+            decode(0xfff5_0513).unwrap(),
+            Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: -1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_shift_funct() {
+        // slli with funct6 != 0
+        let w = Instr::AluImm {
+            op: AluImmOp::Slli,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 1,
+        }
+        .encode()
+            | (1 << 30);
+        assert!(decode(w).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_custom_funct() {
+        // custom-0 with funct3 = 7 is reserved.
+        let w = OP_CUSTOM0 | (0b111 << 12);
+        assert!(decode(w).is_err());
+        // custom-1 funct3=0 with unknown funct7.
+        let w = OP_CUSTOM1 | (0x7f << 25);
+        assert!(decode(w).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! Disassembly (`Display`) for instructions.
+
+use crate::instr::{AluImmOp, AluOp, BranchCond, CsrOp, Instr, LoadWidth, StoreWidth};
+use std::fmt;
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Lui { rd, imm } => write!(f, "lui {rd}, {:#x}", imm >> 12),
+            Instr::Auipc { rd, imm } => {
+                write!(f, "auipc {rd}, {:#x}", imm >> 12)
+            }
+            Instr::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Instr::Jalr { rd, rs1, offset } => {
+                write!(f, "jalr {rd}, {offset}({rs1})")
+            }
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let m = match cond {
+                    BranchCond::Eq => "beq",
+                    BranchCond::Ne => "bne",
+                    BranchCond::Lt => "blt",
+                    BranchCond::Ge => "bge",
+                    BranchCond::Ltu => "bltu",
+                    BranchCond::Geu => "bgeu",
+                };
+                write!(f, "{m} {rs1}, {rs2}, {offset}")
+            }
+            Instr::Load {
+                width,
+                rd,
+                rs1,
+                offset,
+                checked,
+            } => {
+                let base = match width {
+                    LoadWidth::B => "lb",
+                    LoadWidth::H => "lh",
+                    LoadWidth::W => "lw",
+                    LoadWidth::D => "ld",
+                    LoadWidth::Bu => "lbu",
+                    LoadWidth::Hu => "lhu",
+                    LoadWidth::Wu => "lwu",
+                };
+                if checked {
+                    write!(f, "c{base} {rd}, {offset}({rs1})")
+                } else {
+                    write!(f, "{base} {rd}, {offset}({rs1})")
+                }
+            }
+            Instr::Store {
+                width,
+                rs1,
+                rs2,
+                offset,
+                checked,
+            } => {
+                let base = match width {
+                    StoreWidth::B => "sb",
+                    StoreWidth::H => "sh",
+                    StoreWidth::W => "sw",
+                    StoreWidth::D => "sd",
+                };
+                if checked {
+                    write!(f, "c{base} {rs2}, {offset}({rs1})")
+                } else {
+                    write!(f, "{base} {rs2}, {offset}({rs1})")
+                }
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let m = match op {
+                    AluImmOp::Addi => "addi",
+                    AluImmOp::Slti => "slti",
+                    AluImmOp::Sltiu => "sltiu",
+                    AluImmOp::Xori => "xori",
+                    AluImmOp::Ori => "ori",
+                    AluImmOp::Andi => "andi",
+                    AluImmOp::Slli => "slli",
+                    AluImmOp::Srli => "srli",
+                    AluImmOp::Srai => "srai",
+                    AluImmOp::Addiw => "addiw",
+                    AluImmOp::Slliw => "slliw",
+                    AluImmOp::Srliw => "srliw",
+                    AluImmOp::Sraiw => "sraiw",
+                };
+                write!(f, "{m} {rd}, {rs1}, {imm}")
+            }
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    AluOp::Add => "add",
+                    AluOp::Sub => "sub",
+                    AluOp::Sll => "sll",
+                    AluOp::Slt => "slt",
+                    AluOp::Sltu => "sltu",
+                    AluOp::Xor => "xor",
+                    AluOp::Srl => "srl",
+                    AluOp::Sra => "sra",
+                    AluOp::Or => "or",
+                    AluOp::And => "and",
+                    AluOp::Mul => "mul",
+                    AluOp::Mulh => "mulh",
+                    AluOp::Mulhsu => "mulhsu",
+                    AluOp::Mulhu => "mulhu",
+                    AluOp::Div => "div",
+                    AluOp::Divu => "divu",
+                    AluOp::Rem => "rem",
+                    AluOp::Remu => "remu",
+                    AluOp::Addw => "addw",
+                    AluOp::Subw => "subw",
+                    AluOp::Sllw => "sllw",
+                    AluOp::Srlw => "srlw",
+                    AluOp::Sraw => "sraw",
+                    AluOp::Mulw => "mulw",
+                    AluOp::Divw => "divw",
+                    AluOp::Divuw => "divuw",
+                    AluOp::Remw => "remw",
+                    AluOp::Remuw => "remuw",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}")
+            }
+            Instr::Csr { op, rd, rs1, csr } => {
+                let m = match op {
+                    CsrOp::Rw => "csrrw",
+                    CsrOp::Rs => "csrrs",
+                    CsrOp::Rc => "csrrc",
+                };
+                match crate::csr::name(csr) {
+                    Some(n) => write!(f, "{m} {rd}, {n}, {rs1}"),
+                    None => write!(f, "{m} {rd}, {csr:#x}, {rs1}"),
+                }
+            }
+            Instr::Ecall => f.write_str("ecall"),
+            Instr::Ebreak => f.write_str("ebreak"),
+            Instr::Fence => f.write_str("fence"),
+            Instr::Bndrs { rd, rs1, rs2 } => {
+                write!(f, "bndrs {rd}, {rs1}, {rs2}")
+            }
+            Instr::Bndrt { rd, rs1, rs2 } => {
+                write!(f, "bndrt {rd}, {rs1}, {rs2}")
+            }
+            Instr::Sbdl { rs1, rs2, offset } => {
+                write!(f, "sbdl {rs2}, {offset}({rs1})")
+            }
+            Instr::Sbdu { rs1, rs2, offset } => {
+                write!(f, "sbdu {rs2}, {offset}({rs1})")
+            }
+            Instr::Lbdls { rd, rs1, offset } => {
+                write!(f, "lbdls {rd}, {offset}({rs1})")
+            }
+            Instr::Lbdus { rd, rs1, offset } => {
+                write!(f, "lbdus {rd}, {offset}({rs1})")
+            }
+            Instr::Lbas { rd, rs1, offset } => {
+                write!(f, "lbas {rd}, {offset}({rs1})")
+            }
+            Instr::Lbnd { rd, rs1, offset } => {
+                write!(f, "lbnd {rd}, {offset}({rs1})")
+            }
+            Instr::Lkey { rd, rs1, offset } => {
+                write!(f, "lkey {rd}, {offset}({rs1})")
+            }
+            Instr::Lloc { rd, rs1, offset } => {
+                write!(f, "lloc {rd}, {offset}({rs1})")
+            }
+            Instr::Tchk { rs1 } => write!(f, "tchk {rs1}"),
+            Instr::SrfMv { rd, rs1 } => write!(f, "srfmv {rd}, {rs1}"),
+            Instr::SrfClr { rd } => write!(f, "srfclr {rd}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(
+            Instr::Bndrs {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2
+            }
+            .to_string(),
+            "bndrs a0, a1, a2"
+        );
+        assert_eq!(Instr::Tchk { rs1: Reg::S1 }.to_string(), "tchk s1");
+        assert_eq!(
+            Instr::Load {
+                width: LoadWidth::D,
+                rd: Reg::A0,
+                rs1: Reg::Sp,
+                offset: 16,
+                checked: true
+            }
+            .to_string(),
+            "cld a0, 16(sp)"
+        );
+        assert_eq!(
+            Instr::Sbdl {
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: 0
+            }
+            .to_string(),
+            "sbdl a1, 0(a0)"
+        );
+        assert_eq!(
+            Instr::Csr {
+                op: CsrOp::Rw,
+                rd: Reg::Zero,
+                rs1: Reg::A0,
+                csr: crate::csr::HWST_SM_OFFSET
+            }
+            .to_string(),
+            "csrrw zero, hwst.smoffset, a0"
+        );
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        // C-DEBUG-NONEMPTY analogue for the disassembler.
+        for i in [Instr::Ecall, Instr::Ebreak, Instr::Fence] {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

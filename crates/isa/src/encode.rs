@@ -1,0 +1,396 @@
+//! Binary instruction encoding.
+
+use crate::instr::{AluImmOp, AluOp, Instr};
+use crate::Reg;
+
+// Major opcodes (RISC-V base opcode map).
+pub(crate) const OP_LUI: u32 = 0b0110111;
+pub(crate) const OP_AUIPC: u32 = 0b0010111;
+pub(crate) const OP_JAL: u32 = 0b1101111;
+pub(crate) const OP_JALR: u32 = 0b1100111;
+pub(crate) const OP_BRANCH: u32 = 0b1100011;
+pub(crate) const OP_LOAD: u32 = 0b0000011;
+pub(crate) const OP_STORE: u32 = 0b0100011;
+pub(crate) const OP_OP_IMM: u32 = 0b0010011;
+pub(crate) const OP_OP: u32 = 0b0110011;
+pub(crate) const OP_OP_IMM_32: u32 = 0b0011011;
+pub(crate) const OP_OP_32: u32 = 0b0111011;
+pub(crate) const OP_SYSTEM: u32 = 0b1110011;
+pub(crate) const OP_MISC_MEM: u32 = 0b0001111;
+/// custom-0: HWST128 metadata loads and `tchk`.
+pub(crate) const OP_CUSTOM0: u32 = 0b0001011;
+/// custom-1: HWST128 binds, SRF ops and metadata stores.
+pub(crate) const OP_CUSTOM1: u32 = 0b0101011;
+/// custom-2: HWST128 bounded (checked) loads.
+pub(crate) const OP_CUSTOM2: u32 = 0b1011011;
+/// custom-3: HWST128 bounded (checked) stores.
+pub(crate) const OP_CUSTOM3: u32 = 0b1111011;
+
+// custom-0 funct3 assignments.
+pub(crate) const F3_LBDLS: u32 = 0b000;
+pub(crate) const F3_LBDUS: u32 = 0b001;
+pub(crate) const F3_LBAS: u32 = 0b010;
+pub(crate) const F3_LBND: u32 = 0b011;
+pub(crate) const F3_LKEY: u32 = 0b100;
+pub(crate) const F3_LLOC: u32 = 0b101;
+pub(crate) const F3_TCHK: u32 = 0b110;
+
+// custom-1 funct3/funct7 assignments.
+pub(crate) const F3_SRFOP: u32 = 0b000;
+pub(crate) const F3_SBDL: u32 = 0b001;
+pub(crate) const F3_SBDU: u32 = 0b010;
+pub(crate) const F7_BNDRS: u32 = 0b0000000;
+pub(crate) const F7_BNDRT: u32 = 0b0000001;
+pub(crate) const F7_SRFMV: u32 = 0b0000010;
+pub(crate) const F7_SRFCLR: u32 = 0b0000011;
+
+fn r(opcode: u32, funct3: u32, funct7: u32, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    opcode
+        | ((rd.index() as u32) << 7)
+        | (funct3 << 12)
+        | ((rs1.index() as u32) << 15)
+        | ((rs2.index() as u32) << 20)
+        | (funct7 << 25)
+}
+
+fn i(opcode: u32, funct3: u32, rd: Reg, rs1: Reg, imm: i64) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "I-imm out of range: {imm}");
+    opcode
+        | ((rd.index() as u32) << 7)
+        | (funct3 << 12)
+        | ((rs1.index() as u32) << 15)
+        | (((imm as u32) & 0xfff) << 20)
+}
+
+fn s(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm: i64) -> u32 {
+    debug_assert!((-2048..=2047).contains(&imm), "S-imm out of range: {imm}");
+    let imm = imm as u32;
+    opcode
+        | ((imm & 0x1f) << 7)
+        | (funct3 << 12)
+        | ((rs1.index() as u32) << 15)
+        | ((rs2.index() as u32) << 20)
+        | (((imm >> 5) & 0x7f) << 25)
+}
+
+fn b(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, offset: i64) -> u32 {
+    debug_assert!(
+        (-4096..=4094).contains(&offset) && offset % 2 == 0,
+        "B-offset out of range: {offset}"
+    );
+    let o = offset as u32;
+    opcode
+        | (((o >> 11) & 1) << 7)
+        | (((o >> 1) & 0xf) << 8)
+        | (funct3 << 12)
+        | ((rs1.index() as u32) << 15)
+        | ((rs2.index() as u32) << 20)
+        | (((o >> 5) & 0x3f) << 25)
+        | (((o >> 12) & 1) << 31)
+}
+
+fn u(opcode: u32, rd: Reg, imm: i64) -> u32 {
+    debug_assert!(imm % 4096 == 0, "U-imm must have low 12 bits clear");
+    opcode | ((rd.index() as u32) << 7) | ((imm as u32) & 0xffff_f000)
+}
+
+fn j(opcode: u32, rd: Reg, offset: i64) -> u32 {
+    debug_assert!(
+        (-(1 << 20)..(1 << 20)).contains(&offset) && offset % 2 == 0,
+        "J-offset out of range: {offset}"
+    );
+    let o = offset as u32;
+    opcode
+        | ((rd.index() as u32) << 7)
+        | (((o >> 12) & 0xff) << 12)
+        | (((o >> 11) & 1) << 20)
+        | (((o >> 1) & 0x3ff) << 21)
+        | (((o >> 20) & 1) << 31)
+}
+
+impl Instr {
+    /// Encodes the instruction into its 32-bit binary form.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if an immediate/offset exceeds the encodable
+    /// range of its format (the compiler back-end guarantees ranges by
+    /// construction).
+    pub fn encode(self) -> u32 {
+        match self {
+            Instr::Lui { rd, imm } => u(OP_LUI, rd, imm),
+            Instr::Auipc { rd, imm } => u(OP_AUIPC, rd, imm),
+            Instr::Jal { rd, offset } => j(OP_JAL, rd, offset),
+            Instr::Jalr { rd, rs1, offset } => i(OP_JALR, 0, rd, rs1, offset),
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => b(OP_BRANCH, cond.funct3(), rs1, rs2, offset),
+            Instr::Load {
+                width,
+                rd,
+                rs1,
+                offset,
+                checked,
+            } => {
+                let op = if checked { OP_CUSTOM2 } else { OP_LOAD };
+                i(op, width.funct3(), rd, rs1, offset)
+            }
+            Instr::Store {
+                width,
+                rs1,
+                rs2,
+                offset,
+                checked,
+            } => {
+                let op = if checked { OP_CUSTOM3 } else { OP_STORE };
+                s(op, width.funct3(), rs1, rs2, offset)
+            }
+            Instr::AluImm { op, rd, rs1, imm } => encode_alu_imm(op, rd, rs1, imm),
+            Instr::Alu { op, rd, rs1, rs2 } => encode_alu(op, rd, rs1, rs2),
+            Instr::Csr { op, rd, rs1, csr } => {
+                // CSR address is an unsigned 12-bit field in the I-imm slot.
+                OP_SYSTEM
+                    | ((rd.index() as u32) << 7)
+                    | (op.funct3() << 12)
+                    | ((rs1.index() as u32) << 15)
+                    | (((csr as u32) & 0xfff) << 20)
+            }
+            Instr::Ecall => OP_SYSTEM,
+            Instr::Ebreak => OP_SYSTEM | (1 << 20),
+            Instr::Fence => OP_MISC_MEM,
+            Instr::Bndrs { rd, rs1, rs2 } => r(OP_CUSTOM1, F3_SRFOP, F7_BNDRS, rd, rs1, rs2),
+            Instr::Bndrt { rd, rs1, rs2 } => r(OP_CUSTOM1, F3_SRFOP, F7_BNDRT, rd, rs1, rs2),
+            Instr::SrfMv { rd, rs1 } => r(OP_CUSTOM1, F3_SRFOP, F7_SRFMV, rd, rs1, Reg::Zero),
+            Instr::SrfClr { rd } => r(OP_CUSTOM1, F3_SRFOP, F7_SRFCLR, rd, Reg::Zero, Reg::Zero),
+            Instr::Sbdl { rs1, rs2, offset } => s(OP_CUSTOM1, F3_SBDL, rs1, rs2, offset),
+            Instr::Sbdu { rs1, rs2, offset } => s(OP_CUSTOM1, F3_SBDU, rs1, rs2, offset),
+            Instr::Lbdls { rd, rs1, offset } => i(OP_CUSTOM0, F3_LBDLS, rd, rs1, offset),
+            Instr::Lbdus { rd, rs1, offset } => i(OP_CUSTOM0, F3_LBDUS, rd, rs1, offset),
+            Instr::Lbas { rd, rs1, offset } => i(OP_CUSTOM0, F3_LBAS, rd, rs1, offset),
+            Instr::Lbnd { rd, rs1, offset } => i(OP_CUSTOM0, F3_LBND, rd, rs1, offset),
+            Instr::Lkey { rd, rs1, offset } => i(OP_CUSTOM0, F3_LKEY, rd, rs1, offset),
+            Instr::Lloc { rd, rs1, offset } => i(OP_CUSTOM0, F3_LLOC, rd, rs1, offset),
+            Instr::Tchk { rs1 } => i(OP_CUSTOM0, F3_TCHK, Reg::Zero, rs1, 0),
+        }
+    }
+}
+
+fn encode_alu_imm(op: AluImmOp, rd: Reg, rs1: Reg, imm: i64) -> u32 {
+    use AluImmOp::*;
+    let (opcode, funct3) = match op {
+        Addi => (OP_OP_IMM, 0b000),
+        Slti => (OP_OP_IMM, 0b010),
+        Sltiu => (OP_OP_IMM, 0b011),
+        Xori => (OP_OP_IMM, 0b100),
+        Ori => (OP_OP_IMM, 0b110),
+        Andi => (OP_OP_IMM, 0b111),
+        Slli => (OP_OP_IMM, 0b001),
+        Srli | Srai => (OP_OP_IMM, 0b101),
+        Addiw => (OP_OP_IMM_32, 0b000),
+        Slliw => (OP_OP_IMM_32, 0b001),
+        Srliw | Sraiw => (OP_OP_IMM_32, 0b101),
+    };
+    match op {
+        Slli | Srli | Srai => {
+            debug_assert!((0..64).contains(&imm), "RV64 shamt out of range");
+            let hi = if op == Srai { 0b010000u32 << 26 } else { 0 };
+            i(opcode, funct3, rd, rs1, imm & 0x3f) | hi
+        }
+        Slliw | Srliw | Sraiw => {
+            debug_assert!((0..32).contains(&imm), "RV32 shamt out of range");
+            let hi = if op == Sraiw { 0b0100000u32 << 25 } else { 0 };
+            i(opcode, funct3, rd, rs1, imm & 0x1f) | hi
+        }
+        _ => i(opcode, funct3, rd, rs1, imm),
+    }
+}
+
+fn encode_alu(op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    use AluOp::*;
+    let (opcode, funct3, funct7) = match op {
+        Add => (OP_OP, 0b000, 0b0000000),
+        Sub => (OP_OP, 0b000, 0b0100000),
+        Sll => (OP_OP, 0b001, 0b0000000),
+        Slt => (OP_OP, 0b010, 0b0000000),
+        Sltu => (OP_OP, 0b011, 0b0000000),
+        Xor => (OP_OP, 0b100, 0b0000000),
+        Srl => (OP_OP, 0b101, 0b0000000),
+        Sra => (OP_OP, 0b101, 0b0100000),
+        Or => (OP_OP, 0b110, 0b0000000),
+        And => (OP_OP, 0b111, 0b0000000),
+        Mul => (OP_OP, 0b000, 0b0000001),
+        Mulh => (OP_OP, 0b001, 0b0000001),
+        Mulhsu => (OP_OP, 0b010, 0b0000001),
+        Mulhu => (OP_OP, 0b011, 0b0000001),
+        Div => (OP_OP, 0b100, 0b0000001),
+        Divu => (OP_OP, 0b101, 0b0000001),
+        Rem => (OP_OP, 0b110, 0b0000001),
+        Remu => (OP_OP, 0b111, 0b0000001),
+        Addw => (OP_OP_32, 0b000, 0b0000000),
+        Subw => (OP_OP_32, 0b000, 0b0100000),
+        Sllw => (OP_OP_32, 0b001, 0b0000000),
+        Srlw => (OP_OP_32, 0b101, 0b0000000),
+        Sraw => (OP_OP_32, 0b101, 0b0100000),
+        Mulw => (OP_OP_32, 0b000, 0b0000001),
+        Divw => (OP_OP_32, 0b100, 0b0000001),
+        Divuw => (OP_OP_32, 0b101, 0b0000001),
+        Remw => (OP_OP_32, 0b110, 0b0000001),
+        Remuw => (OP_OP_32, 0b111, 0b0000001),
+    };
+    r(opcode, funct3, funct7, rd, rs1, rs2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BranchCond, CsrOp, LoadWidth, StoreWidth};
+
+    #[test]
+    fn known_encodings_match_spec() {
+        // addi a0, zero, 1  => 0x00100513
+        let i = Instr::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::A0,
+            rs1: Reg::Zero,
+            imm: 1,
+        };
+        assert_eq!(i.encode(), 0x0010_0513);
+        // add a0, a1, a2 => 0x00c58533
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
+        assert_eq!(i.encode(), 0x00c5_8533);
+        // ld a0, 8(sp) => 0x00813503
+        let i = Instr::Load {
+            width: LoadWidth::D,
+            rd: Reg::A0,
+            rs1: Reg::Sp,
+            offset: 8,
+            checked: false,
+        };
+        assert_eq!(i.encode(), 0x0081_3503);
+        // sd a0, 8(sp) => 0x00a13423
+        let i = Instr::Store {
+            width: StoreWidth::D,
+            rs1: Reg::Sp,
+            rs2: Reg::A0,
+            offset: 8,
+            checked: false,
+        };
+        assert_eq!(i.encode(), 0x00a1_3423);
+        // ecall => 0x00000073
+        assert_eq!(Instr::Ecall.encode(), 0x0000_0073);
+        // ebreak => 0x00100073
+        assert_eq!(Instr::Ebreak.encode(), 0x0010_0073);
+    }
+
+    #[test]
+    fn branch_offset_bits() {
+        // beq zero, zero, -4 (backwards loop)
+        let i = Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::Zero,
+            rs2: Reg::Zero,
+            offset: -4,
+        };
+        // From the spec: beq x0,x0,-4 = 0xfe000ee3
+        assert_eq!(i.encode(), 0xfe00_0ee3);
+    }
+
+    #[test]
+    fn jal_offset_bits() {
+        // jal ra, 8 => 0x008000ef
+        let i = Instr::Jal {
+            rd: Reg::Ra,
+            offset: 8,
+        };
+        assert_eq!(i.encode(), 0x0080_00ef);
+    }
+
+    #[test]
+    fn srai_sets_high_funct_bits() {
+        let srli = Instr::AluImm {
+            op: AluImmOp::Srli,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 3,
+        };
+        let srai = Instr::AluImm {
+            op: AluImmOp::Srai,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 3,
+        };
+        assert_ne!(srli.encode(), srai.encode());
+        assert_eq!(srai.encode() >> 26, 0b010000);
+    }
+
+    #[test]
+    fn csr_encoding_places_address() {
+        let i = Instr::Csr {
+            op: CsrOp::Rw,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            csr: 0x8C0,
+        };
+        let w = i.encode();
+        assert_eq!(w >> 20, 0x8C0);
+        assert_eq!((w >> 12) & 7, 0b001);
+    }
+
+    #[test]
+    fn hwst_opcodes_live_in_custom_space() {
+        let cases = [
+            Instr::Bndrs {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
+            Instr::Bndrt {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
+            Instr::Sbdl {
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: 0,
+            },
+            Instr::Lbdls {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                offset: 0,
+            },
+            Instr::Tchk { rs1: Reg::A0 },
+        ];
+        for c in cases {
+            let op = c.encode() & 0x7f;
+            assert!(
+                op == OP_CUSTOM0 || op == OP_CUSTOM1,
+                "{c:?} must encode into a custom opcode, got {op:#x}"
+            );
+        }
+        let checked_load = Instr::Load {
+            width: LoadWidth::D,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            offset: 0,
+            checked: true,
+        };
+        assert_eq!(checked_load.encode() & 0x7f, OP_CUSTOM2);
+        let checked_store = Instr::Store {
+            width: StoreWidth::D,
+            rs1: Reg::A1,
+            rs2: Reg::A0,
+            offset: 0,
+            checked: true,
+        };
+        assert_eq!(checked_store.encode() & 0x7f, OP_CUSTOM3);
+    }
+}

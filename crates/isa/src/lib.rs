@@ -1,0 +1,181 @@
+//! # hwst-isa
+//!
+//! Instruction-set definitions for the HWST128 memory-safety accelerator
+//! reproduction: the RV64IM base integer ISA (plus `Zicsr`), extended with
+//! the HWST128 custom instructions described in the DAC 2022 paper
+//! *"HWST128: Complete Memory Safety Accelerator on RISC-V with Metadata
+//! Compression"*.
+//!
+//! The crate provides:
+//!
+//! * [`Reg`] — the 32 general-purpose registers with ABI names,
+//! * [`Instr`] — a structured instruction type covering RV64IM, `Zicsr`
+//!   and the HWST128 extension,
+//! * [`encode`](Instr::encode) / [`decode`] — lossless binary
+//!   encode/decode of every instruction,
+//! * a disassembler via [`std::fmt::Display`],
+//! * [`csr`] — the control/status register map, including the HWST128
+//!   CSRs (shadow-memory offset and compression configuration).
+//!
+//! ## HWST128 extension summary
+//!
+//! | Mnemonic | Format | Purpose |
+//! |---|---|---|
+//! | `bndrs rd, rs1, rs2` | R (custom-1) | compress base/bound, bind spatial half into `SRF[rd]` |
+//! | `bndrt rd, rs1, rs2` | R (custom-1) | compress key/lock, bind temporal half into `SRF[rd]` |
+//! | `sbdl/sbdu rs2, off(rs1)` | S (custom-1) | store `SRF[rs2]` lower/upper to shadow memory |
+//! | `lbdls/lbdus rd, off(rs1)` | I (custom-0) | load shadow word into `SRF[rd]` without decompressing |
+//! | `lbas/lbnd/lkey/lloc rd, off(rs1)` | I (custom-0) | load one *decompressed* field into a GPR |
+//! | `tchk rs1` | I (custom-0) | temporal check through the keybuffer |
+//! | `srfmv rd, rs1` / `srfclr rd` | R (custom-1) | explicit SRF move / invalidate |
+//! | `clb..cld / csb..csd` | I/S (custom-2/3) | bounded (spatially checked) loads and stores |
+//!
+//! ## Example
+//!
+//! ```
+//! use hwst_isa::{Instr, Reg, decode};
+//!
+//! let i = Instr::Bndrs { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+//! let word = i.encode();
+//! assert_eq!(decode(word).unwrap(), i);
+//! assert_eq!(i.to_string(), "bndrs a0, a1, a2");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod csr;
+mod decode;
+mod disasm;
+mod encode;
+mod instr;
+mod reg;
+
+pub use decode::{decode, DecodeError};
+pub use instr::{AluImmOp, AluOp, BranchCond, CsrOp, Instr, LoadWidth, StoreWidth};
+pub use reg::Reg;
+
+/// A program: a contiguous sequence of 32-bit instruction words starting at
+/// a base address.
+///
+/// This is the unit handed from the compiler back-end to the simulator.
+///
+/// # Example
+///
+/// ```
+/// use hwst_isa::{Program, Instr, Reg};
+///
+/// let prog = Program::from_instrs(0x1000, vec![Instr::Ecall]);
+/// assert_eq!(prog.len(), 1);
+/// assert_eq!(prog.base(), 0x1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    base: u64,
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Creates a program from decoded instructions at `base`.
+    pub fn from_instrs(base: u64, instrs: Vec<Instr>) -> Self {
+        Self { base, instrs }
+    }
+
+    /// The load address of the first instruction.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instructions in program order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Encodes every instruction into a flat little-endian byte image,
+    /// suitable for loading at [`base`](Self::base).
+    pub fn to_image(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.instrs.len() * 4);
+        for i in &self.instrs {
+            out.extend_from_slice(&i.encode().to_le_bytes());
+        }
+        out
+    }
+
+    /// Fetches the instruction at absolute address `pc`, if it lies inside
+    /// the program and is 4-byte aligned.
+    pub fn fetch(&self, pc: u64) -> Option<&Instr> {
+        if pc < self.base || !(pc - self.base).is_multiple_of(4) {
+            return None;
+        }
+        self.instrs.get(((pc - self.base) / 4) as usize)
+    }
+
+    /// Address one past the last instruction.
+    pub fn end(&self) -> u64 {
+        self.base + self.instrs.len() as u64 * 4
+    }
+}
+
+impl std::fmt::Display for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (idx, i) in self.instrs.iter().enumerate() {
+            writeln!(f, "{:#010x}: {}", self.base + idx as u64 * 4, i)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_fetch_alignment() {
+        let p = Program::from_instrs(0x100, vec![Instr::Ecall, Instr::Ebreak, Instr::Fence]);
+        assert_eq!(p.fetch(0x100), Some(&Instr::Ecall));
+        assert_eq!(p.fetch(0x104), Some(&Instr::Ebreak));
+        assert_eq!(p.fetch(0x102), None, "misaligned fetch must fail");
+        assert_eq!(p.fetch(0x10c), None, "past-the-end fetch must fail");
+        assert_eq!(p.fetch(0xfc), None, "below-base fetch must fail");
+        assert_eq!(p.end(), 0x10c);
+    }
+
+    #[test]
+    fn program_image_round_trips() {
+        let p = Program::from_instrs(
+            0,
+            vec![
+                Instr::AluImm {
+                    op: AluImmOp::Addi,
+                    rd: Reg::A0,
+                    rs1: Reg::Zero,
+                    imm: 42,
+                },
+                Instr::Ecall,
+            ],
+        );
+        let img = p.to_image();
+        assert_eq!(img.len(), 8);
+        let w0 = u32::from_le_bytes(img[0..4].try_into().unwrap());
+        assert_eq!(decode(w0).unwrap(), p.instrs()[0]);
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = Program::default();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.to_image(), Vec::<u8>::new());
+    }
+}

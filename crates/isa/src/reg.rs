@@ -1,0 +1,198 @@
+//! General-purpose register names.
+
+use std::fmt;
+
+/// One of the 32 RV64 general-purpose registers, named by ABI mnemonic.
+///
+/// The discriminant is the architectural register index, so
+/// `Reg::A0 as u8 == 10`.
+///
+/// # Example
+///
+/// ```
+/// use hwst_isa::Reg;
+///
+/// assert_eq!(Reg::A0.index(), 10);
+/// assert_eq!(Reg::from_index(10), Some(Reg::A0));
+/// assert_eq!(Reg::A0.to_string(), "a0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Reg {
+    Zero = 0,
+    Ra = 1,
+    Sp = 2,
+    Gp = 3,
+    Tp = 4,
+    T0 = 5,
+    T1 = 6,
+    T2 = 7,
+    S0 = 8,
+    S1 = 9,
+    A0 = 10,
+    A1 = 11,
+    A2 = 12,
+    A3 = 13,
+    A4 = 14,
+    A5 = 15,
+    A6 = 16,
+    A7 = 17,
+    S2 = 18,
+    S3 = 19,
+    S4 = 20,
+    S5 = 21,
+    S6 = 22,
+    S7 = 23,
+    S8 = 24,
+    S9 = 25,
+    S10 = 26,
+    S11 = 27,
+    T3 = 28,
+    T4 = 29,
+    T5 = 30,
+    T6 = 31,
+}
+
+impl Reg {
+    /// All 32 registers in index order.
+    pub const ALL: [Reg; 32] = [
+        Reg::Zero,
+        Reg::Ra,
+        Reg::Sp,
+        Reg::Gp,
+        Reg::Tp,
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::S0,
+        Reg::S1,
+        Reg::A0,
+        Reg::A1,
+        Reg::A2,
+        Reg::A3,
+        Reg::A4,
+        Reg::A5,
+        Reg::A6,
+        Reg::A7,
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+        Reg::S7,
+        Reg::S8,
+        Reg::S9,
+        Reg::S10,
+        Reg::S11,
+        Reg::T3,
+        Reg::T4,
+        Reg::T5,
+        Reg::T6,
+    ];
+
+    /// Caller-saved temporaries available to a register allocator, in
+    /// preferred allocation order (argument registers last so simple
+    /// functions keep their arguments in place).
+    pub const ALLOCATABLE: [Reg; 22] = [
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::T3,
+        Reg::T4,
+        Reg::T5,
+        Reg::T6,
+        Reg::S1,
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+        Reg::S7,
+        Reg::S8,
+        Reg::S9,
+        Reg::S10,
+        Reg::S11,
+        Reg::A4,
+        Reg::A5,
+        Reg::A6,
+        Reg::A7,
+    ];
+
+    /// The architectural index (0..=31).
+    pub const fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Looks a register up by architectural index.
+    ///
+    /// Returns `None` if `idx > 31`.
+    pub const fn from_index(idx: u8) -> Option<Reg> {
+        if idx < 32 {
+            Some(Self::ALL[idx as usize])
+        } else {
+            None
+        }
+    }
+
+    /// The ABI mnemonic, e.g. `"a0"`.
+    pub const fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self as usize]
+    }
+
+    /// Whether writes to this register are discarded (only `zero`).
+    pub const fn is_zero(self) -> bool {
+        matches!(self, Reg::Zero)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_index(r.index()), Some(r));
+        }
+        assert_eq!(Reg::from_index(32), None);
+        assert_eq!(Reg::from_index(255), None);
+    }
+
+    #[test]
+    fn names_are_abi_names() {
+        assert_eq!(Reg::Zero.name(), "zero");
+        assert_eq!(Reg::Sp.name(), "sp");
+        assert_eq!(Reg::S11.name(), "s11");
+        assert_eq!(Reg::T6.name(), "t6");
+    }
+
+    #[test]
+    fn allocatable_excludes_special_registers() {
+        for special in [Reg::Zero, Reg::Ra, Reg::Sp, Reg::Gp, Reg::Tp, Reg::S0] {
+            assert!(
+                !Reg::ALLOCATABLE.contains(&special),
+                "{special} must not be allocatable"
+            );
+        }
+    }
+
+    #[test]
+    fn allocatable_registers_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for r in Reg::ALLOCATABLE {
+            assert!(seen.insert(r), "{r} listed twice");
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Case taxonomy and suite generation.
+
+use std::fmt;
+
+/// The ten CWE sub-categories of the paper's Juliet evaluation (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Cwe {
+    /// Stack-based buffer overflow.
+    Cwe121,
+    /// Heap-based buffer overflow.
+    Cwe122,
+    /// Buffer underwrite.
+    Cwe124,
+    /// Buffer over-read.
+    Cwe126,
+    /// Buffer under-read.
+    Cwe127,
+    /// Double free.
+    Cwe415,
+    /// Use after free.
+    Cwe416,
+    /// NULL pointer dereference.
+    Cwe476,
+    /// Unchecked return value leading to NULL dereference.
+    Cwe690,
+    /// Free of pointer not at start of buffer.
+    Cwe761,
+}
+
+impl Cwe {
+    /// All categories in Fig. 6 legend order.
+    pub const ALL: [Cwe; 10] = [
+        Cwe::Cwe121,
+        Cwe::Cwe122,
+        Cwe::Cwe124,
+        Cwe::Cwe126,
+        Cwe::Cwe127,
+        Cwe::Cwe415,
+        Cwe::Cwe416,
+        Cwe::Cwe476,
+        Cwe::Cwe690,
+        Cwe::Cwe761,
+    ];
+
+    /// The numeric CWE identifier.
+    pub const fn code(self) -> u32 {
+        match self {
+            Cwe::Cwe121 => 121,
+            Cwe::Cwe122 => 122,
+            Cwe::Cwe124 => 124,
+            Cwe::Cwe126 => 126,
+            Cwe::Cwe127 => 127,
+            Cwe::Cwe415 => 415,
+            Cwe::Cwe416 => 416,
+            Cwe::Cwe476 => 476,
+            Cwe::Cwe690 => 690,
+            Cwe::Cwe761 => 761,
+        }
+    }
+
+    /// The attack-class name used in the paper.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Cwe::Cwe121 => "Stack_Based_Buffer_Overflow",
+            Cwe::Cwe122 => "Heap_Based_Buffer_Overflow",
+            Cwe::Cwe124 => "Buffer_Underwrite",
+            Cwe::Cwe126 => "Buffer_Overread",
+            Cwe::Cwe127 => "Buffer_Underread",
+            Cwe::Cwe415 => "Double_Free",
+            Cwe::Cwe416 => "Use_After_Free",
+            Cwe::Cwe476 => "NULL_Pointer_Dereference",
+            Cwe::Cwe690 => "NULL_Deref_From_Return",
+            Cwe::Cwe761 => "Free_Pointer_Not_At_Start",
+        }
+    }
+
+    /// Spatial (true) vs temporal (false) attack class.
+    pub const fn is_spatial(self) -> bool {
+        matches!(
+            self,
+            Cwe::Cwe121 | Cwe::Cwe122 | Cwe::Cwe124 | Cwe::Cwe126 | Cwe::Cwe127
+        )
+    }
+
+    /// Number of suite cases in this category (sums: 7074 spatial +
+    /// 1292 temporal = 8366, the paper's totals; the per-category split
+    /// is a synthetic distribution in Juliet-like proportions).
+    pub const fn case_count(self) -> u32 {
+        match self {
+            Cwe::Cwe121 => 2280,
+            Cwe::Cwe122 => 1998,
+            Cwe::Cwe124 => 1228,
+            Cwe::Cwe126 => 684,
+            Cwe::Cwe127 => 884,
+            Cwe::Cwe415 => 190,
+            Cwe::Cwe416 => 459,
+            Cwe::Cwe476 => 398,
+            Cwe::Cwe690 => 162,
+            Cwe::Cwe761 => 83,
+        }
+    }
+
+    /// Cases whose violating flow stays within instrumentation reach
+    /// (pointer-based schemes can only detect these). The complement
+    /// models Juliet's flow variants that launder provenance through
+    /// un-instrumented code — the reason SBCETS tops out at 64.49%.
+    pub(crate) const fn reachable_count(self) -> u32 {
+        match self {
+            Cwe::Cwe121 => 1490,
+            Cwe::Cwe122 => 1310,
+            Cwe::Cwe124 => 800,
+            Cwe::Cwe126 => 440,
+            Cwe::Cwe127 => 570,
+            Cwe::Cwe415 => 150,
+            Cwe::Cwe416 => 350,
+            Cwe::Cwe476 => 170,
+            Cwe::Cwe690 => 70,
+            Cwe::Cwe761 => 45,
+        }
+    }
+
+    /// Reachable CWE122 cases whose overflow stays inside the 8-byte
+    /// compression granule — detected by SBCETS (exact bounds) but
+    /// invisible to HWST128 (paper §5.2: 0.86% less coverage, ≈72 cases).
+    pub(crate) const fn sub_granule_count(self) -> u32 {
+        match self {
+            Cwe::Cwe122 => 72,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Cwe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CWE{}", self.code())
+    }
+}
+
+/// Control-flow shape of a case (Juliet's flow variants: the same bug
+/// expressed through different control and data flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// The violation executes in straight-line code.
+    Straight,
+    /// The violation sits behind a data-dependent (always-true) branch.
+    Branched,
+    /// The pointer crosses a function boundary and the callee violates.
+    CrossFunction,
+}
+
+/// One generated test case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Case {
+    /// Category.
+    pub cwe: Cwe,
+    /// Index within the category (`0..case_count`).
+    pub index: u32,
+    /// The violating pointer's provenance is laundered through an
+    /// un-instrumented flow (pointer-based schemes cannot see it).
+    pub laundered: bool,
+    /// The overflow stays within the 8-byte compression granule
+    /// (CWE122 only; defeats compressed bounds but not exact bounds).
+    pub sub_granule: bool,
+    /// Bytes past (or before) the valid region the violation reaches.
+    pub magnitude: u32,
+    /// The buffer size the case allocates.
+    pub buffer_size: u32,
+    /// Control-flow shape.
+    pub flow: Flow,
+}
+
+impl Case {
+    /// Stable unique id across the suite.
+    pub fn id(&self) -> u32 {
+        self.cwe.code() * 100_000 + self.index
+    }
+}
+
+/// Generates the full 8366-case suite deterministically.
+pub fn suite() -> Vec<Case> {
+    let mut v = Vec::with_capacity(8366);
+    for cwe in Cwe::ALL {
+        for index in 0..cwe.case_count() {
+            v.push(make_case(cwe, index));
+        }
+    }
+    v
+}
+
+pub(crate) fn make_case(cwe: Cwe, index: u32) -> Case {
+    let reachable = cwe.reachable_count();
+    // Reachable cases first, laundered variants after — a fixed, easily
+    // auditable layout (ordering carries no semantics).
+    let laundered = index >= reachable;
+    // The first `sub_granule_count` reachable CWE122 cases use an
+    // unaligned buffer with an off-by-few overflow inside the granule.
+    let sub_granule = !laundered && index < cwe.sub_granule_count();
+    // Deterministic size/magnitude mix (Juliet uses assorted sizes).
+    let buffer_size = if sub_granule {
+        12 // not a multiple of 8: granule slack exists
+    } else {
+        16 + (index % 8) * 8
+    };
+    let magnitude = if sub_granule {
+        1 + index % 3
+    } else {
+        8 + (index % 4) * 8
+    };
+    let flow = match index % 3 {
+        0 => Flow::Straight,
+        1 => Flow::Branched,
+        _ => Flow::CrossFunction,
+    };
+    Case {
+        cwe,
+        index,
+        laundered,
+        sub_granule,
+        magnitude,
+        buffer_size,
+        flow,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper_section4() {
+        let s = suite();
+        assert_eq!(s.len(), 8366);
+        let spatial = s.iter().filter(|c| c.cwe.is_spatial()).count();
+        let temporal = s.iter().filter(|c| !c.cwe.is_spatial()).count();
+        assert_eq!(spatial, 7074);
+        assert_eq!(temporal, 1292);
+    }
+
+    #[test]
+    fn reachable_counts_sum_to_sbcets_coverage() {
+        let total: u32 = Cwe::ALL.iter().map(|c| c.reachable_count()).sum();
+        assert_eq!(total, 5395, "paper: SBCETS covers 5395 cases (64.49%)");
+        // HWST128 = SBCETS minus the sub-granule CWE122 slice.
+        let sub: u32 = Cwe::ALL.iter().map(|c| c.sub_granule_count()).sum();
+        assert_eq!(total - sub, 5323, "paper: HWST128 covers 5323 (63.63%)");
+    }
+
+    #[test]
+    fn sub_granule_cases_are_shaped_right() {
+        let s = suite();
+        for c in s.iter().filter(|c| c.sub_granule) {
+            assert_eq!(c.cwe, Cwe::Cwe122);
+            assert!(!c.laundered);
+            assert_eq!(c.buffer_size % 8, 4, "size must leave granule slack");
+            assert!(!(c.buffer_size as u64).is_multiple_of(8));
+            assert!((c.magnitude as u64) < 8 - (c.buffer_size as u64 % 8) + 8);
+        }
+        assert_eq!(s.iter().filter(|c| c.sub_granule).count(), 72);
+    }
+
+    #[test]
+    fn flow_variants_are_distributed() {
+        let s = suite();
+        for flow in [Flow::Straight, Flow::Branched, Flow::CrossFunction] {
+            let n = s.iter().filter(|c| c.flow == flow).count();
+            assert!(n > 2000, "flow variant {flow:?} underrepresented: {n}");
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let s = suite();
+        let mut seen = std::collections::HashSet::new();
+        for c in &s {
+            assert!(seen.insert(c.id()));
+        }
+    }
+
+    #[test]
+    fn cwe_metadata() {
+        assert_eq!(Cwe::Cwe121.code(), 121);
+        assert!(Cwe::Cwe121.is_spatial());
+        assert!(!Cwe::Cwe416.is_spatial());
+        assert_eq!(Cwe::Cwe690.to_string(), "CWE690");
+        assert!(Cwe::Cwe122.name().contains("Heap"));
+    }
+}

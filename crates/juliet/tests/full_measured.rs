@@ -1,0 +1,20 @@
+//! The full measured Fig. 6 run: every one of the 8366 cases compiled
+//! and executed under both pointer-based schemes. Takes a couple of
+//! minutes in release mode, so it is `#[ignore]`d by default:
+//!
+//! ```sh
+//! cargo test -p hwst-juliet --release -- --ignored
+//! ```
+
+use hwst_juliet::measure_coverage;
+
+#[test]
+#[ignore = "full 8366-case execution; run with --ignored in release mode"]
+fn full_suite_measured_coverage_matches_paper_exactly() {
+    let r = measure_coverage(1);
+    assert_eq!(r.total_cases, 8366);
+    assert_eq!(r.total("SBCETS"), 5395, "paper: 64.49%");
+    assert_eq!(r.total("HWST128"), 5323, "paper: 63.63%");
+    assert_eq!(r.total("GCC"), 937, "paper: 11.20%");
+    assert!((r.coverage("ASAN") - 0.5808).abs() < 0.002);
+}

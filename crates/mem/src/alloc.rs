@@ -1,0 +1,305 @@
+//! The heap allocator model behind the `malloc`/`free` wrappers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A live or historical allocation record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// First byte of the user-visible block (8-byte aligned).
+    pub base: u64,
+    /// Requested size in bytes.
+    pub size: u64,
+}
+
+impl Allocation {
+    /// One past the last user-visible byte.
+    pub const fn bound(self) -> u64 {
+        self.base + self.size
+    }
+}
+
+/// Errors from the allocator model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The heap cannot satisfy the request.
+    OutOfMemory {
+        /// Requested size.
+        requested: u64,
+    },
+    /// `free` of an address that is not a live allocation base. This is
+    /// *reported, not trapped*: whether it is detected is up to the safety
+    /// scheme under evaluation (CWE415/CWE761 in the Juliet suite).
+    InvalidFree {
+        /// The freed address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AllocError::OutOfMemory { requested } => {
+                write!(f, "heap cannot satisfy allocation of {requested} bytes")
+            }
+            AllocError::InvalidFree { addr } => {
+                write!(f, "free of {addr:#x} which is not a live allocation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A first-fit free-list heap allocator over `[heap_base, heap_end)`.
+///
+/// Block addresses and sizes are rounded to 8 bytes (RV64 alignment —
+/// also what funds the 3 saved bits in the compression scheme). Freed
+/// blocks are coalesced with free neighbours and *reused*, which is what
+/// makes use-after-free attacks observable: a stale pointer into a reused
+/// block reads the new owner's data.
+///
+/// # Example
+///
+/// ```
+/// use hwst_mem::HeapAllocator;
+///
+/// # fn main() -> Result<(), hwst_mem::AllocError> {
+/// let mut heap = HeapAllocator::new(0x1000, 0x10000);
+/// let a = heap.malloc(100)?;
+/// assert_eq!(a.base % 8, 0);
+/// heap.free(a.base)?;
+/// let b = heap.malloc(100)?;
+/// assert_eq!(b.base, a.base, "freed block is reused");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeapAllocator {
+    heap_base: u64,
+    heap_end: u64,
+    /// Live blocks: base -> rounded size.
+    live: BTreeMap<u64, u64>,
+    /// Free blocks: base -> size (coalesced, non-adjacent).
+    free: BTreeMap<u64, u64>,
+    total_allocs: u64,
+    peak_live_bytes: u64,
+    live_bytes: u64,
+}
+
+impl HeapAllocator {
+    /// Creates an allocator over `[heap_base, heap_base + heap_size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heap_base` is not 8-byte aligned or the size is zero.
+    pub fn new(heap_base: u64, heap_size: u64) -> Self {
+        assert_eq!(heap_base % 8, 0, "heap base must be 8-byte aligned");
+        assert!(heap_size > 0, "heap must be non-empty");
+        let mut free = BTreeMap::new();
+        free.insert(heap_base, heap_size & !7);
+        HeapAllocator {
+            heap_base,
+            heap_end: heap_base + (heap_size & !7),
+            live: BTreeMap::new(),
+            free,
+            total_allocs: 0,
+            peak_live_bytes: 0,
+            live_bytes: 0,
+        }
+    }
+
+    /// Allocates `size` bytes (rounded up to 8; zero-size requests consume
+    /// one granule, like glibc's minimum chunk).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::OutOfMemory`] when no free block fits.
+    pub fn malloc(&mut self, size: u64) -> Result<Allocation, AllocError> {
+        let rounded = size.max(1).div_ceil(8) * 8;
+        // First fit.
+        let slot = self
+            .free
+            .iter()
+            .find(|(_, &len)| len >= rounded)
+            .map(|(&b, &len)| (b, len));
+        let (fbase, flen) = slot.ok_or(AllocError::OutOfMemory { requested: size })?;
+        self.free.remove(&fbase);
+        if flen > rounded {
+            self.free.insert(fbase + rounded, flen - rounded);
+        }
+        self.live.insert(fbase, rounded);
+        self.total_allocs += 1;
+        self.live_bytes += rounded;
+        self.peak_live_bytes = self.peak_live_bytes.max(self.live_bytes);
+        Ok(Allocation { base: fbase, size })
+    }
+
+    /// Frees a live allocation by base address, coalescing free
+    /// neighbours.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::InvalidFree`] for double frees, interior pointers or
+    /// wild addresses (the caller decides whether that is *detected* by
+    /// the safety scheme being modelled).
+    pub fn free(&mut self, addr: u64) -> Result<(), AllocError> {
+        let size = self
+            .live
+            .remove(&addr)
+            .ok_or(AllocError::InvalidFree { addr })?;
+        self.live_bytes -= size;
+        // Coalesce with the following free block.
+        let mut base = addr;
+        let mut len = size;
+        if let Some(&next_len) = self.free.get(&(addr + size)) {
+            self.free.remove(&(addr + size));
+            len += next_len;
+        }
+        // Coalesce with the preceding free block.
+        if let Some((&pbase, &plen)) = self.free.range(..addr).next_back() {
+            if pbase + plen == addr {
+                self.free.remove(&pbase);
+                base = pbase;
+                len += plen;
+            }
+        }
+        self.free.insert(base, len);
+        Ok(())
+    }
+
+    /// Whether `addr` is the base of a live allocation.
+    pub fn is_live_base(&self, addr: u64) -> bool {
+        self.live.contains_key(&addr)
+    }
+
+    /// The live allocation containing `addr`, if any.
+    pub fn containing(&self, addr: u64) -> Option<Allocation> {
+        let (&base, &size) = self.live.range(..=addr).next_back()?;
+        (addr < base + size).then_some(Allocation { base, size })
+    }
+
+    /// Number of `malloc` calls served.
+    pub fn total_allocs(&self) -> u64 {
+        self.total_allocs
+    }
+
+    /// Current live bytes (rounded sizes).
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// High-water mark of live bytes.
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.peak_live_bytes
+    }
+
+    /// The heap bounds `[base, end)`.
+    pub fn bounds(&self) -> (u64, u64) {
+        (self.heap_base, self.heap_end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> HeapAllocator {
+        HeapAllocator::new(0x1000, 0x1_0000)
+    }
+
+    #[test]
+    fn allocations_are_aligned_and_disjoint() {
+        let mut h = heap();
+        let mut blocks = Vec::new();
+        for size in [1u64, 7, 8, 9, 100, 4096] {
+            let a = h.malloc(size).unwrap();
+            assert_eq!(a.base % 8, 0);
+            for b in &blocks {
+                let b: &Allocation = b;
+                let rounded_end = a.base + a.size.max(1).div_ceil(8) * 8;
+                assert!(
+                    rounded_end <= b.base || b.bound() <= a.base,
+                    "blocks overlap: {a:?} vs {b:?}"
+                );
+            }
+            blocks.push(a);
+        }
+    }
+
+    #[test]
+    fn free_reuses_and_coalesces() {
+        let mut h = heap();
+        let a = h.malloc(64).unwrap();
+        let b = h.malloc(64).unwrap();
+        let c = h.malloc(64).unwrap();
+        h.free(a.base).unwrap();
+        h.free(b.base).unwrap(); // coalesces with a
+        let big = h.malloc(128).unwrap();
+        assert_eq!(big.base, a.base, "coalesced block satisfies larger request");
+        h.free(c.base).unwrap();
+        h.free(big.base).unwrap();
+    }
+
+    #[test]
+    fn double_free_is_reported() {
+        let mut h = heap();
+        let a = h.malloc(8).unwrap();
+        h.free(a.base).unwrap();
+        assert_eq!(
+            h.free(a.base),
+            Err(AllocError::InvalidFree { addr: a.base })
+        );
+    }
+
+    #[test]
+    fn interior_free_is_reported() {
+        let mut h = heap();
+        let a = h.malloc(64).unwrap();
+        assert!(matches!(
+            h.free(a.base + 8),
+            Err(AllocError::InvalidFree { .. })
+        ));
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let mut h = HeapAllocator::new(0x1000, 64);
+        assert!(h.malloc(32).is_ok());
+        assert!(matches!(h.malloc(64), Err(AllocError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn containing_finds_interior_pointers() {
+        let mut h = heap();
+        let a = h.malloc(100).unwrap();
+        assert_eq!(
+            h.containing(a.base),
+            Some(Allocation {
+                base: a.base,
+                size: 104
+            })
+        );
+        assert_eq!(h.containing(a.base + 50).unwrap().base, a.base);
+        assert_eq!(h.containing(a.base + 104), None);
+    }
+
+    #[test]
+    fn stats_track_usage() {
+        let mut h = heap();
+        let a = h.malloc(16).unwrap();
+        let _b = h.malloc(16).unwrap();
+        assert_eq!(h.total_allocs(), 2);
+        assert_eq!(h.live_bytes(), 32);
+        h.free(a.base).unwrap();
+        assert_eq!(h.live_bytes(), 16);
+        assert_eq!(h.peak_live_bytes(), 32);
+    }
+
+    #[test]
+    fn zero_size_malloc_succeeds() {
+        let mut h = heap();
+        let a = h.malloc(0).unwrap();
+        assert!(h.is_live_base(a.base));
+    }
+}

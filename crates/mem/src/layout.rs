@@ -1,0 +1,161 @@
+//! The program address map.
+
+/// The address-space layout used by simulated programs (paper Fig. 1 left:
+/// text, data, heap, user stack, shadow stack / shadow memory).
+///
+/// The layout keeps the whole user space in the low 32 bits so the Eq. 1
+/// linear shadow map (`addr << 2 + offset`) lands in a disjoint region.
+///
+/// # Example
+///
+/// ```
+/// use hwst_mem::MemoryLayout;
+///
+/// let l = MemoryLayout::default();
+/// assert!(l.validate().is_ok());
+/// // The shadow of the highest user address stays clear of user space.
+/// assert!((l.user_end() << 2) + l.shadow_offset > l.user_end());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryLayout {
+    /// Base of the instruction (.text) region.
+    pub text_base: u64,
+    /// Base of the static data (.data/.bss) region.
+    pub data_base: u64,
+    /// Base of the heap.
+    pub heap_base: u64,
+    /// Heap size in bytes.
+    pub heap_size: u64,
+    /// Initial stack pointer (stack grows down from here).
+    pub stack_top: u64,
+    /// Maximum stack size in bytes.
+    pub stack_size: u64,
+    /// Base of the lock_location region (the `hwst.lockbase` CSR).
+    pub lock_region_base: u64,
+    /// Number of lock_location slots (8 bytes each; slot 0 reserved).
+    pub lock_slots: u64,
+    /// The Eq. 1 shadow offset (the `hwst.smoffset` CSR).
+    pub shadow_offset: u64,
+}
+
+impl Default for MemoryLayout {
+    fn default() -> Self {
+        MemoryLayout {
+            text_base: 0x0001_0000,
+            data_base: 0x0010_0000,
+            heap_base: 0x0100_0000,
+            heap_size: 0x0400_0000, // 64 MiB
+            stack_top: 0x0800_0000,
+            stack_size: 0x0080_0000, // 8 MiB
+            lock_region_base: 0x0900_0000,
+            lock_slots: 1 << 20, // one million live allocations (paper §3.3)
+            shadow_offset: 0x1_0000_0000,
+        }
+    }
+}
+
+impl MemoryLayout {
+    /// An embedded-class layout with a small heap and a lock region that
+    /// fits the 16-bit lock field of
+    /// `hwst_metadata::CompressionConfig::EMBEDDED`.
+    pub fn embedded() -> Self {
+        MemoryLayout {
+            heap_size: 0x0040_0000, // 4 MiB
+            lock_slots: 1 << 16,
+            ..Self::default()
+        }
+    }
+
+    /// One past the highest user address (lock region included).
+    pub fn user_end(&self) -> u64 {
+        self.lock_region_base + self.lock_slots * 8
+    }
+
+    /// End of the heap region.
+    pub fn heap_end(&self) -> u64 {
+        self.heap_base + self.heap_size
+    }
+
+    /// Lowest legal stack address.
+    pub fn stack_limit(&self) -> u64 {
+        self.stack_top - self.stack_size
+    }
+
+    /// Checks the region ordering and shadow disjointness invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        let ordered = [
+            ("text", self.text_base),
+            ("data", self.data_base),
+            ("heap", self.heap_base),
+            ("heap end", self.heap_end()),
+            ("stack limit", self.stack_limit()),
+            ("stack top", self.stack_top),
+            ("lock region", self.lock_region_base),
+            ("user end", self.user_end()),
+        ];
+        for w in ordered.windows(2) {
+            if w[0].1 > w[1].1 {
+                return Err(format!(
+                    "{} ({:#x}) must not be above {} ({:#x})",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                ));
+            }
+        }
+        let shadow_lo = self.shadow_offset;
+        if shadow_lo < self.user_end() << 2 {
+            // The shadow of address 0 starts at `shadow_offset`; it only
+            // needs to clear user space, not the stretched map itself.
+            if self.shadow_offset < self.user_end() {
+                return Err(format!(
+                    "shadow offset {:#x} overlaps user space ending at {:#x}",
+                    self.shadow_offset,
+                    self.user_end()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_layout_is_valid() {
+        MemoryLayout::default().validate().unwrap();
+        MemoryLayout::embedded().validate().unwrap();
+    }
+
+    #[test]
+    fn default_lock_slots_match_paper_million_pointers() {
+        assert_eq!(MemoryLayout::default().lock_slots, 1 << 20);
+    }
+
+    #[test]
+    fn broken_layout_is_rejected() {
+        let l = MemoryLayout {
+            heap_base: 0x0900_0000, // above the stack
+            ..MemoryLayout::default()
+        };
+        assert!(l.validate().is_err());
+
+        let l = MemoryLayout {
+            shadow_offset: 0x100, // inside user space
+            ..MemoryLayout::default()
+        };
+        assert!(l.validate().is_err());
+    }
+
+    #[test]
+    fn regions_are_disjoint() {
+        let l = MemoryLayout::default();
+        assert!(l.heap_end() <= l.stack_limit());
+        assert!(l.stack_top <= l.lock_region_base);
+    }
+}

@@ -1,0 +1,52 @@
+//! # hwst-mem
+//!
+//! Memory substrate for the HWST128 simulator:
+//!
+//! * [`SparseMemory`] — a paged, byte-addressable 64-bit memory,
+//! * [`MemoryLayout`] — the address map used by programs (text, data,
+//!   heap, stack, lock region, shadow region),
+//! * [`LinearShadow`] — the paper's linear-mapped shadow memory (Eq. 1:
+//!   `addr_lmsm = (addr_container << 2) + CSR_offset`), the hardware-
+//!   friendly layout the SMAC unit implements,
+//! * [`ShadowTrie`] — the two-level trie alternative discussed in §2,
+//!   kept for the shadow-layout ablation (better address-space
+//!   utilisation, more lookup memory touches),
+//! * [`HeapAllocator`] — the `malloc`/`free` model used by the runtime
+//!   wrappers,
+//! * [`LockAllocator`] — the CETS-style lock_location region: unique-key
+//!   issue, key erasure on free, slot recycling.
+//!
+//! ## Example
+//!
+//! ```
+//! use hwst_mem::{MemoryLayout, SparseMemory, LinearShadow};
+//!
+//! let layout = MemoryLayout::default();
+//! let mut mem = SparseMemory::new();
+//! let shadow = LinearShadow::new(layout.shadow_offset);
+//!
+//! // A pointer stored at container address 0x8000 gets its metadata at
+//! // the Eq. 1 shadow address.
+//! let container = 0x8000;
+//! let s = shadow.shadow_addr(container);
+//! assert_eq!(s, (container << 2) + layout.shadow_offset);
+//! mem.write_u64(s, 0xdead_beef);
+//! assert_eq!(mem.read_u64(s), 0xdead_beef);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alloc;
+mod layout;
+mod lock;
+mod shadow;
+mod sparse;
+mod trie;
+
+pub use alloc::{AllocError, Allocation, HeapAllocator};
+pub use layout::MemoryLayout;
+pub use lock::{LockAllocator, LockError, LockGrant};
+pub use shadow::LinearShadow;
+pub use sparse::SparseMemory;
+pub use trie::ShadowTrie;

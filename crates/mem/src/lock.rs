@@ -1,0 +1,212 @@
+//! The CETS-style lock_location region.
+
+use std::fmt;
+
+/// A freshly issued temporal identity: a unique key and the address of
+/// the lock_location that holds it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockGrant {
+    /// The unique key assigned to the allocation.
+    pub key: u64,
+    /// Address of the lock_location slot holding the key.
+    pub lock: u64,
+}
+
+/// Errors from the lock-location allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockError {
+    /// All lock slots are in use (more live allocations than Eq. 5 sized
+    /// the lock field for).
+    Exhausted {
+        /// Total slots in the region.
+        slots: u64,
+    },
+    /// Release of an address that is not a live lock slot.
+    InvalidRelease {
+        /// The offending address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LockError::Exhausted { slots } => {
+                write!(f, "all {slots} lock_location slots are live")
+            }
+            LockError::InvalidRelease { addr } => {
+                write!(f, "release of {addr:#x} which is not a live lock slot")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// Allocator for the lock_location region (paper §3.1, §3.4).
+///
+/// * Every allocation receives a **monotonically unique key** — a freed
+///   slot is recycled, but "the new allocation will have a different
+///   unique key that prevents access from invalid pointers" (§3.4).
+/// * **Slot 0 is reserved** as the "no temporal identity" encoding used
+///   by the metadata compressor.
+/// * [`release`](Self::release) returns the slot to the free list; the
+///   caller is responsible for erasing the key in simulated memory
+///   (writing 0 to the lock_location), which is what invalidates dangling
+///   pointers.
+///
+/// # Example
+///
+/// ```
+/// use hwst_mem::LockAllocator;
+///
+/// # fn main() -> Result<(), hwst_mem::LockError> {
+/// let mut locks = LockAllocator::new(0x9000_0000, 16);
+/// let a = locks.acquire()?;
+/// let b = locks.acquire()?;
+/// assert_ne!(a.key, b.key, "keys are unique");
+/// assert_ne!(a.lock, 0x9000_0000, "slot 0 is reserved");
+/// locks.release(a.lock)?;
+/// let c = locks.acquire()?;
+/// assert_eq!(c.lock, a.lock, "slots are recycled");
+/// assert_ne!(c.key, a.key, "but keys never repeat");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LockAllocator {
+    region_base: u64,
+    slots: u64,
+    next_fresh_slot: u64,
+    free_slots: Vec<u64>,
+    live: std::collections::HashSet<u64>,
+    next_key: u64,
+}
+
+impl LockAllocator {
+    /// Creates an allocator for `slots` lock_locations starting at
+    /// `region_base` (slot 0 reserved, so `slots - 1` usable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region_base` is not 8-byte aligned or `slots < 2`.
+    pub fn new(region_base: u64, slots: u64) -> Self {
+        assert_eq!(region_base % 8, 0, "lock region must be 8-byte aligned");
+        assert!(slots >= 2, "need at least one usable slot besides slot 0");
+        LockAllocator {
+            region_base,
+            slots,
+            next_fresh_slot: 1,
+            free_slots: Vec::new(),
+            live: std::collections::HashSet::new(),
+            next_key: 1,
+        }
+    }
+
+    /// The region base address (the `hwst.lockbase` CSR value).
+    pub fn region_base(&self) -> u64 {
+        self.region_base
+    }
+
+    /// Acquires a slot and issues a fresh key.
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::Exhausted`] when every slot is live.
+    pub fn acquire(&mut self) -> Result<LockGrant, LockError> {
+        let slot = if let Some(s) = self.free_slots.pop() {
+            s
+        } else if self.next_fresh_slot < self.slots {
+            let s = self.next_fresh_slot;
+            self.next_fresh_slot += 1;
+            s
+        } else {
+            return Err(LockError::Exhausted { slots: self.slots });
+        };
+        let key = self.next_key;
+        self.next_key += 1;
+        self.live.insert(slot);
+        Ok(LockGrant {
+            key,
+            lock: self.region_base + slot * 8,
+        })
+    }
+
+    /// Releases the slot at lock address `addr` for reuse.
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::InvalidRelease`] if `addr` is not a live slot address.
+    pub fn release(&mut self, addr: u64) -> Result<(), LockError> {
+        let rel = addr.wrapping_sub(self.region_base);
+        if !rel.is_multiple_of(8) {
+            return Err(LockError::InvalidRelease { addr });
+        }
+        let slot = rel / 8;
+        if slot == 0 || slot >= self.slots || !self.live.remove(&slot) {
+            return Err(LockError::InvalidRelease { addr });
+        }
+        self.free_slots.push(slot);
+        Ok(())
+    }
+
+    /// Number of live slots.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Total keys ever issued.
+    pub fn keys_issued(&self) -> u64 {
+        self.next_key - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_globally_unique() {
+        let mut l = LockAllocator::new(0x9000, 8);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5 {
+            let g = l.acquire().unwrap();
+            assert!(seen.insert(g.key));
+            l.release(g.lock).unwrap();
+        }
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let mut l = LockAllocator::new(0x9000, 3); // slots 1, 2 usable
+        l.acquire().unwrap();
+        l.acquire().unwrap();
+        assert_eq!(l.acquire(), Err(LockError::Exhausted { slots: 3 }));
+    }
+
+    #[test]
+    fn release_validates() {
+        let mut l = LockAllocator::new(0x9000, 8);
+        let g = l.acquire().unwrap();
+        assert!(l.release(g.lock + 4).is_err(), "misaligned");
+        assert!(l.release(0x9000).is_err(), "slot 0 reserved");
+        assert!(l.release(0x9000 + 8 * 100).is_err(), "out of region");
+        l.release(g.lock).unwrap();
+        assert_eq!(
+            l.release(g.lock),
+            Err(LockError::InvalidRelease { addr: g.lock }),
+            "double release"
+        );
+    }
+
+    #[test]
+    fn live_count_tracks() {
+        let mut l = LockAllocator::new(0x9000, 8);
+        let a = l.acquire().unwrap();
+        let _b = l.acquire().unwrap();
+        assert_eq!(l.live_count(), 2);
+        l.release(a.lock).unwrap();
+        assert_eq!(l.live_count(), 1);
+        assert_eq!(l.keys_issued(), 2);
+    }
+}

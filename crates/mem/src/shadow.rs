@@ -1,0 +1,96 @@
+//! The linear-mapped shadow memory (LMSM).
+
+/// The paper's linear-mapped shadow memory address calculator — the SMAC
+/// hardware unit (Eq. 1):
+///
+/// ```text
+/// Addr_LMSM = (Addr_ptr_container << 2) + CSR_offset
+/// ```
+///
+/// Each 8-byte pointer container maps to a 32-byte shadow window; the
+/// compressed metadata occupies the first 16 bytes (lower word, then
+/// upper word).
+///
+/// # Example
+///
+/// ```
+/// use hwst_mem::LinearShadow;
+///
+/// let s = LinearShadow::new(0x1_0000_0000);
+/// assert_eq!(s.shadow_addr(0x8000), (0x8000 << 2) + 0x1_0000_0000);
+/// assert_eq!(s.upper_addr(0x8000), s.shadow_addr(0x8000) + 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinearShadow {
+    offset: u64,
+}
+
+impl LinearShadow {
+    /// Creates a map with the given `hwst.smoffset` CSR value.
+    pub const fn new(offset: u64) -> Self {
+        Self { offset }
+    }
+
+    /// The configured offset.
+    pub const fn offset(self) -> u64 {
+        self.offset
+    }
+
+    /// Shadow address of the *lower* (spatial) metadata word for the
+    /// pointer stored at `container` (Eq. 1).
+    pub const fn shadow_addr(self, container: u64) -> u64 {
+        (container << 2).wrapping_add(self.offset)
+    }
+
+    /// Shadow address of the *upper* (temporal) metadata word.
+    pub const fn upper_addr(self, container: u64) -> u64 {
+        self.shadow_addr(container).wrapping_add(8)
+    }
+
+    /// Inverse map: the container address whose shadow starts at `shadow`,
+    /// if `shadow` is a valid lower-word address.
+    pub fn container_of(self, shadow: u64) -> Option<u64> {
+        let rel = shadow.wrapping_sub(self.offset);
+        rel.is_multiple_of(4).then_some(rel >> 2)
+    }
+
+    /// Number of memory operations a metadata *store* costs in hardware
+    /// (two 64-bit stores: `sbdl` + `sbdu`).
+    pub const STORE_OPS: u32 = 2;
+    /// Number of memory operations a metadata *load* costs in hardware
+    /// (two 64-bit loads: `lbdls` + `lbdus`).
+    pub const LOAD_OPS: u32 = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_address_math() {
+        let s = LinearShadow::new(0x1_0000_0000);
+        assert_eq!(s.shadow_addr(0), 0x1_0000_0000);
+        assert_eq!(s.shadow_addr(8), 0x1_0000_0020);
+        // Adjacent containers get disjoint 32-byte windows.
+        assert_eq!(s.shadow_addr(8) - s.shadow_addr(0), 32);
+    }
+
+    #[test]
+    fn container_inverse() {
+        let s = LinearShadow::new(0x1_0000_0000);
+        for c in [0u64, 8, 0x8000, 0x7fff_fff8] {
+            assert_eq!(s.container_of(s.shadow_addr(c)), Some(c));
+        }
+        assert_eq!(s.container_of(0x1_0000_0001), None, "misaligned shadow");
+    }
+
+    #[test]
+    fn distinct_containers_have_distinct_shadows() {
+        let s = LinearShadow::new(0x1_0000_0000);
+        // 8-byte-aligned containers never collide (map is injective).
+        let a = s.shadow_addr(0x1000);
+        let b = s.shadow_addr(0x1008);
+        assert_ne!(a, b);
+        assert!(b - a >= 16, "windows must hold 16 bytes of metadata");
+    }
+}

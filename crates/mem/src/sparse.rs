@@ -1,0 +1,256 @@
+//! Sparse paged memory.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: u64 = 1 << PAGE_BITS;
+
+/// A sparse, byte-addressable 64-bit memory backed by 4 KiB pages
+/// allocated on first touch.
+///
+/// All multi-byte accesses are little-endian, matching RV64. Reads of
+/// untouched memory return zero (the proxy kernel zero-fills pages), so
+/// the model never faults on wild reads — protection is the job of the
+/// safety machinery above it, which is exactly what is being evaluated.
+///
+/// # Example
+///
+/// ```
+/// use hwst_mem::SparseMemory;
+///
+/// let mut m = SparseMemory::new();
+/// m.write_u32(0x1000, 0xdeadbeef);
+/// assert_eq!(m.read_u32(0x1000), 0xdeadbeef);
+/// assert_eq!(m.read_u8(0x1003), 0xde); // little-endian
+/// assert_eq!(m.read_u64(0x8000_0000), 0, "untouched memory reads zero");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of 4 KiB pages touched so far (resident set of the model).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of resident pages whose base address lies in `[lo, hi)` —
+    /// used to measure e.g. the shadow region's footprint separately
+    /// from user memory.
+    pub fn resident_pages_in(&self, lo: u64, hi: u64) -> usize {
+        self.pages
+            .keys()
+            .filter(|&&p| {
+                let base = p << PAGE_BITS;
+                base >= lo && base < hi
+            })
+            .count()
+    }
+
+    /// Number of *nonzero* bytes stored in `[lo, hi)` — a byte-granular
+    /// footprint measure (4 KiB page residency is too coarse to see,
+    /// e.g., the difference between 16- and 32-byte metadata records).
+    pub fn nonzero_bytes_in(&self, lo: u64, hi: u64) -> u64 {
+        let mut n = 0;
+        for (&page, data) in &self.pages {
+            let base = page << PAGE_BITS;
+            if base + PAGE_SIZE <= lo || base >= hi {
+                continue;
+            }
+            for (i, &b) in data.iter().enumerate() {
+                let a = base + i as u64;
+                if b != 0 && a >= lo && a < hi {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(p) => p[(addr & (PAGE_SIZE - 1)) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, val: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+        page[(addr & (PAGE_SIZE - 1)) as usize] = val;
+    }
+
+    /// Reads `n <= 8` bytes little-endian into a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8`.
+    pub fn read_le(&self, addr: u64, n: u64) -> u64 {
+        assert!(n <= 8, "read_le supports at most 8 bytes");
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `n <= 8` bytes of `val` little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 8`.
+    pub fn write_le(&mut self, addr: u64, n: u64, val: u64) {
+        assert!(n <= 8, "write_le supports at most 8 bytes");
+        for i in 0..n {
+            self.write_u8(addr.wrapping_add(i), (val >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        self.read_le(addr, 2) as u16
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.read_le(addr, 4) as u32
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_le(addr, 8)
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: u64, val: u16) {
+        self.write_le(addr, 2, val as u64);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, val: u32) {
+        self.write_le(addr, 4, val as u64);
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, val: u64) {
+        self.write_le(addr, 8, val);
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u64)))
+            .collect()
+    }
+
+    /// Zeroes `len` bytes starting at `addr` (page-granular fast path).
+    pub fn zero(&mut self, addr: u64, len: u64) {
+        for i in 0..len {
+            // Skip pages that were never touched: they already read zero.
+            let a = addr.wrapping_add(i);
+            if self.pages.contains_key(&(a >> PAGE_BITS)) {
+                self.write_u8(a, 0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_reads_zero_and_stays_sparse() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read_u64(0), 0);
+        assert_eq!(m.read_u64(u64::MAX - 8), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = SparseMemory::new();
+        m.write_u64(0x100, 0x0807_0605_0403_0201);
+        for i in 0..8 {
+            assert_eq!(m.read_u8(0x100 + i), (i + 1) as u8);
+        }
+        assert_eq!(m.read_u32(0x100), 0x0403_0201);
+        assert_eq!(m.read_u16(0x106), 0x0807);
+    }
+
+    #[test]
+    fn resident_pages_in_ranges() {
+        let mut m = SparseMemory::new();
+        m.write_u64(0x1000, 1);
+        m.write_u64(0x2000, 1);
+        m.write_u64(0x10_0000, 1);
+        assert_eq!(m.resident_pages_in(0, 0x10_0000), 2);
+        assert_eq!(m.resident_pages_in(0x10_0000, u64::MAX), 1);
+        assert_eq!(m.resident_pages_in(0x5000, 0x6000), 0);
+    }
+
+    #[test]
+    fn nonzero_bytes_counts_exactly() {
+        let mut m = SparseMemory::new();
+        m.write_u64(0x1000, 0x00ff_00ff_00ff_00ff);
+        assert_eq!(m.nonzero_bytes_in(0, u64::MAX), 4);
+        // LE bytes of the value: ff 00 ff 00 ff 00 ff 00.
+        assert_eq!(m.nonzero_bytes_in(0x1002, 0x1005), 2);
+        m.write_u8(0x1001, 0); // already-zero byte stays zero
+        assert_eq!(m.nonzero_bytes_in(0, u64::MAX), 4);
+        m.write_u8(0x1000, 0); // clearing a set byte is observed
+        assert_eq!(m.nonzero_bytes_in(0, u64::MAX), 3);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = SparseMemory::new();
+        let addr = PAGE_SIZE - 4; // straddles the first page boundary
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut m = SparseMemory::new();
+        let data = b"hello shadow memory";
+        m.write_bytes(0x2000, data);
+        assert_eq!(m.read_bytes(0x2000, data.len()), data);
+    }
+
+    #[test]
+    fn zero_clears_touched_pages_only() {
+        let mut m = SparseMemory::new();
+        m.write_u64(0x3000, u64::MAX);
+        m.zero(0x3000, 8);
+        assert_eq!(m.read_u64(0x3000), 0);
+        // Zeroing untouched space allocates nothing.
+        let before = m.resident_pages();
+        m.zero(0x10_0000, 64);
+        assert_eq!(m.resident_pages(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 8 bytes")]
+    fn read_le_rejects_wide_access() {
+        SparseMemory::new().read_le(0, 9);
+    }
+}

@@ -1,0 +1,130 @@
+//! The shadow-trie alternative layout.
+
+use std::collections::HashMap;
+
+/// A two-level shadow *trie*, the metadata layout SoftBoundCETS uses and
+/// the paper contrasts with the linear map (§2: "The benefit of a shadow
+/// trie is the better utilization of the user address space. However, a
+/// linear-mapped shadow space is more hardware-friendly").
+///
+/// The trie maps an 8-byte-aligned container address to a 16-byte
+/// metadata record through a directory lookup: the upper address bits
+/// select a second-level table, the lower bits an entry within it. Each
+/// lookup therefore costs **two dependent memory accesses** (directory,
+/// then leaf) versus the linear map's zero-cost address computation —
+/// this is what the shadow-layout ablation (A3 in DESIGN.md) measures.
+///
+/// # Example
+///
+/// ```
+/// use hwst_mem::ShadowTrie;
+///
+/// let mut t = ShadowTrie::new();
+/// t.store(0x8000, 0xaaaa, 0xbbbb);
+/// assert_eq!(t.load(0x8000), Some((0xaaaa, 0xbbbb)));
+/// assert_eq!(t.load(0x9000), None);
+/// assert_eq!(ShadowTrie::LOOKUP_MEM_OPS, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ShadowTrie {
+    // Directory: upper bits -> leaf table of (lower, upper) records.
+    tables: HashMap<u64, HashMap<u64, (u64, u64)>>,
+    leaf_tables_allocated: usize,
+}
+
+/// Bits of the container address consumed by the leaf index.
+const LEAF_BITS: u32 = 14; // 16 Ki slots per leaf table
+
+impl ShadowTrie {
+    /// Dependent memory accesses per metadata lookup (directory + leaf).
+    pub const LOOKUP_MEM_OPS: u32 = 2;
+
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn split(container: u64) -> (u64, u64) {
+        let slot = container >> 3;
+        (slot >> LEAF_BITS, slot & ((1 << LEAF_BITS) - 1))
+    }
+
+    /// Stores the compressed metadata halves for a container address.
+    pub fn store(&mut self, container: u64, lower: u64, upper: u64) {
+        let (dir, leaf) = Self::split(container);
+        let table = self.tables.entry(dir).or_insert_with(|| {
+            self.leaf_tables_allocated += 1;
+            HashMap::new()
+        });
+        table.insert(leaf, (lower, upper));
+    }
+
+    /// Loads the metadata halves for a container address.
+    pub fn load(&self, container: u64) -> Option<(u64, u64)> {
+        let (dir, leaf) = Self::split(container);
+        self.tables.get(&dir)?.get(&leaf).copied()
+    }
+
+    /// Removes the record for a container address.
+    pub fn clear(&mut self, container: u64) {
+        let (dir, leaf) = Self::split(container);
+        if let Some(t) = self.tables.get_mut(&dir) {
+            t.remove(&leaf);
+        }
+    }
+
+    /// Number of leaf tables that had to be materialised — the trie's
+    /// memory-utilisation advantage shows as this staying small.
+    pub fn leaf_tables(&self) -> usize {
+        self.leaf_tables_allocated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_clear() {
+        let mut t = ShadowTrie::new();
+        t.store(0x1000, 1, 2);
+        t.store(0x1008, 3, 4);
+        assert_eq!(t.load(0x1000), Some((1, 2)));
+        assert_eq!(t.load(0x1008), Some((3, 4)));
+        t.clear(0x1000);
+        assert_eq!(t.load(0x1000), None);
+        assert_eq!(t.load(0x1008), Some((3, 4)));
+    }
+
+    #[test]
+    fn distant_addresses_use_distinct_leaf_tables() {
+        let mut t = ShadowTrie::new();
+        t.store(0, 1, 1);
+        t.store(1 << 30, 2, 2);
+        assert_eq!(t.leaf_tables(), 2);
+        // Nearby addresses share one.
+        let mut t = ShadowTrie::new();
+        t.store(0x1000, 1, 1);
+        t.store(0x1008, 2, 2);
+        assert_eq!(t.leaf_tables(), 1);
+    }
+
+    #[test]
+    fn adjacent_containers_do_not_collide() {
+        let mut t = ShadowTrie::new();
+        for i in 0..1000u64 {
+            t.store(i * 8, i, i + 1);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(t.load(i * 8), Some((i, i + 1)));
+        }
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut t = ShadowTrie::new();
+        t.store(0x40, 1, 1);
+        t.store(0x40, 9, 9);
+        assert_eq!(t.load(0x40), Some((9, 9)));
+    }
+}

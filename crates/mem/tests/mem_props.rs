@@ -1,0 +1,103 @@
+//! Property tests for the memory substrate invariants.
+
+use hwst_mem::{HeapAllocator, LinearShadow, LockAllocator, SparseMemory};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Memory is a map: the last write to an address wins, other
+    /// addresses are untouched.
+    #[test]
+    fn sparse_memory_is_a_map(
+        ops in prop::collection::vec((0u64..0x10_0000, any::<u64>()), 1..64)
+    ) {
+        let mut m = SparseMemory::new();
+        let mut model = std::collections::HashMap::new();
+        for &(addr, val) in &ops {
+            let addr = addr & !7; // keep cells disjoint
+            m.write_u64(addr, val);
+            model.insert(addr, val);
+        }
+        for (&addr, &val) in &model {
+            prop_assert_eq!(m.read_u64(addr), val);
+        }
+    }
+
+    /// Live heap blocks never overlap, regardless of the malloc/free
+    /// interleaving.
+    #[test]
+    fn heap_blocks_never_overlap(
+        script in prop::collection::vec((any::<bool>(), 1u64..512), 1..100)
+    ) {
+        let mut h = HeapAllocator::new(0x1000, 0x4_0000);
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (base, rounded size)
+        for &(is_alloc, size) in &script {
+            if is_alloc || live.is_empty() {
+                if let Ok(a) = h.malloc(size) {
+                    let rounded = size.div_ceil(8) * 8;
+                    for &(b, bs) in &live {
+                        prop_assert!(
+                            a.base + rounded <= b || b + bs <= a.base,
+                            "overlap at {:#x}", a.base
+                        );
+                    }
+                    live.push((a.base, rounded));
+                }
+            } else {
+                let idx = (size as usize) % live.len();
+                let (b, _) = live.swap_remove(idx);
+                h.free(b).unwrap();
+            }
+        }
+    }
+
+    /// Freeing everything restores full capacity (perfect coalescing).
+    #[test]
+    fn full_free_restores_capacity(sizes in prop::collection::vec(1u64..256, 1..50)) {
+        let mut h = HeapAllocator::new(0x1000, 0x4_0000);
+        let mut bases = Vec::new();
+        for &s in &sizes {
+            bases.push(h.malloc(s).unwrap().base);
+        }
+        for b in bases {
+            h.free(b).unwrap();
+        }
+        prop_assert_eq!(h.live_bytes(), 0);
+        // One maximal allocation must now succeed.
+        prop_assert!(h.malloc(0x4_0000 - 8).is_ok());
+    }
+
+    /// Lock keys are unique across arbitrary acquire/release interleavings.
+    #[test]
+    fn lock_keys_never_repeat(script in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut l = LockAllocator::new(0x9000, 64);
+        let mut seen = HashSet::new();
+        let mut live = Vec::new();
+        for &acquire in &script {
+            if acquire || live.is_empty() {
+                if let Ok(g) = l.acquire() {
+                    prop_assert!(seen.insert(g.key), "key {} repeated", g.key);
+                    live.push(g.lock);
+                }
+            } else {
+                l.release(live.pop().unwrap()).unwrap();
+            }
+        }
+    }
+
+    /// Eq. 1 is injective over 8-byte-aligned containers and its inverse
+    /// recovers the container.
+    #[test]
+    fn lmsm_is_injective(
+        a in (0u64..(1 << 30)).prop_map(|v| v << 3),
+        b in (0u64..(1 << 30)).prop_map(|v| v << 3),
+    ) {
+        let s = LinearShadow::new(0x1_0000_0000);
+        if a != b {
+            prop_assert_ne!(s.shadow_addr(a), s.shadow_addr(b));
+        }
+        prop_assert_eq!(s.container_of(s.shadow_addr(a)), Some(a));
+    }
+}

@@ -1,0 +1,397 @@
+//! The COMP/DECOMP hardware model: packing [`Metadata`] into 128 bits.
+
+use crate::{CompressError, CompressionConfig, Metadata};
+use std::fmt;
+
+/// A compressed 128-bit shadow-register value, split into the 64-bit
+/// halves the `sbdl`/`sbdu` and `lbdls`/`lbdus` instructions move
+/// (paper §3.3: "the compressed 128 bits of metadata is split into upper
+/// and lower sections").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Compressed {
+    /// Spatial half: `range:base`.
+    pub lower: u64,
+    /// Temporal half: `key:lock`.
+    pub upper: u64,
+}
+
+impl Compressed {
+    /// Reassembles the halves into one 128-bit value (upper ≪ 64 | lower).
+    pub const fn to_u128(self) -> u128 {
+        ((self.upper as u128) << 64) | self.lower as u128
+    }
+
+    /// Splits a 128-bit value into halves.
+    pub const fn from_u128(v: u128) -> Self {
+        Compressed {
+            lower: v as u64,
+            upper: (v >> 64) as u64,
+        }
+    }
+}
+
+impl fmt::Display for Compressed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#018x}:{:#018x}", self.upper, self.lower)
+    }
+}
+
+/// The compression/decompression engine, modelling the COMP and DECOMP
+/// pipeline units configured by the `hwst.compcfg` and `hwst.lockbase`
+/// CSRs.
+///
+/// The codec is *deliberately lossy in one documented way*: object sizes
+/// are rounded **up** to the next multiple of 8 bytes, because the range
+/// field stores `size >> 3` (Eq. 4's `-3` term). A sub-8-byte overflow
+/// into that padding is therefore invisible to HWST128 — this reproduces
+/// the paper's observation that HWST128 trails SoftBoundCETS slightly on
+/// CWE122 (heap overflow) coverage (§5.2).
+///
+/// # Example
+///
+/// ```
+/// use hwst_metadata::{CompressionConfig, Metadata, ShadowCodec};
+///
+/// # fn main() -> Result<(), hwst_metadata::CompressError> {
+/// let codec = ShadowCodec::new(CompressionConfig::SPEC_DEFAULT, 0x9000_0000);
+/// let md = Metadata { base: 0x8000, bound: 0x8028, key: 99, lock: 0x9000_0010 };
+/// let c = codec.compress(md)?;
+/// assert_eq!(codec.decompress(c), md);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShadowCodec {
+    cfg: CompressionConfig,
+    lock_region_base: u64,
+}
+
+impl ShadowCodec {
+    /// Creates a codec for a given configuration and lock-region base
+    /// address (the `hwst.lockbase` CSR).
+    pub const fn new(cfg: CompressionConfig, lock_region_base: u64) -> Self {
+        Self {
+            cfg,
+            lock_region_base,
+        }
+    }
+
+    /// The active configuration.
+    pub const fn config(self) -> CompressionConfig {
+        self.cfg
+    }
+
+    /// The lock-region base address.
+    pub const fn lock_region_base(self) -> u64 {
+        self.lock_region_base
+    }
+
+    /// Compresses the spatial half (`bndrs` / the COMP unit's lower path).
+    ///
+    /// # Errors
+    ///
+    /// * [`CompressError::BaseMisaligned`] — base not 8-byte aligned,
+    /// * [`CompressError::BaseOutOfRange`] — base exceeds `BIT_base`,
+    /// * [`CompressError::InvertedBounds`] — `bound < base`,
+    /// * [`CompressError::RangeTooLarge`] — object exceeds `BIT_range`.
+    pub fn compress_spatial(self, base: u64, bound: u64) -> Result<u64, CompressError> {
+        let cfg = self.cfg;
+        if base & 0x7 != 0 {
+            return Err(CompressError::BaseMisaligned { base });
+        }
+        let base_field = base >> 3;
+        if base_field >> cfg.base_bits() != 0 {
+            return Err(CompressError::BaseOutOfRange {
+                base,
+                bits: cfg.base_bits(),
+            });
+        }
+        if bound < base {
+            return Err(CompressError::InvertedBounds { base, bound });
+        }
+        // Round the size up to the 8-byte granule the field can express.
+        let range = bound - base;
+        let range_field = range.div_ceil(8);
+        if range_field >> cfg.range_bits() != 0 {
+            return Err(CompressError::RangeTooLarge {
+                range,
+                bits: cfg.range_bits(),
+            });
+        }
+        Ok(base_field | (range_field << cfg.base_bits()))
+    }
+
+    /// Compresses the temporal half (`bndrt` / the COMP unit's upper
+    /// path). A zero `lock` means "no temporal identity" and encodes as
+    /// lock index 0 (the lock-location allocator never hands out slot 0).
+    ///
+    /// # Errors
+    ///
+    /// * [`CompressError::LockOutOfRegion`] — nonzero lock below the
+    ///   region base or not 8-byte slot aligned,
+    /// * [`CompressError::LockOutOfRange`] — lock index exceeds
+    ///   `BIT_lock`,
+    /// * [`CompressError::KeyOutOfRange`] — key exceeds `BIT_key`.
+    pub fn compress_temporal(self, key: u64, lock: u64) -> Result<u64, CompressError> {
+        let cfg = self.cfg;
+        let index = if lock == 0 {
+            0
+        } else {
+            if lock <= self.lock_region_base || (lock - self.lock_region_base) & 0x7 != 0 {
+                return Err(CompressError::LockOutOfRegion {
+                    lock,
+                    region_base: self.lock_region_base,
+                });
+            }
+            (lock - self.lock_region_base) >> 3
+        };
+        if index >> cfg.lock_bits() != 0 {
+            return Err(CompressError::LockOutOfRange {
+                index,
+                bits: cfg.lock_bits(),
+            });
+        }
+        if key >> cfg.key_bits() != 0 {
+            return Err(CompressError::KeyOutOfRange {
+                key,
+                bits: cfg.key_bits(),
+            });
+        }
+        Ok(index | (key << cfg.lock_bits()))
+    }
+
+    /// Compresses full metadata into a 128-bit shadow word.
+    ///
+    /// # Errors
+    ///
+    /// Any error of [`compress_spatial`](Self::compress_spatial) or
+    /// [`compress_temporal`](Self::compress_temporal).
+    pub fn compress(self, md: Metadata) -> Result<Compressed, CompressError> {
+        Ok(Compressed {
+            lower: self.compress_spatial(md.base, md.bound)?,
+            upper: self.compress_temporal(md.key, md.lock)?,
+        })
+    }
+
+    /// Decompresses the spatial half into `(base, bound)`.
+    pub fn decompress_spatial(self, lower: u64) -> (u64, u64) {
+        let cfg = self.cfg;
+        let base = (lower & ((1u64 << cfg.base_bits()) - 1)) << 3;
+        let range_field = (lower >> cfg.base_bits()) & ((1u64 << cfg.range_bits()) - 1);
+        (base, base + (range_field << 3))
+    }
+
+    /// Decompresses the temporal half into `(key, lock)`.
+    pub fn decompress_temporal(self, upper: u64) -> (u64, u64) {
+        let cfg = self.cfg;
+        let index = upper & ((1u64 << cfg.lock_bits()) - 1);
+        let key = (upper >> cfg.lock_bits()) & ((1u64 << cfg.key_bits()) - 1);
+        let lock = if index == 0 {
+            0
+        } else {
+            self.lock_region_base + (index << 3)
+        };
+        (key, lock)
+    }
+
+    /// Decompresses a full shadow word (the DECOMP unit).
+    pub fn decompress(self, c: Compressed) -> Metadata {
+        let (base, bound) = self.decompress_spatial(c.lower);
+        let (key, lock) = self.decompress_temporal(c.upper);
+        Metadata {
+            base,
+            bound,
+            key,
+            lock,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec() -> ShadowCodec {
+        ShadowCodec::new(CompressionConfig::SPEC_DEFAULT, 0x4000_0000)
+    }
+
+    #[test]
+    fn aligned_metadata_round_trips() {
+        let md = Metadata {
+            base: 0x10_0000,
+            bound: 0x10_4000,
+            key: 0xabcdef,
+            lock: 0x4000_0000 + 8 * 77,
+        };
+        let c = codec().compress(md).unwrap();
+        assert_eq!(codec().decompress(c), md);
+    }
+
+    #[test]
+    fn spatial_only_metadata_round_trips() {
+        let md = Metadata::spatial(0x2000, 0x3000);
+        let c = codec().compress(md).unwrap();
+        let back = codec().decompress(c);
+        assert_eq!(back, md);
+        assert!(!back.has_temporal());
+    }
+
+    #[test]
+    fn unaligned_size_rounds_up_to_granule() {
+        // A 13-byte object: the compressed bound covers 16 bytes, so a
+        // 3-byte overflow into the padding is invisible (the documented
+        // CWE122 coverage gap).
+        let md = Metadata::spatial(0x1000, 0x100d);
+        let c = codec().compress(md).unwrap();
+        let back = codec().decompress(c);
+        assert_eq!(back.base, 0x1000);
+        assert_eq!(back.bound, 0x1010);
+        assert!(back.bound >= md.bound && back.bound - md.bound < 8);
+    }
+
+    #[test]
+    fn misaligned_base_is_rejected() {
+        let md = Metadata::spatial(0x1001, 0x1100);
+        assert_eq!(
+            codec().compress(md),
+            Err(CompressError::BaseMisaligned { base: 0x1001 })
+        );
+    }
+
+    #[test]
+    fn oversized_base_is_rejected() {
+        // 2^39 exceeds the 35-bit aligned field (which covers 2^38).
+        let md = Metadata::spatial(1 << 39, (1 << 39) + 8);
+        assert!(matches!(
+            codec().compress(md),
+            Err(CompressError::BaseOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_object_is_rejected() {
+        // Range field is 29 bits of 8-byte granules = max 2^32 - 8 bytes.
+        let md = Metadata::spatial(0, 1 << 33);
+        assert!(matches!(
+            codec().compress(md),
+            Err(CompressError::RangeTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn max_expressible_object_is_accepted() {
+        let max = CompressionConfig::SPEC_DEFAULT.max_range();
+        let md = Metadata::spatial(0, max);
+        let c = codec().compress(md).unwrap();
+        assert_eq!(codec().decompress(c).bound, max);
+    }
+
+    #[test]
+    fn inverted_bounds_are_rejected() {
+        let md = Metadata {
+            base: 0x2000,
+            bound: 0x1000,
+            key: 0,
+            lock: 0,
+        };
+        assert!(matches!(
+            codec().compress(md),
+            Err(CompressError::InvertedBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn lock_outside_region_is_rejected() {
+        let md = Metadata {
+            base: 0,
+            bound: 8,
+            key: 1,
+            lock: 0x1000,
+        };
+        assert!(matches!(
+            codec().compress(md),
+            Err(CompressError::LockOutOfRegion { .. })
+        ));
+        // Slot 0 (== region base) is also rejected: reserved for "none".
+        let md = Metadata {
+            base: 0,
+            bound: 8,
+            key: 1,
+            lock: 0x4000_0000,
+        };
+        assert!(matches!(
+            codec().compress(md),
+            Err(CompressError::LockOutOfRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn lock_index_overflow_is_rejected() {
+        let over = 0x4000_0000 + 8 * (1 << 20); // index 2^20 needs 21 bits
+        let md = Metadata {
+            base: 0,
+            bound: 8,
+            key: 1,
+            lock: over,
+        };
+        assert!(matches!(
+            codec().compress(md),
+            Err(CompressError::LockOutOfRange { .. })
+        ));
+        // The last expressible slot is fine.
+        let last = 0x4000_0000 + 8 * ((1 << 20) - 1);
+        let md = Metadata {
+            base: 0,
+            bound: 8,
+            key: 1,
+            lock: last,
+        };
+        assert_eq!(codec().decompress(codec().compress(md).unwrap()), md);
+    }
+
+    #[test]
+    fn key_overflow_is_rejected() {
+        let md = Metadata {
+            base: 0,
+            bound: 8,
+            key: 1 << 44,
+            lock: 0,
+        };
+        assert!(matches!(
+            codec().compress(md),
+            Err(CompressError::KeyOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn halves_are_independent() {
+        let md = Metadata {
+            base: 0x8000,
+            bound: 0x9000,
+            key: 42,
+            lock: 0x4000_0008,
+        };
+        let c = codec().compress(md).unwrap();
+        let (b, bd) = codec().decompress_spatial(c.lower);
+        let (k, l) = codec().decompress_temporal(c.upper);
+        assert_eq!((b, bd, k, l), (md.base, md.bound, md.key, md.lock));
+    }
+
+    #[test]
+    fn u128_round_trip() {
+        let c = Compressed {
+            lower: 0x1234_5678_9abc_def0,
+            upper: 0x0fed_cba9,
+        };
+        assert_eq!(Compressed::from_u128(c.to_u128()), c);
+    }
+
+    #[test]
+    fn embedded_config_has_tighter_limits() {
+        let codec = ShadowCodec::new(CompressionConfig::EMBEDDED, 0x4000_0000);
+        // 64 MiB object fits exactly, 64 MiB + 8 does not.
+        let max = CompressionConfig::EMBEDDED.max_range();
+        assert!(codec.compress_spatial(0, max).is_ok());
+        assert!(codec.compress_spatial(0, max + 8).is_err());
+    }
+}

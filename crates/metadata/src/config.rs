@@ -1,0 +1,288 @@
+//! Compression bit-width configuration (paper Eq. 3–6).
+
+use crate::error::CompressError;
+use std::fmt;
+
+/// The per-program compression bit-width assignment, set once in the
+/// 24-bit `hwst.compcfg` CSR at program start (paper §3.3).
+///
+/// Invariants (enforced by [`new`](Self::new)):
+///
+/// * `base_bits + range_bits <= 64` (lower/spatial half),
+/// * `lock_bits + key_bits <= 64` (upper/temporal half),
+/// * every field width is nonzero and at most 63.
+///
+/// # Example
+///
+/// ```
+/// use hwst_metadata::CompressionConfig;
+///
+/// // The paper's general-purpose layout: 35/29/20/44.
+/// let cfg = CompressionConfig::SPEC_DEFAULT;
+/// assert_eq!(cfg.base_bits(), 35);
+/// assert_eq!(cfg.range_bits(), 29);
+/// assert_eq!(cfg.lock_bits(), 20);
+/// assert_eq!(cfg.key_bits(), 44);
+///
+/// // Or derive it from system parameters (Eq. 3-6).
+/// let derived = CompressionConfig::derive(
+///     256 << 30,     // 256 GiB memory
+///     (1u64 << 32) - 8, // largest object: just under 4 GiB
+///     1 << 20,       // one million live locks
+/// ).unwrap();
+/// assert_eq!(derived, cfg);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompressionConfig {
+    base_bits: u8,
+    range_bits: u8,
+    lock_bits: u8,
+    key_bits: u8,
+}
+
+impl CompressionConfig {
+    /// The paper's layout for SPEC-class workloads (Fig. 2 bottom):
+    /// base 35, range 29, lock 20, key 44.
+    pub const SPEC_DEFAULT: CompressionConfig = CompressionConfig {
+        base_bits: 35,
+        range_bits: 29,
+        lock_bits: 20,
+        key_bits: 44,
+    };
+
+    /// A tighter layout suited to embedded (MiBench/Olden-class)
+    /// workloads: smaller memory (4 GiB → 26-bit aligned base), smaller
+    /// maximal objects (64 MiB → 23-bit range), fewer live allocations
+    /// (64 Ki locks → 16 bits), leaving a 48-bit key.
+    pub const EMBEDDED: CompressionConfig = CompressionConfig {
+        base_bits: 26,
+        range_bits: 23,
+        lock_bits: 16,
+        key_bits: 48,
+    };
+
+    /// Creates a configuration after validating the packing invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::InvalidConfig`] if a half exceeds 64 bits
+    /// or any width is zero or ≥ 64.
+    pub fn new(
+        base_bits: u8,
+        range_bits: u8,
+        lock_bits: u8,
+        key_bits: u8,
+    ) -> Result<Self, CompressError> {
+        let widths = [base_bits, range_bits, lock_bits, key_bits];
+        if widths.iter().any(|&w| w == 0 || w >= 64)
+            || (base_bits as u32 + range_bits as u32) > 64
+            || (lock_bits as u32 + key_bits as u32) > 64
+        {
+            return Err(CompressError::InvalidConfig {
+                base_bits,
+                range_bits,
+                lock_bits,
+                key_bits,
+            });
+        }
+        Ok(Self {
+            base_bits,
+            range_bits,
+            lock_bits,
+            key_bits,
+        })
+    }
+
+    /// Derives the bit widths from system parameters per Eq. 3–6:
+    ///
+    /// * `BIT_base  = ceil(log2(memory_size)) - 3`           (Eq. 3)
+    /// * `BIT_range = ceil(log2(max_object_size)) - 3`       (Eq. 4)
+    /// * `BIT_lock  = ceil(log2(lock_entries))`              (Eq. 5)
+    /// * `BIT_key   = 128 - BIT_base - BIT_range - BIT_lock` (Eq. 6)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::InvalidConfig`] when the derived widths
+    /// cannot satisfy the packing invariants (e.g. a 2^64-byte memory).
+    pub fn derive(
+        memory_size: u64,
+        max_object_size: u64,
+        lock_entries: u64,
+    ) -> Result<Self, CompressError> {
+        let log2_ceil = |v: u64| -> u32 {
+            if v <= 1 {
+                0
+            } else {
+                64 - (v - 1).leading_zeros()
+            }
+        };
+        let base = log2_ceil(memory_size).saturating_sub(3) as u8;
+        // Eq. 4 with the guarantee that the largest object is itself
+        // expressible: the field stores size/8, so it must be able to hold
+        // the value `ceil(max_object_size / 8)` (one more bit than the
+        // paper's formula when the size is an exact power of two).
+        let range = log2_ceil(max_object_size.div_ceil(8) + 1).max(1) as u8;
+        let lock = log2_ceil(lock_entries).max(1) as u8;
+        let used = base as u32 + range as u32 + lock as u32;
+        if used >= 128 {
+            return Err(CompressError::InvalidConfig {
+                base_bits: base,
+                range_bits: range,
+                lock_bits: lock,
+                key_bits: 0,
+            });
+        }
+        // Key takes the remainder, capped so the temporal half fits in 64.
+        let key = (128 - used).min(64 - lock as u32) as u8;
+        Self::new(base, range, lock, key)
+    }
+
+    /// Width of the compressed, 8-byte-aligned base field.
+    pub const fn base_bits(self) -> u8 {
+        self.base_bits
+    }
+
+    /// Width of the compressed, 8-byte-aligned range field.
+    pub const fn range_bits(self) -> u8 {
+        self.range_bits
+    }
+
+    /// Width of the lock-index field.
+    pub const fn lock_bits(self) -> u8 {
+        self.lock_bits
+    }
+
+    /// Width of the key field.
+    pub const fn key_bits(self) -> u8 {
+        self.key_bits
+    }
+
+    /// Largest representable base address (inclusive).
+    pub const fn max_base(self) -> u64 {
+        (((1u64 << self.base_bits) - 1) << 3) | 0x7
+    }
+
+    /// Largest representable object size in bytes.
+    pub const fn max_range(self) -> u64 {
+        ((1u64 << self.range_bits) - 1) << 3
+    }
+
+    /// Number of addressable lock_location entries.
+    pub const fn lock_entries(self) -> u64 {
+        1u64 << self.lock_bits
+    }
+
+    /// Largest representable key value.
+    pub const fn max_key(self) -> u64 {
+        (1u64 << self.key_bits) - 1
+    }
+
+    /// Packs into the 24-bit CSR encoding of
+    /// [`hwst_isa::csr::HWST_COMP_CFG`].
+    pub const fn to_csr(self) -> u64 {
+        hwst_isa::csr::pack_comp_cfg(
+            self.base_bits,
+            self.range_bits,
+            self.lock_bits,
+            self.key_bits,
+        )
+    }
+
+    /// Reconstructs a configuration from the CSR encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::InvalidConfig`] for encodings that violate
+    /// the packing invariants.
+    pub fn from_csr(v: u64) -> Result<Self, CompressError> {
+        let (b, r, l, k) = hwst_isa::csr::unpack_comp_cfg(v);
+        Self::new(b, r, l, k)
+    }
+}
+
+impl Default for CompressionConfig {
+    fn default() -> Self {
+        Self::SPEC_DEFAULT
+    }
+}
+
+impl fmt::Display for CompressionConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "base:{}/range:{}/lock:{}/key:{}",
+            self.base_bits, self.range_bits, self.lock_bits, self.key_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_default_matches_paper_fig2() {
+        let c = CompressionConfig::SPEC_DEFAULT;
+        assert_eq!(
+            (c.base_bits(), c.range_bits(), c.lock_bits(), c.key_bits()),
+            (35, 29, 20, 44)
+        );
+        // Halves fill exactly 64+64 = 128 bits.
+        assert_eq!(c.base_bits() + c.range_bits(), 64);
+        assert_eq!(c.lock_bits() + c.key_bits(), 64);
+    }
+
+    #[test]
+    fn derive_matches_paper_worked_example() {
+        // 256 GiB memory -> 38-bit addresses -> 35-bit aligned base.
+        // "support is needed for up to one million unique pointers" -> 20b.
+        let c = CompressionConfig::derive(256 << 30, (1 << 32) - 8, 1_000_000).unwrap();
+        assert_eq!(c.base_bits(), 35);
+        assert_eq!(c.lock_bits(), 20);
+        assert_eq!(c.key_bits(), 44);
+    }
+
+    #[test]
+    fn derive_range_minimum_for_spec() {
+        // Paper: "the range bit needs to be at least 25 bits to pass the
+        // SPEC2006" -> largest object just under 2^28 bytes.
+        let c = CompressionConfig::derive(256 << 30, (1 << 28) - 8, 1_000_000).unwrap();
+        assert_eq!(c.range_bits(), 25);
+    }
+
+    #[test]
+    fn rejects_overfull_halves() {
+        assert!(CompressionConfig::new(40, 30, 20, 44).is_err());
+        assert!(CompressionConfig::new(35, 29, 40, 44).is_err());
+        assert!(CompressionConfig::new(0, 29, 20, 44).is_err());
+        assert!(CompressionConfig::new(64, 1, 20, 44).is_err());
+    }
+
+    #[test]
+    fn csr_round_trip() {
+        for cfg in [CompressionConfig::SPEC_DEFAULT, CompressionConfig::EMBEDDED] {
+            assert_eq!(CompressionConfig::from_csr(cfg.to_csr()).unwrap(), cfg);
+        }
+    }
+
+    #[test]
+    fn capacity_accessors() {
+        let c = CompressionConfig::SPEC_DEFAULT;
+        assert_eq!(c.max_range(), ((1u64 << 29) - 1) << 3);
+        assert_eq!(c.lock_entries(), 1 << 20);
+        assert_eq!(c.max_key(), (1 << 44) - 1);
+        // max_base covers the full 38-bit address space.
+        assert!(c.max_base() >= (256u64 << 30) - 1);
+    }
+
+    #[test]
+    fn derive_rejects_absurd_systems() {
+        assert!(CompressionConfig::derive(u64::MAX, u64::MAX, u64::MAX).is_err());
+    }
+
+    #[test]
+    fn display_shows_all_widths() {
+        let s = CompressionConfig::SPEC_DEFAULT.to_string();
+        assert!(s.contains("35") && s.contains("29") && s.contains("20") && s.contains("44"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Compression error taxonomy.
+
+use std::fmt;
+
+/// Errors produced when metadata cannot be represented in the configured
+/// compressed layout.
+///
+/// In hardware these conditions would be configuration faults raised by
+/// the COMP unit; the software model surfaces them eagerly so mis-sized
+/// configurations are caught at bind time rather than as silent metadata
+/// corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressError {
+    /// The bit-width assignment violates the packing invariants.
+    InvalidConfig {
+        /// Configured base width.
+        base_bits: u8,
+        /// Configured range width.
+        range_bits: u8,
+        /// Configured lock width.
+        lock_bits: u8,
+        /// Configured key width.
+        key_bits: u8,
+    },
+    /// The base address is not 8-byte aligned (RV64 alignment is what
+    /// funds the 3 saved bits of Eq. 3).
+    BaseMisaligned {
+        /// The offending base address.
+        base: u64,
+    },
+    /// The base address does not fit in the configured base field.
+    BaseOutOfRange {
+        /// The offending base address.
+        base: u64,
+        /// Configured base width.
+        bits: u8,
+    },
+    /// The object is larger than the configured range field can express
+    /// (paper: range must be sized by the largest object, Eq. 4).
+    RangeTooLarge {
+        /// The object size in bytes.
+        range: u64,
+        /// Configured range width.
+        bits: u8,
+    },
+    /// The bound is below the base (corrupt metadata).
+    InvertedBounds {
+        /// Base address.
+        base: u64,
+        /// Bound address.
+        bound: u64,
+    },
+    /// The lock address is outside the lock_location region or not slot
+    /// aligned.
+    LockOutOfRegion {
+        /// The offending lock address.
+        lock: u64,
+        /// The region base used for index translation.
+        region_base: u64,
+    },
+    /// The lock index exceeds the configured lock field.
+    LockOutOfRange {
+        /// The computed lock index.
+        index: u64,
+        /// Configured lock width.
+        bits: u8,
+    },
+    /// The key does not fit in the configured key field.
+    KeyOutOfRange {
+        /// The offending key.
+        key: u64,
+        /// Configured key width.
+        bits: u8,
+    },
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CompressError::InvalidConfig {
+                base_bits,
+                range_bits,
+                lock_bits,
+                key_bits,
+            } => write!(
+                f,
+                "invalid compression config {base_bits}/{range_bits}/{lock_bits}/{key_bits}: halves must each fit 64 bits and widths must be 1..=63"
+            ),
+            CompressError::BaseMisaligned { base } => {
+                write!(f, "base {base:#x} is not 8-byte aligned")
+            }
+            CompressError::BaseOutOfRange { base, bits } => {
+                write!(f, "base {base:#x} exceeds {bits}-bit aligned field")
+            }
+            CompressError::RangeTooLarge { range, bits } => {
+                write!(f, "object size {range:#x} exceeds {bits}-bit range field")
+            }
+            CompressError::InvertedBounds { base, bound } => {
+                write!(f, "bound {bound:#x} is below base {base:#x}")
+            }
+            CompressError::LockOutOfRegion { lock, region_base } => write!(
+                f,
+                "lock {lock:#x} is outside the lock region at {region_base:#x}"
+            ),
+            CompressError::LockOutOfRange { index, bits } => {
+                write!(f, "lock index {index} exceeds {bits}-bit lock field")
+            }
+            CompressError::KeyOutOfRange { key, bits } => {
+                write!(f, "key {key:#x} exceeds {bits}-bit key field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let e = CompressError::BaseMisaligned { base: 0x1001 };
+        let s = e.to_string();
+        assert!(s.starts_with("base"));
+        assert!(s.contains("0x1001"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<CompressError>();
+    }
+}

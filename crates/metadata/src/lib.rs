@@ -1,0 +1,76 @@
+//! # hwst-metadata
+//!
+//! The primary contribution of the HWST128 paper: the pointer-safety
+//! **metadata model** and the **configurable metadata compression scheme**
+//! that packs 256 bits of raw metadata (base/bound/key/lock, 64 bits each)
+//! into a 128-bit shadow-register word (paper §3.3, Fig. 2).
+//!
+//! * [`Metadata`] — the four uncompressed fields carried per pointer.
+//! * [`CompressionConfig`] — the per-program bit-width assignment
+//!   (`BIT_base`, `BIT_range`, `BIT_lock`, `BIT_key`) with the paper's
+//!   derivation rules (Eq. 3–6).
+//! * [`ShadowCodec`] — hardware-model compress/decompress between
+//!   [`Metadata`] and the packed [`Compressed`] 128-bit value, exactly as
+//!   the COMP/DECOMP pipeline units do it.
+//!
+//! ## The compression scheme
+//!
+//! For a system with at most 256 GiB of memory a user pointer needs at
+//! most 38 bits of virtual address; RV64 8-byte alignment saves another 3
+//! bits, so **base** fits in 35 bits (Eq. 3). Instead of storing the bound,
+//! a **range** = `bound − base` is stored (Eq. 2), sized by the largest
+//! object in the program (29 bits covers SPEC2006; ≥25 required — Eq. 4).
+//! The **lock** becomes an index into the lock_location region (20 bits =
+//! one million live allocations — Eq. 5) and the **key** receives the
+//! remaining 44 bits (Eq. 6).
+//!
+//! ```text
+//!  127          108 107                64  63            35 34          0
+//! ┌────────────────┬─────────────────────┬────────────────┬─────────────┐
+//! │    key (44)    │      lock (20)      │   range (29)   │  base (35)  │
+//! └────────────────┴─────────────────────┴────────────────┴─────────────┘
+//!        upper 64 bits (temporal)              lower 64 bits (spatial)
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use hwst_metadata::{CompressionConfig, Metadata, ShadowCodec};
+//!
+//! # fn main() -> Result<(), hwst_metadata::CompressError> {
+//! let cfg = CompressionConfig::SPEC_DEFAULT;
+//! let codec = ShadowCodec::new(cfg, 0x4000_0000); // lock region base
+//!
+//! let md = Metadata {
+//!     base: 0x1_0000,
+//!     bound: 0x1_0400,
+//!     key: 0xdead,
+//!     lock: 0x4000_0008,
+//! };
+//! let packed = codec.compress(md)?;
+//! assert_eq!(codec.decompress(packed), md);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod config;
+mod error;
+mod types;
+
+pub use codec::{Compressed, ShadowCodec};
+pub use config::CompressionConfig;
+pub use error::CompressError;
+pub use types::Metadata;
+
+/// Number of bits in one shadow-register entry (the paper's "128" in
+/// HWST128).
+pub const SRF_BITS: u32 = 128;
+
+/// Bytes of shadow memory consumed per pointer-sized (8-byte) container
+/// slot: 16 bytes of compressed metadata per 8-byte pointer, hence the
+/// `<< 2` linear mapping of Eq. 1 reserves 2/3 of the address space.
+pub const SHADOW_BYTES_PER_SLOT: u64 = 16;

@@ -1,0 +1,143 @@
+//! Uncompressed metadata.
+
+use std::fmt;
+
+/// The four uncompressed metadata fields bound to a pointer
+/// (paper §3.1, Fig. 2 top).
+///
+/// * `base`/`bound` give **spatial** safety: a dereference of `n` bytes at
+///   address `a` is legal iff `base <= a && a + n <= bound`.
+/// * `key`/`lock` give **temporal** safety: `lock` is the address of a
+///   *lock_location* holding the allocation's current key; a dereference is
+///   legal iff `*lock == key`. Freeing erases the key at the
+///   lock_location, invalidating every pointer that still carries the old
+///   key.
+///
+/// # Example
+///
+/// ```
+/// use hwst_metadata::Metadata;
+///
+/// let md = Metadata { base: 0x1000, bound: 0x1100, key: 7, lock: 0x9000 };
+/// assert!(md.spatial_ok(0x1000, 8));
+/// assert!(md.spatial_ok(0x10f8, 8));
+/// assert!(!md.spatial_ok(0x10f9, 8), "crosses the bound");
+/// assert!(!md.spatial_ok(0xfff, 1), "below the base");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Metadata {
+    /// First valid byte address of the allocation.
+    pub base: u64,
+    /// One past the last valid byte address.
+    pub bound: u64,
+    /// Allocation identity key (matched against `*lock`).
+    pub key: u64,
+    /// Address of the lock_location holding the live key.
+    pub lock: u64,
+}
+
+impl Metadata {
+    /// Metadata granting access to the entire address space with no
+    /// temporal identity. Used by SoftBoundCETS-style instrumentation for
+    /// pointers whose provenance is unknown (e.g. from un-instrumented
+    /// libraries), so they can never fault.
+    pub const UNIVERSAL: Metadata = Metadata {
+        base: 0,
+        bound: u64::MAX,
+        key: 0,
+        lock: 0,
+    };
+
+    /// Creates spatial-only metadata covering `[base, bound)`.
+    pub const fn spatial(base: u64, bound: u64) -> Self {
+        Metadata {
+            base,
+            bound,
+            key: 0,
+            lock: 0,
+        }
+    }
+
+    /// The object size in bytes (`bound - base`), the paper's *range*
+    /// (Eq. 2).
+    ///
+    /// Returns 0 when `bound < base` (an already-invalidated pointer).
+    pub const fn range(self) -> u64 {
+        self.bound.saturating_sub(self.base)
+    }
+
+    /// Whether an `n`-byte access at `addr` is inside `[base, bound)`.
+    pub const fn spatial_ok(self, addr: u64, n: u64) -> bool {
+        addr >= self.base && n <= self.bound.wrapping_sub(addr) && addr <= self.bound
+    }
+
+    /// Whether this metadata carries a temporal identity (a nonzero lock).
+    pub const fn has_temporal(self) -> bool {
+        self.lock != 0
+    }
+}
+
+impl fmt::Display for Metadata {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:#x}, {:#x}) key={:#x} lock={:#x}",
+            self.base, self.bound, self.key, self.lock
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_boundaries_are_half_open() {
+        let md = Metadata::spatial(100, 200);
+        assert!(md.spatial_ok(100, 1));
+        assert!(md.spatial_ok(199, 1));
+        assert!(md.spatial_ok(192, 8));
+        assert!(!md.spatial_ok(193, 8), "last byte out of bound");
+        assert!(!md.spatial_ok(99, 1));
+        assert!(!md.spatial_ok(200, 1));
+        assert!(md.spatial_ok(200, 0), "zero-length access at bound is ok");
+    }
+
+    #[test]
+    fn spatial_check_does_not_wrap() {
+        let md = Metadata::spatial(100, 200);
+        assert!(!md.spatial_ok(u64::MAX, 8), "wrapping access must fail");
+        assert!(!md.spatial_ok(150, u64::MAX), "huge length must fail");
+    }
+
+    #[test]
+    fn universal_admits_everything() {
+        let md = Metadata::UNIVERSAL;
+        assert!(md.spatial_ok(0, 8));
+        assert!(md.spatial_ok(u64::MAX - 8, 8));
+        assert!(!md.has_temporal());
+    }
+
+    #[test]
+    fn range_of_inverted_bounds_is_zero() {
+        let md = Metadata {
+            base: 200,
+            bound: 100,
+            key: 0,
+            lock: 0,
+        };
+        assert_eq!(md.range(), 0);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let md = Metadata {
+            base: 0x10,
+            bound: 0x20,
+            key: 1,
+            lock: 2,
+        };
+        let s = md.to_string();
+        assert!(s.contains("0x10") && s.contains("0x20"));
+    }
+}

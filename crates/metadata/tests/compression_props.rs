@@ -1,0 +1,137 @@
+//! Property tests for the metadata compression scheme (paper §3.3).
+
+use hwst_metadata::{CompressionConfig, Metadata, ShadowCodec};
+use proptest::prelude::*;
+
+const LOCK_BASE: u64 = 0x4000_0000;
+
+fn codec() -> ShadowCodec {
+    ShadowCodec::new(CompressionConfig::SPEC_DEFAULT, LOCK_BASE)
+}
+
+prop_compose! {
+    /// Metadata that is representable under SPEC_DEFAULT (aligned base in
+    /// the 38-bit space, 8-byte-multiple size, in-region lock, 44-bit key).
+    fn representable_md()(
+        base_slots in 0u64..(1 << 35),
+        size_slots in 0u64..(1 << 29),
+        key in 0u64..(1 << 44),
+        lock_index in 1u64..(1 << 20),
+        temporal in any::<bool>(),
+    ) -> Metadata {
+        let base = base_slots << 3;
+        let bound = base + (size_slots << 3);
+        if temporal {
+            Metadata { base, bound, key, lock: LOCK_BASE + (lock_index << 3) }
+        } else {
+            Metadata { base, bound, key: 0, lock: 0 }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    /// Exact round-trip for representable metadata.
+    #[test]
+    fn compress_decompress_identity(md in representable_md()) {
+        let c = codec().compress(md).expect("representable must compress");
+        prop_assert_eq!(codec().decompress(c), md);
+    }
+
+    /// Compression never *shrinks* the object: every address valid under
+    /// the original metadata is valid under the decompressed metadata
+    /// (no false positives from compression).
+    #[test]
+    fn compression_is_sound_for_valid_accesses(
+        base_slots in 0u64..(1 << 20),
+        size in 1u64..4096,
+        at in 0u64..4096,
+        len in 1u64..16,
+    ) {
+        let base = base_slots << 3;
+        let md = Metadata::spatial(base, base + size);
+        let back = codec().decompress(codec().compress(md).unwrap());
+        if md.spatial_ok(base + at, len) {
+            prop_assert!(
+                back.spatial_ok(base + at, len),
+                "compression must not reject a valid access: {md} -> {back}"
+            );
+        }
+    }
+
+    /// The rounding slack is strictly less than one 8-byte granule.
+    #[test]
+    fn bound_slack_is_sub_granule(
+        base_slots in 0u64..(1 << 20),
+        size in 0u64..100_000,
+    ) {
+        let base = base_slots << 3;
+        let md = Metadata::spatial(base, base + size);
+        let back = codec().decompress(codec().compress(md).unwrap());
+        prop_assert_eq!(back.base, md.base, "base must be exact");
+        prop_assert!(back.bound >= md.bound);
+        prop_assert!(back.bound - md.bound < 8);
+    }
+
+    /// The two 64-bit halves never interfere: changing only the temporal
+    /// inputs leaves the lower word bit-identical.
+    #[test]
+    fn temporal_does_not_perturb_spatial(
+        md in representable_md(),
+        key2 in 0u64..(1 << 44),
+        idx2 in 1u64..(1 << 20),
+    ) {
+        let c1 = codec().compress(md).unwrap();
+        let md2 = Metadata { key: key2, lock: LOCK_BASE + (idx2 << 3), ..md };
+        let c2 = codec().compress(md2).unwrap();
+        prop_assert_eq!(c1.lower, c2.lower);
+    }
+
+    /// Derived configurations always satisfy the packing invariants and
+    /// can express what they were derived for.
+    #[test]
+    fn derive_is_self_consistent(
+        mem_log2 in 20u32..43,
+        obj_log2 in 6u32..33,
+        locks_log2 in 4u32..22,
+    ) {
+        let cfg = match CompressionConfig::derive(
+            1 << mem_log2,
+            1 << obj_log2,
+            1 << locks_log2,
+        ) {
+            Ok(cfg) => cfg,
+            Err(_) => {
+                // Derivation may legitimately fail when the spatial half
+                // cannot fit: base needs mem-3 bits, range obj-1 bits.
+                prop_assert!(
+                    (mem_log2 - 3) + (obj_log2 - 2) > 64,
+                    "derive failed for a system that should fit"
+                );
+                return Ok(());
+            }
+        };
+        prop_assert!(cfg.base_bits() as u32 + cfg.range_bits() as u32 <= 64);
+        prop_assert!(cfg.lock_bits() as u32 + cfg.key_bits() as u32 <= 64);
+        prop_assert!(cfg.max_base() >= (1u64 << mem_log2) - 1);
+        prop_assert!(cfg.max_range() >= 1u64 << obj_log2);
+        prop_assert!(cfg.lock_entries() >= 1u64 << locks_log2);
+    }
+
+    /// CSR encode/decode of any valid config is lossless.
+    #[test]
+    fn csr_round_trip(
+        base in 1u8..40,
+        range in 1u8..24,
+        lock in 1u8..20,
+        key in 1u8..44,
+    ) {
+        if let Ok(cfg) = CompressionConfig::new(base, range, lock, key) {
+            prop_assert_eq!(
+                CompressionConfig::from_csr(cfg.to_csr()).unwrap(),
+                cfg
+            );
+        }
+    }
+}

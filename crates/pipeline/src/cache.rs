@@ -1,0 +1,182 @@
+//! Set-associative cache model.
+
+/// Geometry and latency parameters for a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Extra cycles on a miss (fill from the next level).
+    pub miss_penalty: u64,
+}
+
+impl Default for CacheConfig {
+    /// A Rocket-class 16 KiB, 4-way, 64 B-line D-cache with a ~20-cycle
+    /// fill from the outer memory system.
+    fn default() -> Self {
+        CacheConfig {
+            sets: 64,
+            ways: 4,
+            line_bytes: 64,
+            miss_penalty: 20,
+        }
+    }
+}
+
+/// A set-associative, LRU, write-allocate cache model. Only hit/miss
+/// timing is modelled; data lives in the simulator's memory.
+///
+/// # Example
+///
+/// ```
+/// use hwst_pipeline::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::default());
+/// assert_eq!(c.access(0x1000), 20, "cold miss pays the fill penalty");
+/// assert_eq!(c.access(0x1008), 0, "same line now hits");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `tags[set]` holds up to `ways` tags in LRU order (front = MRU).
+    tags: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty (cold) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_bytes` is not a power of two, or `ways`
+    /// is zero.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(cfg.ways > 0, "associativity must be nonzero");
+        Cache {
+            cfg,
+            tags: vec![Vec::with_capacity(cfg.ways); cfg.sets],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// Performs an access; returns the *extra* stall cycles (0 on hit,
+    /// `miss_penalty` on miss).
+    pub fn access(&mut self, addr: u64) -> u64 {
+        let line = addr / self.cfg.line_bytes;
+        let set = (line as usize) & (self.cfg.sets - 1);
+        let ways = &mut self.tags[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            // Move to MRU.
+            let t = ways.remove(pos);
+            ways.insert(0, t);
+            self.hits += 1;
+            0
+        } else {
+            if ways.len() == self.cfg.ways {
+                ways.pop();
+            }
+            ways.insert(0, line);
+            self.misses += 1;
+            self.cfg.miss_penalty
+        }
+    }
+
+    /// Invalidates every line (e.g. on context switch).
+    pub fn flush(&mut self) {
+        for s in &mut self.tags {
+            s.clear();
+        }
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_locality_hits() {
+        let mut c = Cache::new(CacheConfig::default());
+        assert_eq!(c.access(0), 20);
+        for a in (8..64).step_by(8) {
+            assert_eq!(c.access(a), 0, "address {a} should hit");
+        }
+        assert_eq!(c.stats(), (7, 1));
+    }
+
+    #[test]
+    fn conflict_eviction_is_lru() {
+        // 1 set, 2 ways: three conflicting lines thrash.
+        let cfg = CacheConfig {
+            sets: 1,
+            ways: 2,
+            line_bytes: 64,
+            miss_penalty: 10,
+        };
+        let mut c = Cache::new(cfg);
+        assert_eq!(c.access(0), 10); // A miss
+        assert_eq!(c.access(64), 10); // B miss
+        assert_eq!(c.access(0), 0); // A hit (MRU now A)
+        assert_eq!(c.access(128), 10); // C evicts B (LRU)
+        assert_eq!(c.access(0), 0); // A still resident
+        assert_eq!(c.access(64), 10); // B was evicted
+    }
+
+    #[test]
+    fn flush_cools_the_cache() {
+        let mut c = Cache::new(CacheConfig::default());
+        c.access(0);
+        assert_eq!(c.access(0), 0);
+        c.flush();
+        assert_eq!(c.access(0), 20);
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let mut c = Cache::new(CacheConfig::default());
+        assert_eq!(c.hit_rate(), 0.0);
+        c.access(0);
+        c.access(0);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_geometry() {
+        Cache::new(CacheConfig {
+            sets: 3,
+            ways: 1,
+            line_bytes: 64,
+            miss_penalty: 1,
+        });
+    }
+}

@@ -1,0 +1,475 @@
+//! Per-instruction cycle accounting for the 5-stage in-order core.
+
+use crate::{Cache, CacheConfig, CycleStats, KeyBuffer};
+use hwst_isa::{Instr, Reg};
+
+/// How metadata is located in shadow storage — the §2 trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ShadowLayout {
+    /// The paper's linear map: the SMAC computes the address in zero
+    /// cycles (Eq. 1).
+    #[default]
+    Linear,
+    /// A two-level trie (the SoftBoundCETS layout): every metadata access
+    /// first walks the directory — one extra dependent D-cache access.
+    Trie,
+}
+
+/// Timing parameters of the core model.
+///
+/// Defaults approximate the Rocket in-order core the paper builds on:
+/// single-issue, 1-cycle ALU, 2-cycle redirect on taken control flow,
+/// pipelined multiplier, iterative divider, blocking D-cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// D-cache geometry/latency.
+    pub dcache: CacheConfig,
+    /// Extra cycles when a branch is taken or a jump redirects fetch.
+    pub control_penalty: u64,
+    /// Extra cycles for a multiply.
+    pub mul_latency: u64,
+    /// Extra cycles for a divide/remainder.
+    pub div_latency: u64,
+    /// Stall cycles when an instruction consumes the result of the
+    /// immediately preceding load.
+    pub load_use_stall: u64,
+    /// Keybuffer entries (0 disables the keybuffer).
+    pub keybuffer_entries: usize,
+    /// Shadow-storage layout (linear map vs trie).
+    pub shadow_layout: ShadowLayout,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            dcache: CacheConfig::default(),
+            control_penalty: 2,
+            mul_latency: 3,
+            div_latency: 16,
+            load_use_stall: 1,
+            keybuffer_entries: 8,
+            shadow_layout: ShadowLayout::Linear,
+        }
+    }
+}
+
+/// Dynamic facts about one executed instruction that the timing model
+/// needs but cannot derive from the opcode alone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecEvents {
+    /// Effective user-memory address of a load/store.
+    pub mem_addr: Option<u64>,
+    /// Effective shadow-memory address of a metadata access.
+    pub shadow_addr: Option<u64>,
+    /// A conditional branch resolved taken.
+    pub branch_taken: bool,
+    /// For `tchk`: the pointer's lock address and the key that lives at
+    /// it (for keybuffer fill on miss).
+    pub tchk: Option<(u64, u64)>,
+}
+
+/// The cycle-accounting engine. Owns the D-cache and keybuffer state and
+/// accumulates a [`CycleStats`] breakdown as the simulator retires
+/// instructions through it.
+///
+/// # Example
+///
+/// ```
+/// use hwst_pipeline::{Pipeline, PipelineConfig, ExecEvents};
+/// use hwst_isa::{Instr, Reg, LoadWidth};
+///
+/// let mut p = Pipeline::new(PipelineConfig::default());
+/// let ld = Instr::Load { width: LoadWidth::D, rd: Reg::A0, rs1: Reg::Sp, offset: 0, checked: false };
+/// let ev = ExecEvents { mem_addr: Some(0x1000), ..Default::default() };
+/// let cold = p.retire(&ld, &ev);
+/// let warm = p.retire(&ld, &ev);
+/// assert!(cold > warm, "second access hits the D-cache");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    cfg: PipelineConfig,
+    dcache: Cache,
+    keybuffer: KeyBuffer,
+    stats: CycleStats,
+    /// Destination of the previous instruction if it was a load (for the
+    /// load-use interlock).
+    prev_load_dest: Option<Reg>,
+}
+
+impl Pipeline {
+    /// Creates a cold pipeline.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        Pipeline {
+            cfg,
+            dcache: Cache::new(cfg.dcache),
+            keybuffer: KeyBuffer::new(cfg.keybuffer_entries),
+            stats: CycleStats::default(),
+            prev_load_dest: None,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> PipelineConfig {
+        self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CycleStats {
+        self.stats
+    }
+
+    /// The keybuffer (for diagnostics).
+    pub fn keybuffer(&self) -> &KeyBuffer {
+        &self.keybuffer
+    }
+
+    /// The D-cache (for diagnostics).
+    pub fn dcache(&self) -> &Cache {
+        &self.dcache
+    }
+
+    /// Notifies the pipeline that a pointer was freed: the keybuffer is
+    /// cleared so it never serves a stale key (paper §3.5).
+    pub fn notify_free(&mut self) {
+        self.keybuffer.clear();
+    }
+
+    /// Charges cycles for environment/runtime work performed on behalf of
+    /// the program (the proxy-kernel allocator model).
+    pub fn charge_runtime(&mut self, cycles: u64) {
+        self.stats.runtime_stalls += cycles;
+    }
+
+    /// Trie layout only: the dependent directory access that precedes
+    /// every shadow lookup (1 cycle serialization + cache behaviour of
+    /// the directory line).
+    fn shadow_dir_walk(&mut self, saddr: u64) -> u64 {
+        match self.cfg.shadow_layout {
+            ShadowLayout::Linear => 0,
+            ShadowLayout::Trie => {
+                // Directory entries live in their own region; one entry
+                // covers a 128 KiB leaf's worth of shadow.
+                let dir_addr = 0xD000_0000_0000u64 | ((saddr >> 17) << 3);
+                1 + self.dcache.access(dir_addr)
+            }
+        }
+    }
+
+    /// Retires one instruction, charging its cycles; returns the cycles
+    /// charged.
+    pub fn retire(&mut self, instr: &Instr, ev: &ExecEvents) -> u64 {
+        let s = &mut self.stats;
+        s.instret += 1;
+        s.base_cycles += 1;
+        let mut cycles = 1;
+        if instr.is_hwst() {
+            s.hwst_instrs += 1;
+        }
+
+        // Load-use interlock against the previous instruction.
+        if let Some(dest) = self.prev_load_dest.take() {
+            if instr.src_gprs().contains(&dest) {
+                s.load_use_stalls += self.cfg.load_use_stall;
+                cycles += self.cfg.load_use_stall;
+            }
+        }
+
+        match *instr {
+            Instr::Load { rd, checked, .. } => {
+                let extra = self.dcache.access(ev.mem_addr.unwrap_or_default());
+                self.stats.mem_stalls += extra;
+                self.stats.checked_mem += checked as u64;
+                cycles += extra;
+                self.prev_load_dest = Some(rd);
+            }
+            Instr::Store { checked, .. } => {
+                let extra = self.dcache.access(ev.mem_addr.unwrap_or_default());
+                self.stats.mem_stalls += extra;
+                self.stats.checked_mem += checked as u64;
+                cycles += extra;
+            }
+            Instr::Branch { .. } if ev.branch_taken => {
+                self.stats.control_stalls += self.cfg.control_penalty;
+                cycles += self.cfg.control_penalty;
+            }
+            Instr::Jal { .. } | Instr::Jalr { .. } => {
+                self.stats.control_stalls += self.cfg.control_penalty;
+                cycles += self.cfg.control_penalty;
+            }
+            Instr::Alu { op, .. } if op.is_muldiv() => {
+                let lat = if matches!(
+                    op,
+                    hwst_isa::AluOp::Mul
+                        | hwst_isa::AluOp::Mulh
+                        | hwst_isa::AluOp::Mulhsu
+                        | hwst_isa::AluOp::Mulhu
+                        | hwst_isa::AluOp::Mulw
+                ) {
+                    self.cfg.mul_latency
+                } else {
+                    self.cfg.div_latency
+                };
+                self.stats.muldiv_stalls += lat;
+                cycles += lat;
+            }
+            // Metadata stores/loads go through the D-cache at the shadow
+            // address; COMP/DECOMP is folded into the pipe stages
+            // (paper: the compression adds critical-path latency, not
+            // extra cycles).
+            Instr::Sbdl { .. } | Instr::Sbdu { .. } => {
+                let saddr = ev.shadow_addr.unwrap_or_default();
+                let mut extra = self.shadow_dir_walk(saddr);
+                extra += self.dcache.access(saddr);
+                self.stats.shadow_stalls += extra;
+                self.stats.meta_mem += 1;
+                cycles += extra;
+            }
+            Instr::Lbdls { rd, .. }
+            | Instr::Lbdus { rd, .. }
+            | Instr::Lbas { rd, .. }
+            | Instr::Lbnd { rd, .. }
+            | Instr::Lkey { rd, .. }
+            | Instr::Lloc { rd, .. } => {
+                let saddr = ev.shadow_addr.unwrap_or_default();
+                let mut extra = self.shadow_dir_walk(saddr);
+                extra += self.dcache.access(saddr);
+                self.stats.shadow_stalls += extra;
+                self.stats.meta_mem += 1;
+                cycles += extra;
+                self.prev_load_dest = Some(rd);
+            }
+            Instr::Tchk { .. } => {
+                if let Some((lock, key)) = ev.tchk {
+                    match self.keybuffer.lookup(lock) {
+                        Some(_) => {
+                            // Keybuffer hit: the key load is bypassed by
+                            // "modifying the valid signal in the DCache
+                            // module" — zero extra cycles.
+                            self.stats.keybuffer_hits += 1;
+                        }
+                        None => {
+                            self.stats.keybuffer_misses += 1;
+                            // The key must be fetched from the
+                            // lock_location through the D-cache; tchk is
+                            // a two-memory-access pattern so it cannot
+                            // fuse with the load/store (paper §3.5).
+                            let extra = 1 + self.dcache.access(lock);
+                            self.stats.tchk_stalls += extra;
+                            cycles += extra;
+                            self.keybuffer.fill(lock, key);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwst_isa::{AluOp, BranchCond, LoadWidth, StoreWidth};
+
+    fn pipe() -> Pipeline {
+        Pipeline::new(PipelineConfig::default())
+    }
+
+    fn load(rd: Reg, rs1: Reg) -> Instr {
+        Instr::Load {
+            width: LoadWidth::D,
+            rd,
+            rs1,
+            offset: 0,
+            checked: false,
+        }
+    }
+
+    #[test]
+    fn alu_is_single_cycle() {
+        let mut p = pipe();
+        let i = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
+        assert_eq!(p.retire(&i, &ExecEvents::default()), 1);
+        assert_eq!(p.stats().total_cycles(), 1);
+    }
+
+    #[test]
+    fn load_use_interlock_fires_only_on_dependence() {
+        let mut p = pipe();
+        let ev = ExecEvents {
+            mem_addr: Some(0x100),
+            ..Default::default()
+        };
+        p.retire(&load(Reg::A0, Reg::Sp), &ev);
+        // Dependent consumer stalls one cycle.
+        let dep = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::A1,
+            rs1: Reg::A0,
+            rs2: Reg::Zero,
+        };
+        assert_eq!(p.retire(&dep, &ExecEvents::default()), 2);
+        // Independent consumer does not.
+        p.retire(&load(Reg::A2, Reg::Sp), &ev);
+        let indep = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::A3,
+            rs1: Reg::A4,
+            rs2: Reg::Zero,
+        };
+        assert_eq!(p.retire(&indep, &ExecEvents::default()), 1);
+        assert_eq!(p.stats().load_use_stalls, 1);
+    }
+
+    #[test]
+    fn taken_branch_pays_redirect() {
+        let mut p = pipe();
+        let br = Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: 8,
+        };
+        let not_taken = p.retire(&br, &ExecEvents::default());
+        let taken = p.retire(
+            &br,
+            &ExecEvents {
+                branch_taken: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(not_taken, 1);
+        assert_eq!(taken, 1 + p.config().control_penalty);
+    }
+
+    #[test]
+    fn divide_is_slow() {
+        let mut p = pipe();
+        let div = Instr::Alu {
+            op: AluOp::Div,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
+        let mul = Instr::Alu {
+            op: AluOp::Mul,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
+        assert_eq!(p.retire(&div, &ExecEvents::default()), 17);
+        assert_eq!(p.retire(&mul, &ExecEvents::default()), 4);
+    }
+
+    #[test]
+    fn tchk_keybuffer_hit_is_free() {
+        let mut p = pipe();
+        let tchk = Instr::Tchk { rs1: Reg::A0 };
+        let ev = ExecEvents {
+            tchk: Some((0x9000, 42)),
+            ..Default::default()
+        };
+        let miss = p.retire(&tchk, &ev);
+        let hit = p.retire(&tchk, &ev);
+        assert!(
+            miss > hit,
+            "first tchk loads the key, second hits the buffer"
+        );
+        assert_eq!(hit, 1);
+        assert_eq!(p.stats().keybuffer_hits, 1);
+        assert_eq!(p.stats().keybuffer_misses, 1);
+    }
+
+    #[test]
+    fn free_clears_keybuffer() {
+        let mut p = pipe();
+        let tchk = Instr::Tchk { rs1: Reg::A0 };
+        let ev = ExecEvents {
+            tchk: Some((0x9000, 42)),
+            ..Default::default()
+        };
+        p.retire(&tchk, &ev);
+        p.notify_free();
+        p.retire(&tchk, &ev);
+        assert_eq!(p.stats().keybuffer_misses, 2);
+    }
+
+    #[test]
+    fn checked_and_unchecked_memops_cost_the_same() {
+        // The SCU runs in EX in parallel with address generation: a
+        // bounded load costs the same cycles as a plain load.
+        let mut a = pipe();
+        let mut b = pipe();
+        let ev = ExecEvents {
+            mem_addr: Some(0x40),
+            ..Default::default()
+        };
+        let plain = Instr::Load {
+            width: LoadWidth::D,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            offset: 0,
+            checked: false,
+        };
+        let checked = Instr::Load {
+            width: LoadWidth::D,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            offset: 0,
+            checked: true,
+        };
+        assert_eq!(a.retire(&plain, &ev), b.retire(&checked, &ev));
+        let evs = ExecEvents {
+            mem_addr: Some(0x80),
+            ..Default::default()
+        };
+        let ps = Instr::Store {
+            width: StoreWidth::D,
+            rs1: Reg::A1,
+            rs2: Reg::A0,
+            offset: 0,
+            checked: false,
+        };
+        let cs = Instr::Store {
+            width: StoreWidth::D,
+            rs1: Reg::A1,
+            rs2: Reg::A0,
+            offset: 0,
+            checked: true,
+        };
+        assert_eq!(a.retire(&ps, &evs), b.retire(&cs, &evs));
+    }
+
+    #[test]
+    fn stats_balance() {
+        let mut p = pipe();
+        let ev = ExecEvents {
+            mem_addr: Some(0),
+            ..Default::default()
+        };
+        let mut sum = 0;
+        sum += p.retire(&load(Reg::A0, Reg::Sp), &ev);
+        let dep = Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::A1,
+            rs1: Reg::A0,
+            rs2: Reg::Zero,
+        };
+        sum += p.retire(&dep, &ExecEvents::default());
+        sum += p.retire(
+            &Instr::Jal {
+                rd: Reg::Ra,
+                offset: 16,
+            },
+            &ExecEvents::default(),
+        );
+        assert_eq!(p.stats().total_cycles(), sum);
+        assert_eq!(p.stats().instret, 3);
+    }
+}

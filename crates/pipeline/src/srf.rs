@@ -1,0 +1,177 @@
+//! The 128-bit shadow register file (SRF).
+
+use hwst_isa::Reg;
+use hwst_metadata::Compressed;
+
+/// The shadow register file: one 128-bit compressed-metadata entry per
+/// GPR, with a valid bit (paper §3.2: "The SRF has a one-to-one
+/// relationship with the GPRF").
+///
+/// In-pipeline propagation (Fig. 1-b4) is exposed as
+/// [`propagate`](Self::propagate): when an ALU result in `rd` derives
+/// from a pointer in `rs1` (or `rs2`), the corresponding shadow entry
+/// follows it — no extra instruction is needed; the hardware bypass
+/// network does it.
+///
+/// # Example
+///
+/// ```
+/// use hwst_pipeline::ShadowRegisterFile;
+/// use hwst_isa::Reg;
+/// use hwst_metadata::Compressed;
+///
+/// let mut srf = ShadowRegisterFile::new();
+/// srf.write(Reg::A0, Compressed { lower: 1, upper: 2 });
+/// srf.propagate(Reg::A1, Some(Reg::A0), None); // a1 = a0 + 8
+/// assert_eq!(srf.read(Reg::A1), Some(Compressed { lower: 1, upper: 2 }));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ShadowRegisterFile {
+    entries: [Option<Compressed>; 32],
+}
+
+impl ShadowRegisterFile {
+    /// Creates an SRF with every entry invalid.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the entry shadowing `reg` (`None` when invalid).
+    pub fn read(&self, reg: Reg) -> Option<Compressed> {
+        self.entries[reg.index() as usize]
+    }
+
+    /// Writes (binds) a compressed metadata entry.
+    pub fn write(&mut self, reg: Reg, value: Compressed) {
+        if !reg.is_zero() {
+            self.entries[reg.index() as usize] = Some(value);
+        }
+    }
+
+    /// Writes only the lower (spatial) half, preserving the upper half
+    /// (the `bndrs` path; an invalid entry becomes valid with upper = 0).
+    pub fn write_lower(&mut self, reg: Reg, lower: u64) {
+        if reg.is_zero() {
+            return;
+        }
+        let e = self.entries[reg.index() as usize].get_or_insert_default();
+        e.lower = lower;
+    }
+
+    /// Writes only the upper (temporal) half (the `bndrt` path).
+    pub fn write_upper(&mut self, reg: Reg, upper: u64) {
+        if reg.is_zero() {
+            return;
+        }
+        let e = self.entries[reg.index() as usize].get_or_insert_default();
+        e.upper = upper;
+    }
+
+    /// Invalidates the entry shadowing `reg` (the `srfclr` path, also
+    /// applied when a non-pointer value is written to the GPR).
+    pub fn clear(&mut self, reg: Reg) {
+        self.entries[reg.index() as usize] = None;
+    }
+
+    /// Invalidates every entry.
+    pub fn clear_all(&mut self) {
+        self.entries = [None; 32];
+    }
+
+    /// Hardware metadata propagation for an ALU result written to `rd`
+    /// computed from `rs1`/`rs2`: the metadata of the first *valid*
+    /// source follows the result (Hardbound-style pointer-arithmetic
+    /// propagation); if neither source carries metadata, `rd` is
+    /// invalidated.
+    pub fn propagate(&mut self, rd: Reg, rs1: Option<Reg>, rs2: Option<Reg>) {
+        if rd.is_zero() {
+            return;
+        }
+        let md = rs1
+            .and_then(|r| self.read(r))
+            .or_else(|| rs2.and_then(|r| self.read(r)));
+        self.entries[rd.index() as usize] = md;
+    }
+
+    /// Copies the entry of `rs1` to `rd` (the `srfmv` path).
+    pub fn mv(&mut self, rd: Reg, rs1: Reg) {
+        if !rd.is_zero() {
+            self.entries[rd.index() as usize] = self.read(rs1);
+        }
+    }
+
+    /// Number of valid entries (occupancy diagnostic).
+    pub fn valid_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MD: Compressed = Compressed {
+        lower: 0xaaaa,
+        upper: 0xbbbb,
+    };
+
+    #[test]
+    fn zero_register_shadow_is_never_valid() {
+        let mut srf = ShadowRegisterFile::new();
+        srf.write(Reg::Zero, MD);
+        srf.write_lower(Reg::Zero, 1);
+        srf.write_upper(Reg::Zero, 1);
+        assert_eq!(srf.read(Reg::Zero), None);
+    }
+
+    #[test]
+    fn halves_bind_independently() {
+        let mut srf = ShadowRegisterFile::new();
+        srf.write_lower(Reg::A0, 0x1111);
+        assert_eq!(
+            srf.read(Reg::A0),
+            Some(Compressed {
+                lower: 0x1111,
+                upper: 0
+            })
+        );
+        srf.write_upper(Reg::A0, 0x2222);
+        assert_eq!(
+            srf.read(Reg::A0),
+            Some(Compressed {
+                lower: 0x1111,
+                upper: 0x2222
+            })
+        );
+    }
+
+    #[test]
+    fn propagation_follows_first_valid_source() {
+        let mut srf = ShadowRegisterFile::new();
+        srf.write(Reg::A0, MD);
+        // a1 = a0 + t0 : pointer in rs1.
+        srf.propagate(Reg::A1, Some(Reg::A0), Some(Reg::T0));
+        assert_eq!(srf.read(Reg::A1), Some(MD));
+        // a2 = t0 + a0 : pointer in rs2.
+        srf.propagate(Reg::A2, Some(Reg::T0), Some(Reg::A0));
+        assert_eq!(srf.read(Reg::A2), Some(MD));
+        // t1 = t0 + t2 : no pointer involved invalidates the target.
+        srf.write(Reg::T1, MD);
+        srf.propagate(Reg::T1, Some(Reg::T0), Some(Reg::T2));
+        assert_eq!(srf.read(Reg::T1), None);
+    }
+
+    #[test]
+    fn mv_and_clear() {
+        let mut srf = ShadowRegisterFile::new();
+        srf.write(Reg::A0, MD);
+        srf.mv(Reg::S1, Reg::A0);
+        assert_eq!(srf.read(Reg::S1), Some(MD));
+        srf.clear(Reg::A0);
+        assert_eq!(srf.read(Reg::A0), None);
+        assert_eq!(srf.read(Reg::S1), Some(MD), "clear is per-entry");
+        assert_eq!(srf.valid_count(), 1);
+        srf.clear_all();
+        assert_eq!(srf.valid_count(), 0);
+    }
+}

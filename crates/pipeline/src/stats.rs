@@ -1,0 +1,154 @@
+//! Cycle accounting breakdown.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Per-category cycle and event counters accumulated by the pipeline
+/// model. All cycle categories sum to [`total_cycles`](Self::total_cycles).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleStats {
+    /// Instructions retired.
+    pub instret: u64,
+    /// One base cycle per retired instruction.
+    pub base_cycles: u64,
+    /// Load-use interlock stalls.
+    pub load_use_stalls: u64,
+    /// Taken-branch and jump redirect penalties.
+    pub control_stalls: u64,
+    /// Multi-cycle integer multiply/divide stalls.
+    pub muldiv_stalls: u64,
+    /// D-cache miss stalls on user-memory accesses.
+    pub mem_stalls: u64,
+    /// D-cache miss stalls on shadow-memory metadata accesses
+    /// (`sbdl`/`sbdu`/`lbd*`/`lbas` family).
+    pub shadow_stalls: u64,
+    /// Stalls on `tchk` key loads that missed the keybuffer.
+    pub tchk_stalls: u64,
+    /// Cycles charged for proxy-kernel runtime work (allocator wrappers
+    /// serviced by the environment).
+    pub runtime_stalls: u64,
+    /// `tchk` executions that hit in the keybuffer.
+    pub keybuffer_hits: u64,
+    /// `tchk` executions that missed the keybuffer.
+    pub keybuffer_misses: u64,
+    /// HWST128 metadata instructions retired (`bndr*`, `sbd*`, `lbd*`,
+    /// `lbas`/`lbnd`/`lkey`/`lloc`, `tchk`, `srfmv`/`srfclr`).
+    pub hwst_instrs: u64,
+    /// Bounded (hardware-checked) loads/stores retired.
+    pub checked_mem: u64,
+    /// Shadow-memory metadata accesses retired (`sbd*`/`lbd*`/`lbas`
+    /// family) — two per full 128-bit metadata transfer.
+    pub meta_mem: u64,
+}
+
+impl CycleStats {
+    /// Total cycles across every category.
+    pub fn total_cycles(&self) -> u64 {
+        self.base_cycles
+            + self.load_use_stalls
+            + self.control_stalls
+            + self.muldiv_stalls
+            + self.mem_stalls
+            + self.shadow_stalls
+            + self.tchk_stalls
+            + self.runtime_stalls
+    }
+
+    /// Cycles per instruction; 0 when nothing retired.
+    pub fn cpi(&self) -> f64 {
+        if self.instret == 0 {
+            0.0
+        } else {
+            self.total_cycles() as f64 / self.instret as f64
+        }
+    }
+}
+
+impl AddAssign for CycleStats {
+    fn add_assign(&mut self, o: Self) {
+        self.instret += o.instret;
+        self.base_cycles += o.base_cycles;
+        self.load_use_stalls += o.load_use_stalls;
+        self.control_stalls += o.control_stalls;
+        self.muldiv_stalls += o.muldiv_stalls;
+        self.mem_stalls += o.mem_stalls;
+        self.shadow_stalls += o.shadow_stalls;
+        self.tchk_stalls += o.tchk_stalls;
+        self.runtime_stalls += o.runtime_stalls;
+        self.keybuffer_hits += o.keybuffer_hits;
+        self.keybuffer_misses += o.keybuffer_misses;
+        self.hwst_instrs += o.hwst_instrs;
+        self.checked_mem += o.checked_mem;
+        self.meta_mem += o.meta_mem;
+    }
+}
+
+impl fmt::Display for CycleStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles        {:>12}", self.total_cycles())?;
+        writeln!(f, "instret       {:>12}", self.instret)?;
+        writeln!(f, "cpi           {:>12.3}", self.cpi())?;
+        writeln!(f, "  base        {:>12}", self.base_cycles)?;
+        writeln!(f, "  load-use    {:>12}", self.load_use_stalls)?;
+        writeln!(f, "  control     {:>12}", self.control_stalls)?;
+        writeln!(f, "  muldiv      {:>12}", self.muldiv_stalls)?;
+        writeln!(f, "  mem         {:>12}", self.mem_stalls)?;
+        writeln!(f, "  shadow      {:>12}", self.shadow_stalls)?;
+        writeln!(f, "  tchk        {:>12}", self.tchk_stalls)?;
+        writeln!(f, "  runtime     {:>12}", self.runtime_stalls)?;
+        writeln!(f, "hwst instrs   {:>12}", self.hwst_instrs)?;
+        write!(
+            f,
+            "keybuffer     {:>12} hits / {} misses",
+            self.keybuffer_hits, self.keybuffer_misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_categories() {
+        let s = CycleStats {
+            instret: 10,
+            base_cycles: 10,
+            load_use_stalls: 1,
+            control_stalls: 2,
+            muldiv_stalls: 3,
+            mem_stalls: 4,
+            shadow_stalls: 5,
+            tchk_stalls: 6,
+            runtime_stalls: 9,
+            ..Default::default()
+        };
+        assert_eq!(s.total_cycles(), 40);
+        assert!((s.cpi() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = CycleStats {
+            instret: 1,
+            base_cycles: 1,
+            ..Default::default()
+        };
+        let b = CycleStats {
+            instret: 2,
+            base_cycles: 2,
+            mem_stalls: 7,
+            ..Default::default()
+        };
+        a += b;
+        assert_eq!(a.instret, 3);
+        assert_eq!(a.total_cycles(), 10);
+    }
+
+    #[test]
+    fn empty_stats_display() {
+        let s = CycleStats::default();
+        assert_eq!(s.cpi(), 0.0);
+        assert!(s.to_string().contains("cycles"));
+    }
+}

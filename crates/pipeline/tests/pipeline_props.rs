@@ -1,0 +1,187 @@
+//! Pipeline-model properties: the cycle ledger must balance for any
+//! instruction stream, and the structural units must behave like the
+//! hardware they model.
+
+use hwst_isa::{AluImmOp, AluOp, BranchCond, Instr, LoadWidth, Reg, StoreWidth};
+use hwst_pipeline::{Cache, CacheConfig, ExecEvents, KeyBuffer, Pipeline, PipelineConfig};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+/// A random instruction plus matching events.
+fn any_retirement() -> impl Strategy<Value = (Instr, ExecEvents)> {
+    prop_oneof![
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs1, rs2)| (
+            Instr::Alu {
+                op: AluOp::Add,
+                rd,
+                rs1,
+                rs2
+            },
+            ExecEvents::default()
+        )),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs1, rs2)| (
+            Instr::Alu {
+                op: AluOp::Div,
+                rd,
+                rs1,
+                rs2
+            },
+            ExecEvents::default()
+        )),
+        (any_reg(), any_reg(), any::<u32>(), any::<bool>()).prop_map(|(rd, rs1, addr, checked)| (
+            Instr::Load {
+                width: LoadWidth::D,
+                rd,
+                rs1,
+                offset: 0,
+                checked
+            },
+            ExecEvents {
+                mem_addr: Some(addr as u64),
+                ..Default::default()
+            }
+        )),
+        (any_reg(), any_reg(), any::<u32>()).prop_map(|(rs1, rs2, addr)| (
+            Instr::Store {
+                width: StoreWidth::D,
+                rs1,
+                rs2,
+                offset: 0,
+                checked: false
+            },
+            ExecEvents {
+                mem_addr: Some(addr as u64),
+                ..Default::default()
+            }
+        )),
+        (any_reg(), any_reg(), any::<bool>()).prop_map(|(rs1, rs2, taken)| (
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs1,
+                rs2,
+                offset: 8
+            },
+            ExecEvents {
+                branch_taken: taken,
+                ..Default::default()
+            }
+        )),
+        (any_reg(), any::<u16>(), any::<u32>()).prop_map(|(rs1, lock, key)| (
+            Instr::Tchk { rs1 },
+            ExecEvents {
+                tchk: Some((0x9000 + (lock as u64) * 8, key as u64)),
+                ..Default::default()
+            }
+        )),
+        (any_reg(), any_reg(), any::<u32>()).prop_map(|(rd, rs1, addr)| (
+            Instr::Lbdls { rd, rs1, offset: 0 },
+            ExecEvents {
+                shadow_addr: Some(addr as u64),
+                ..Default::default()
+            }
+        )),
+        (any_reg(), any_reg()).prop_map(|(rd, rs1)| (
+            Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd,
+                rs1,
+                imm: 1
+            },
+            ExecEvents::default()
+        )),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The ledger balances: the sum of per-retire cycles equals the
+    /// stats total, instret equals the stream length, and every cycle
+    /// sits in exactly one category.
+    #[test]
+    fn cycle_ledger_balances(stream in prop::collection::vec(any_retirement(), 1..200)) {
+        let mut p = Pipeline::new(PipelineConfig::default());
+        let mut total = 0u64;
+        for (i, ev) in &stream {
+            total += p.retire(i, ev);
+        }
+        let s = p.stats();
+        prop_assert_eq!(s.total_cycles(), total);
+        prop_assert_eq!(s.instret, stream.len() as u64);
+        prop_assert_eq!(s.base_cycles, stream.len() as u64);
+        prop_assert_eq!(
+            s.keybuffer_hits + s.keybuffer_misses,
+            stream.iter().filter(|(i, _)| matches!(i, Instr::Tchk { .. })).count() as u64
+        );
+    }
+
+    /// Caches never return more than the miss penalty, and a repeated
+    /// access is always a hit.
+    #[test]
+    fn cache_access_bounds(addrs in prop::collection::vec(any::<u32>(), 1..100)) {
+        let cfg = CacheConfig::default();
+        let mut c = Cache::new(cfg);
+        for &a in &addrs {
+            let cost = c.access(a as u64);
+            prop_assert!(cost == 0 || cost == cfg.miss_penalty);
+            prop_assert_eq!(c.access(a as u64), 0, "immediate re-access must hit");
+        }
+        let (h, m) = c.stats();
+        prop_assert_eq!(h + m, addrs.len() as u64 * 2);
+    }
+
+    /// Keybuffer: a fill is immediately visible, capacity is respected,
+    /// and clear wipes everything.
+    #[test]
+    fn keybuffer_invariants(
+        ops in prop::collection::vec((any::<u16>(), any::<u32>(), any::<bool>()), 1..100),
+        cap in 1usize..16,
+    ) {
+        let mut kb = KeyBuffer::new(cap);
+        let mut live = std::collections::HashMap::new();
+        for &(lock, key, clear) in &ops {
+            let lock = lock as u64;
+            if clear {
+                kb.clear();
+                live.clear();
+            } else {
+                kb.fill(lock, key as u64);
+                live.insert(lock, key as u64);
+                prop_assert_eq!(kb.lookup(lock), Some(key as u64));
+                // A hit must return the *latest* fill value.
+                if let Some(&k) = live.get(&lock) {
+                    prop_assert_eq!(k, key as u64);
+                }
+            }
+        }
+    }
+
+    /// Disabling the keybuffer makes every tchk pay; enabling it never
+    /// makes a stream slower.
+    #[test]
+    fn keybuffer_never_hurts(locks in prop::collection::vec(0u8..8, 1..100)) {
+        let run = |entries: usize| {
+            let mut p = Pipeline::new(PipelineConfig {
+                keybuffer_entries: entries,
+                ..Default::default()
+            });
+            let mut total = 0;
+            for &l in &locks {
+                total += p.retire(
+                    &Instr::Tchk { rs1: Reg::A0 },
+                    &ExecEvents {
+                        tchk: Some((0x9000 + l as u64 * 8, 7)),
+                        ..Default::default()
+                    },
+                );
+            }
+            total
+        };
+        let with = run(8);
+        let without = run(0);
+        prop_assert!(with <= without);
+    }
+}

@@ -1,0 +1,38 @@
+//! Proxy-kernel syscall numbers.
+//!
+//! The paper runs benchmarks on the RISC-V proxy kernel; this module is
+//! the (much smaller) equivalent. Besides `exit`/`write`, the runtime
+//! wrappers of the instrumented allocator (`malloc`/`free`, §3.4) and the
+//! CETS stack-frame lock discipline are serviced here — a documented
+//! substitution for implementing libc inside the simulated ISA.
+
+/// `exit(code)` — `a0` = exit code.
+pub const EXIT: u64 = 93;
+/// `putchar(byte)` — `a0` = byte appended to the captured output.
+pub const PUTCHAR: u64 = 64;
+/// `malloc(size)` — `a0` = size. Returns `a0` = pointer (0 on failure),
+/// `a1` = fresh key, `a2` = lock address (key already stored at the
+/// lock_location). The *wrapper code* is responsible for binding
+/// metadata with `bndrs`/`bndrt` (hardware schemes) or shadow stores
+/// (software schemes).
+pub const MALLOC: u64 = 1000;
+/// `free(ptr, lock)` — `a0` = pointer, `a1` = lock address (0 = none).
+/// Erases the key at the lock_location, releases the lock slot, frees the
+/// heap block and clears the keybuffer. Invalid frees are *counted, not
+/// trapped* — detecting them is the safety scheme's job.
+pub const FREE: u64 = 1001;
+/// `lock_acquire()` — returns `a0` = key, `a1` = lock address; used by
+/// function prologues for stack temporal safety (use-after-return).
+pub const LOCK_ACQUIRE: u64 = 1002;
+/// `lock_release(lock)` — `a0` = lock address; erases the key and
+/// releases the slot (function epilogue).
+pub const LOCK_RELEASE: u64 = 1003;
+/// `abort_spatial(addr, base, bound)` — the software check failure path
+/// of SBCETS-style instrumentation; raises a spatial violation trap.
+pub const ABORT_SPATIAL: u64 = 1010;
+/// `abort_temporal(key, lock, stored)` — software temporal check failure;
+/// raises a temporal violation trap.
+pub const ABORT_TEMPORAL: u64 = 1011;
+/// `print_u64(value)` — debugging aid: appends the decimal rendering of
+/// `a0` and a newline to the captured output.
+pub const PRINT_U64: u64 = 1020;

@@ -1,0 +1,133 @@
+//! Violation traps and machine faults.
+
+use std::fmt;
+
+/// A trap that terminates execution.
+///
+/// The two violation variants are the paper's "spatial violation trap"
+/// (raised by the SCU) and "temporal violation trap" (raised by the TCU);
+/// they are also raised by the *software* abort paths that SBCETS-style
+/// instrumentation branches to, so detection is comparable across
+/// schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// Out-of-bounds access detected (hardware SCU or software check).
+    SpatialViolation {
+        /// PC of the faulting instruction.
+        pc: u64,
+        /// The accessed address.
+        addr: u64,
+        /// Metadata base at the time of the check.
+        base: u64,
+        /// Metadata bound at the time of the check.
+        bound: u64,
+    },
+    /// Dangling-pointer access detected (hardware TCU or software check).
+    TemporalViolation {
+        /// PC of the faulting instruction.
+        pc: u64,
+        /// The key held by the pointer.
+        key: u64,
+        /// The lock address that was checked.
+        lock: u64,
+        /// The key actually stored at the lock_location.
+        stored_key: u64,
+    },
+    /// Fetch fell outside the program image.
+    BadFetch {
+        /// The faulting PC.
+        pc: u64,
+    },
+    /// `ebreak`, an unknown syscall or an unimplemented opcode.
+    Breakpoint {
+        /// PC of the `ebreak`.
+        pc: u64,
+    },
+    /// The instruction budget given to [`run`](crate::Machine::run) was
+    /// exhausted (runaway program).
+    OutOfFuel {
+        /// Instructions executed before giving up.
+        executed: u64,
+    },
+    /// The program performed an access the substrate cannot model (e.g.
+    /// heap exhaustion inside `malloc`).
+    Environment {
+        /// PC of the faulting syscall.
+        pc: u64,
+        /// Human-readable cause.
+        what: &'static str,
+    },
+}
+
+impl Trap {
+    /// Whether this trap is a memory-safety *detection* (as opposed to a
+    /// machine fault) — what the Juliet coverage experiment counts.
+    pub const fn is_violation(self) -> bool {
+        matches!(
+            self,
+            Trap::SpatialViolation { .. } | Trap::TemporalViolation { .. }
+        )
+    }
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Trap::SpatialViolation { pc, addr, base, bound } => write!(
+                f,
+                "spatial violation at pc={pc:#x}: access {addr:#x} outside [{base:#x}, {bound:#x})"
+            ),
+            Trap::TemporalViolation { pc, key, lock, stored_key } => write!(
+                f,
+                "temporal violation at pc={pc:#x}: pointer key {key:#x} != stored key {stored_key:#x} at lock {lock:#x}"
+            ),
+            Trap::BadFetch { pc } => write!(f, "fetch outside program at pc={pc:#x}"),
+            Trap::Breakpoint { pc } => write!(f, "breakpoint at pc={pc:#x}"),
+            Trap::OutOfFuel { executed } => {
+                write!(f, "instruction budget exhausted after {executed} instructions")
+            }
+            Trap::Environment { pc, what } => {
+                write!(f, "environment fault at pc={pc:#x}: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_classification() {
+        assert!(Trap::SpatialViolation {
+            pc: 0,
+            addr: 0,
+            base: 0,
+            bound: 0
+        }
+        .is_violation());
+        assert!(Trap::TemporalViolation {
+            pc: 0,
+            key: 0,
+            lock: 0,
+            stored_key: 0
+        }
+        .is_violation());
+        assert!(!Trap::BadFetch { pc: 0 }.is_violation());
+        assert!(!Trap::OutOfFuel { executed: 9 }.is_violation());
+    }
+
+    #[test]
+    fn display_mentions_addresses() {
+        let t = Trap::SpatialViolation {
+            pc: 0x100,
+            addr: 0x2000,
+            base: 0x1000,
+            bound: 0x1fff,
+        };
+        let s = t.to_string();
+        assert!(s.contains("0x2000") && s.contains("0x100"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Boundary-exactness and fault-injection tests: the checks must trip at
+//! exactly the right byte, stale keybuffer state must never mask a
+//! violation, and the threat-model assumption (metadata integrity) is
+//! pinned down explicitly.
+
+use hwst_isa::{AluImmOp, Instr, LoadWidth, Program, Reg, StoreWidth};
+use hwst_sim::{syscall, Machine, SafetyConfig, Trap};
+
+const BASE: u64 = 0x1_0000;
+
+fn addi(rd: Reg, rs1: Reg, imm: i64) -> Instr {
+    Instr::AluImm {
+        op: AluImmOp::Addi,
+        rd,
+        rs1,
+        imm,
+    }
+}
+
+fn li(rd: Reg, v: i64) -> Instr {
+    addi(rd, Reg::Zero, v)
+}
+
+/// malloc(64) bound into SRF[a0]; key in a1, lock in a2.
+fn prologue() -> Vec<Instr> {
+    vec![
+        li(Reg::A0, 64),
+        li(Reg::A7, syscall::MALLOC as i64),
+        Instr::Ecall,
+        addi(Reg::T0, Reg::A0, 64),
+        Instr::Bndrs {
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            rs2: Reg::T0,
+        },
+        Instr::Bndrt {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        },
+    ]
+}
+
+fn run(mut body: Vec<Instr>) -> Result<hwst_sim::ExitStatus, Trap> {
+    body.extend([
+        li(Reg::A7, syscall::EXIT as i64),
+        li(Reg::A0, 0),
+        Instr::Ecall,
+    ]);
+    Machine::new(Program::from_instrs(BASE, body), SafetyConfig::default()).run(1_000_000)
+}
+
+#[test]
+fn every_width_is_exact_at_the_bound() {
+    // For each access width, offset bound-width passes and
+    // bound-width+1 traps.
+    for (width, bytes) in [
+        (LoadWidth::B, 1i64),
+        (LoadWidth::H, 2),
+        (LoadWidth::W, 4),
+        (LoadWidth::D, 8),
+    ] {
+        let mut ok = prologue();
+        ok.push(Instr::Load {
+            width,
+            rd: Reg::T2,
+            rs1: Reg::A0,
+            offset: 64 - bytes,
+            checked: true,
+        });
+        assert!(run(ok).is_ok(), "width {bytes}: last valid access trapped");
+
+        let mut bad = prologue();
+        bad.push(Instr::Load {
+            width,
+            rd: Reg::T2,
+            rs1: Reg::A0,
+            offset: 64 - bytes + 1,
+            checked: true,
+        });
+        assert!(
+            matches!(run(bad), Err(Trap::SpatialViolation { .. })),
+            "width {bytes}: straddling access must trap"
+        );
+    }
+}
+
+#[test]
+fn store_widths_are_exact_too() {
+    for (width, bytes) in [
+        (StoreWidth::B, 1i64),
+        (StoreWidth::H, 2),
+        (StoreWidth::W, 4),
+        (StoreWidth::D, 8),
+    ] {
+        let mut ok = prologue();
+        ok.push(Instr::Store {
+            width,
+            rs1: Reg::A0,
+            rs2: Reg::T0,
+            offset: 64 - bytes,
+            checked: true,
+        });
+        assert!(run(ok).is_ok(), "store width {bytes} at edge trapped");
+
+        let mut bad = prologue();
+        bad.push(Instr::Store {
+            width,
+            rs1: Reg::A0,
+            rs2: Reg::T0,
+            offset: 64 - bytes + 1,
+            checked: true,
+        });
+        assert!(
+            matches!(run(bad), Err(Trap::SpatialViolation { .. })),
+            "store width {bytes} straddling must trap"
+        );
+    }
+}
+
+#[test]
+fn first_byte_below_base_traps() {
+    let mut bad = prologue();
+    bad.push(Instr::Load {
+        width: LoadWidth::B,
+        rd: Reg::T2,
+        rs1: Reg::A0,
+        offset: -1,
+        checked: true,
+    });
+    assert!(matches!(run(bad), Err(Trap::SpatialViolation { .. })));
+}
+
+#[test]
+fn keybuffer_never_serves_a_stale_key() {
+    // Fill the keybuffer with a hit, free (which must clear it), then
+    // check the stale pointer: the trap must fire even though the
+    // keybuffer held the old (valid) key moments earlier.
+    let mut body = prologue();
+    body.extend([
+        Instr::Tchk { rs1: Reg::A0 }, // fills the keybuffer
+        Instr::Tchk { rs1: Reg::A0 }, // hit
+        addi(Reg::S1, Reg::A0, 0),    // stale copy (SRF propagates)
+        addi(Reg::A1, Reg::A2, 0),
+        li(Reg::A7, syscall::FREE as i64),
+        Instr::Ecall,
+        Instr::Tchk { rs1: Reg::S1 }, // must NOT hit stale state
+    ]);
+    match run(body) {
+        Err(Trap::TemporalViolation { stored_key, .. }) => {
+            assert_eq!(stored_key, 0)
+        }
+        other => panic!("expected temporal violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn metadata_corruption_defeats_the_check_as_the_threat_model_assumes() {
+    // Threat model (§3): "the adversary cannot corrupt the metadata".
+    // Pin the assumption down: if shadow memory IS corrupted (which the
+    // paper excludes), an out-of-bounds access sails through. This test
+    // documents the boundary of the guarantee.
+    let layout = hwst_sim::SafetyConfig::default().layout;
+    let mut body = prologue();
+    body.extend([
+        // Store pointer + metadata to a container.
+        li(Reg::S2, 0x0010_0000),
+        Instr::Store {
+            width: StoreWidth::D,
+            rs1: Reg::S2,
+            rs2: Reg::A0,
+            offset: 0,
+            checked: false,
+        },
+        Instr::Sbdl {
+            rs1: Reg::S2,
+            rs2: Reg::A0,
+            offset: 0,
+        },
+        Instr::Sbdu {
+            rs1: Reg::S2,
+            rs2: Reg::A0,
+            offset: 0,
+        },
+    ]);
+    let prog_len_so_far = body.len();
+    let _ = prog_len_so_far;
+    body.extend([
+        // Reload through the (soon to be corrupted) shadow.
+        Instr::SrfClr { rd: Reg::A0 },
+        Instr::Lbdls {
+            rd: Reg::A0,
+            rs1: Reg::S2,
+            offset: 0,
+        },
+        // Out-of-bounds access through the reloaded metadata.
+        Instr::Load {
+            width: LoadWidth::D,
+            rd: Reg::T2,
+            rs1: Reg::A0,
+            offset: 4096,
+            checked: true,
+        },
+    ]);
+    body.extend([
+        li(Reg::A7, syscall::EXIT as i64),
+        li(Reg::A0, 0),
+        Instr::Ecall,
+    ]);
+    let prog = Program::from_instrs(BASE, body);
+
+    // Uncorrupted run: the OOB access traps.
+    let mut clean = Machine::new(prog.clone(), SafetyConfig::default());
+    assert!(matches!(
+        clean.run(1_000_000),
+        Err(Trap::SpatialViolation { .. })
+    ));
+
+    // Corrupted run: zero the shadow word (attacker wipes metadata)
+    // before execution reaches the reload — violation goes undetected.
+    let mut evil = Machine::new(prog, SafetyConfig::default());
+    // Execute up to (and including) the sbdu, then corrupt.
+    for _ in 0..10 {
+        evil.step().expect("setup executes");
+    }
+    let shadow_addr = (0x0010_0000u64 << 2) + layout.shadow_offset;
+    evil.mem_mut().write_u64(shadow_addr, 0);
+    assert!(
+        evil.run(1_000_000).is_ok(),
+        "with corrupted (zeroed) metadata the access is unbound and passes"
+    );
+}
+
+#[test]
+fn zero_length_object_rejects_every_access() {
+    let mut body = vec![
+        li(Reg::A0, 0),
+        li(Reg::A7, syscall::MALLOC as i64),
+        Instr::Ecall,
+        // Bind an empty region [p, p).
+        addi(Reg::T0, Reg::A0, 0),
+        Instr::Bndrs {
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            rs2: Reg::T0,
+        },
+    ];
+    body.push(Instr::Load {
+        width: LoadWidth::B,
+        rd: Reg::T2,
+        rs1: Reg::A0,
+        offset: 0,
+        checked: true,
+    });
+    assert!(matches!(run(body), Err(Trap::SpatialViolation { .. })));
+}

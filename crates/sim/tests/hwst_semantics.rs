@@ -1,0 +1,389 @@
+//! End-to-end tests of the HWST128 instruction semantics on the
+//! simulator: metadata bind → propagate → check → trap (paper Fig. 1).
+
+use hwst_isa::{AluImmOp, AluOp, Instr, LoadWidth, Program, Reg, StoreWidth};
+use hwst_sim::{syscall, Machine, SafetyConfig, Trap};
+
+const BASE: u64 = 0x1_0000;
+
+fn addi(rd: Reg, rs1: Reg, imm: i64) -> Instr {
+    Instr::AluImm {
+        op: AluImmOp::Addi,
+        rd,
+        rs1,
+        imm,
+    }
+}
+
+fn li(rd: Reg, v: i64) -> Instr {
+    addi(rd, Reg::Zero, v)
+}
+
+fn exit_seq() -> Vec<Instr> {
+    vec![
+        li(Reg::A7, syscall::EXIT as i64),
+        li(Reg::A0, 0),
+        Instr::Ecall,
+    ]
+}
+
+fn run(mut body: Vec<Instr>) -> Result<hwst_sim::ExitStatus, Trap> {
+    body.extend(exit_seq());
+    let prog = Program::from_instrs(BASE, body);
+    Machine::new(prog, SafetyConfig::default()).run(1_000_000)
+}
+
+/// a0 = heap pointer of `size` bytes with full metadata bound in SRF[a0].
+/// Leaves bound in t0, key in a1, lock in a2.
+fn malloc_and_bind(size: i64) -> Vec<Instr> {
+    vec![
+        li(Reg::A0, size),
+        li(Reg::A7, syscall::MALLOC as i64),
+        Instr::Ecall,
+        // t0 = bound = a0 + size
+        addi(Reg::T0, Reg::A0, size),
+        Instr::Bndrs {
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            rs2: Reg::T0,
+        },
+        Instr::Bndrt {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        },
+    ]
+}
+
+#[test]
+fn in_bounds_checked_access_passes() {
+    let mut body = malloc_and_bind(64);
+    body.push(li(Reg::T1, 7));
+    body.push(Instr::Store {
+        width: StoreWidth::D,
+        rs1: Reg::A0,
+        rs2: Reg::T1,
+        offset: 56,
+        checked: true,
+    });
+    body.push(Instr::Load {
+        width: LoadWidth::D,
+        rd: Reg::T2,
+        rs1: Reg::A0,
+        offset: 56,
+        checked: true,
+    });
+    assert!(run(body).is_ok());
+}
+
+#[test]
+fn out_of_bounds_checked_store_traps() {
+    let mut body = malloc_and_bind(64);
+    body.push(li(Reg::T1, 7));
+    body.push(Instr::Store {
+        width: StoreWidth::D,
+        rs1: Reg::A0,
+        rs2: Reg::T1,
+        offset: 64, // one past the end
+        checked: true,
+    });
+    match run(body) {
+        Err(Trap::SpatialViolation {
+            addr, base, bound, ..
+        }) => {
+            assert_eq!(addr, base + 64);
+            assert_eq!(bound, base + 64);
+        }
+        other => panic!("expected spatial violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn underflow_checked_load_traps() {
+    let mut body = malloc_and_bind(64);
+    body.push(Instr::Load {
+        width: LoadWidth::B,
+        rd: Reg::T2,
+        rs1: Reg::A0,
+        offset: -1,
+        checked: true,
+    });
+    assert!(matches!(run(body), Err(Trap::SpatialViolation { .. })));
+}
+
+#[test]
+fn pointer_arithmetic_propagates_metadata() {
+    // p2 = p + 32; checked access through p2 still sees the allocation's
+    // bounds (in-pipeline propagation, Fig. 1-b4).
+    let mut body = malloc_and_bind(64);
+    body.push(addi(Reg::S1, Reg::A0, 32));
+    body.push(Instr::Load {
+        width: LoadWidth::D,
+        rd: Reg::T2,
+        rs1: Reg::S1,
+        offset: 24, // 32+24 < 64: fine
+        checked: true,
+    });
+    body.push(Instr::Load {
+        width: LoadWidth::D,
+        rd: Reg::T3,
+        rs1: Reg::S1,
+        offset: 32, // 32+32 = 64: out of bounds
+        checked: true,
+    });
+    assert!(matches!(run(body), Err(Trap::SpatialViolation { .. })));
+}
+
+#[test]
+fn through_memory_propagation_round_trips() {
+    // Store pointer + metadata to memory, load both back into another
+    // register, and check the metadata still guards accesses
+    // (Fig. 1-c5/d6).
+    let slot = 0x0010_0000i64; // static data area
+    let mut body = malloc_and_bind(64);
+    body.extend([
+        li(Reg::S2, slot),
+        // Store the pointer and its metadata.
+        Instr::Store {
+            width: StoreWidth::D,
+            rs1: Reg::S2,
+            rs2: Reg::A0,
+            offset: 0,
+            checked: false,
+        },
+        Instr::Sbdl {
+            rs1: Reg::S2,
+            rs2: Reg::A0,
+            offset: 0,
+        },
+        Instr::Sbdu {
+            rs1: Reg::S2,
+            rs2: Reg::A0,
+            offset: 0,
+        },
+        // Wipe a0's shadow entry and load the pointer back into s3.
+        Instr::SrfClr { rd: Reg::A0 },
+        Instr::Load {
+            width: LoadWidth::D,
+            rd: Reg::S3,
+            rs1: Reg::S2,
+            offset: 0,
+            checked: false,
+        },
+        Instr::Lbdls {
+            rd: Reg::S3,
+            rs1: Reg::S2,
+            offset: 0,
+        },
+        Instr::Lbdus {
+            rd: Reg::S3,
+            rs1: Reg::S2,
+            offset: 0,
+        },
+        // In-bounds through s3 passes; out-of-bounds traps.
+        Instr::Load {
+            width: LoadWidth::D,
+            rd: Reg::T2,
+            rs1: Reg::S3,
+            offset: 0,
+            checked: true,
+        },
+        Instr::Load {
+            width: LoadWidth::D,
+            rd: Reg::T2,
+            rs1: Reg::S3,
+            offset: 64,
+            checked: true,
+        },
+    ]);
+    assert!(matches!(run(body), Err(Trap::SpatialViolation { .. })));
+}
+
+#[test]
+fn metadata_loads_to_gprs_decompress() {
+    // lbas/lbnd/lkey/lloc reconstruct the uncompressed fields (the
+    // wrapper-function path, Fig. 1-d7).
+    let slot = 0x0010_0000i64;
+    let mut body = malloc_and_bind(64);
+    body.extend([
+        li(Reg::S2, slot),
+        Instr::Sbdl {
+            rs1: Reg::S2,
+            rs2: Reg::A0,
+            offset: 0,
+        },
+        Instr::Sbdu {
+            rs1: Reg::S2,
+            rs2: Reg::A0,
+            offset: 0,
+        },
+        Instr::Lbas {
+            rd: Reg::S4,
+            rs1: Reg::S2,
+            offset: 0,
+        },
+        Instr::Lbnd {
+            rd: Reg::S5,
+            rs1: Reg::S2,
+            offset: 0,
+        },
+        // exit code = (bound - base): must equal 64.
+        Instr::Alu {
+            op: AluOp::Sub,
+            rd: Reg::A0,
+            rs1: Reg::S5,
+            rs2: Reg::S4,
+        },
+        li(Reg::A7, syscall::EXIT as i64),
+        Instr::Ecall,
+    ]);
+    let prog = Program::from_instrs(BASE, body);
+    let exit = Machine::new(prog, SafetyConfig::default())
+        .run(1_000_000)
+        .expect("no trap");
+    assert_eq!(exit.code, 64);
+}
+
+#[test]
+fn tchk_passes_while_live_and_traps_after_free() {
+    let mut live = malloc_and_bind(64);
+    live.push(Instr::Tchk { rs1: Reg::A0 });
+    assert!(run(live).is_ok(), "tchk on a live pointer must pass");
+
+    let mut dangling = malloc_and_bind(64);
+    dangling.extend([
+        // Save pointer + lock, then free(ptr, lock).
+        addi(Reg::S1, Reg::A0, 0), // s1 = ptr (metadata propagates)
+        // free: a0 = ptr (already), a1 = lock (already in a2!) — move it.
+        addi(Reg::A1, Reg::A2, 0),
+        li(Reg::A7, syscall::FREE as i64),
+        Instr::Ecall,
+        // Use-after-free: temporal check on the stale pointer.
+        Instr::Tchk { rs1: Reg::S1 },
+    ]);
+    match run(dangling) {
+        Err(Trap::TemporalViolation {
+            stored_key, key, ..
+        }) => {
+            assert_eq!(stored_key, 0, "free erases the key");
+            assert_ne!(key, 0);
+        }
+        other => panic!("expected temporal violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn reallocation_gets_fresh_key_so_stale_pointer_still_traps() {
+    // free + malloc reusing the block: the stale pointer's key must not
+    // match the new allocation's key (unique-key property, §3.4).
+    let mut body = malloc_and_bind(64);
+    body.extend([
+        addi(Reg::S1, Reg::A0, 0), // stale pointer copy
+        addi(Reg::A1, Reg::A2, 0),
+        li(Reg::A7, syscall::FREE as i64),
+        Instr::Ecall,
+    ]);
+    // Re-allocate the same size: allocator reuses the block, lock slot is
+    // recycled, but the key differs.
+    body.extend(malloc_and_bind(64));
+    body.push(Instr::Tchk { rs1: Reg::S1 });
+    match run(body) {
+        Err(Trap::TemporalViolation {
+            key, stored_key, ..
+        }) => {
+            assert_ne!(key, stored_key);
+            assert_ne!(stored_key, 0, "lock slot is live again with a new key");
+        }
+        other => panic!("expected temporal violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn unchecked_access_never_traps() {
+    // The same out-of-bounds store, but with the plain store instruction:
+    // the baseline core happily corrupts memory.
+    let mut body = malloc_and_bind(64);
+    body.push(li(Reg::T1, 7));
+    body.push(Instr::Store {
+        width: StoreWidth::D,
+        rs1: Reg::A0,
+        rs2: Reg::T1,
+        offset: 64,
+        checked: false,
+    });
+    assert!(run(body).is_ok());
+}
+
+#[test]
+fn disarmed_spatial_checks_admit_violations() {
+    let mut body = malloc_and_bind(64);
+    body.push(Instr::Load {
+        width: LoadWidth::D,
+        rd: Reg::T2,
+        rs1: Reg::A0,
+        offset: 1000,
+        checked: true,
+    });
+    body.extend(exit_seq());
+    let prog = Program::from_instrs(BASE, body);
+    let mut m = Machine::new(prog, SafetyConfig::baseline());
+    assert!(m.run(1_000_000).is_ok(), "baseline config must not trap");
+}
+
+#[test]
+fn software_abort_syscalls_raise_violations() {
+    let body = vec![
+        li(Reg::A0, 0x123),
+        li(Reg::A1, 0x100),
+        li(Reg::A2, 0x120),
+        li(Reg::A7, syscall::ABORT_SPATIAL as i64),
+        Instr::Ecall,
+    ];
+    assert!(matches!(
+        run(body),
+        Err(Trap::SpatialViolation { addr: 0x123, .. })
+    ));
+}
+
+#[test]
+fn double_free_is_counted_not_trapped() {
+    let mut body = malloc_and_bind(64);
+    body.extend([
+        addi(Reg::S1, Reg::A0, 0),
+        addi(Reg::A1, Reg::A2, 0),
+        li(Reg::A7, syscall::FREE as i64),
+        Instr::Ecall,
+        addi(Reg::A0, Reg::S1, 0),
+        li(Reg::A1, 0),
+        li(Reg::A7, syscall::FREE as i64),
+        Instr::Ecall,
+    ]);
+    body.extend(exit_seq());
+    let prog = Program::from_instrs(BASE, body);
+    let mut m = Machine::new(prog, SafetyConfig::default());
+    m.run(1_000_000).expect("double free alone does not trap");
+    assert_eq!(m.events().invalid_frees, 1);
+    assert_eq!(m.events().frees, 1);
+}
+
+#[test]
+fn keybuffer_accelerates_repeated_tchk() {
+    let mut body = malloc_and_bind(64);
+    for _ in 0..10 {
+        body.push(Instr::Tchk { rs1: Reg::A0 });
+    }
+    body.extend(exit_seq());
+    let prog = Program::from_instrs(BASE, body.clone());
+
+    let with_kb = Machine::new(prog.clone(), SafetyConfig::default())
+        .run(1_000_000)
+        .unwrap();
+    let without_kb = Machine::new(prog, SafetyConfig::hwst128_no_tchk())
+        .run(1_000_000)
+        .unwrap();
+    assert!(with_kb.stats.keybuffer_hits >= 9);
+    assert!(
+        with_kb.stats.total_cycles() < without_kb.stats.total_cycles(),
+        "keybuffer must save cycles on repeated temporal checks"
+    );
+}

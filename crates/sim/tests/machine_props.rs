@@ -1,0 +1,110 @@
+//! Robustness properties: the machine must never panic, whatever
+//! instructions it executes — arbitrary (decodable) words, arbitrary
+//! register values, arbitrary CSR writes. Traps are fine; panics are
+//! bugs.
+
+use hwst_isa::{decode, Instr, Program, Reg};
+use hwst_sim::{Machine, SafetyConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Random decodable instruction streams execute without panicking.
+    #[test]
+    fn random_words_never_panic(words in prop::collection::vec(any::<u32>(), 1..64)) {
+        let instrs: Vec<Instr> =
+            words.iter().filter_map(|&w| decode(w).ok()).collect();
+        if instrs.is_empty() {
+            return Ok(());
+        }
+        let prog = Program::from_instrs(0x1_0000, instrs);
+        let mut m = Machine::new(prog, SafetyConfig::default());
+        // Any outcome is legal; panics are not.
+        let _ = m.run(10_000);
+    }
+
+    /// The same stream on the baseline config is equally panic-free.
+    #[test]
+    fn random_words_never_panic_baseline(words in prop::collection::vec(any::<u32>(), 1..64)) {
+        let instrs: Vec<Instr> =
+            words.iter().filter_map(|&w| decode(w).ok()).collect();
+        if instrs.is_empty() {
+            return Ok(());
+        }
+        let prog = Program::from_instrs(0x1_0000, instrs);
+        let mut m = Machine::new(prog, SafetyConfig::baseline());
+        let _ = m.run(10_000);
+    }
+
+    /// Arbitrary CSR writes (including garbage compression configs)
+    /// never panic and never brick the machine.
+    #[test]
+    fn random_csr_writes_are_survivable(
+        csr_addr in any::<u16>(),
+        value64 in any::<u64>(),
+    ) {
+        use hwst_isa::{AluImmOp, CsrOp};
+        let mut instrs = vec![
+            // A small value into a0 (proptest value folded to 12 bits to
+            // keep the program well-formed; the CSR gets the low bits).
+            Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                imm: (value64 & 0x7ff) as i64,
+            },
+            Instr::Csr {
+                op: CsrOp::Rw,
+                rd: Reg::A1,
+                rs1: Reg::A0,
+                csr: csr_addr & 0xfff,
+            },
+        ];
+        // Then do a metadata op that consults the (possibly nonsense)
+        // configuration.
+        instrs.push(Instr::Bndrs { rd: Reg::A2, rs1: Reg::Zero, rs2: Reg::A0 });
+        instrs.push(Instr::Tchk { rs1: Reg::A2 });
+        let prog = Program::from_instrs(0x1_0000, instrs);
+        let mut m = Machine::new(prog, SafetyConfig::default());
+        let _ = m.run(1_000);
+    }
+}
+
+#[test]
+fn image_round_trip_executes_identically() {
+    use hwst_isa::AluImmOp;
+    let prog = Program::from_instrs(
+        0x1_0000,
+        vec![
+            Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A0,
+                rs1: Reg::Zero,
+                imm: 11,
+            },
+            Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::A7,
+                rs1: Reg::Zero,
+                imm: 93,
+            },
+            Instr::Ecall,
+        ],
+    );
+    let direct = Machine::new(prog.clone(), SafetyConfig::default())
+        .run(100)
+        .unwrap();
+    let image = prog.to_image();
+    let mut from_image = Machine::from_image(0x1_0000, &image, SafetyConfig::default())
+        .expect("valid image decodes");
+    let via_image = from_image.run(100).unwrap();
+    assert_eq!(direct.code, via_image.code);
+    assert_eq!(direct.stats, via_image.stats);
+}
+
+#[test]
+fn bad_image_reports_decode_error() {
+    let image = 0xffff_ffffu32.to_le_bytes();
+    assert!(Machine::from_image(0, &image, SafetyConfig::default()).is_err());
+}

@@ -1,0 +1,326 @@
+//! # hwst-workloads
+//!
+//! Synthetic benchmark kernels standing in for the paper's MiBench,
+//! Olden and SPEC CPU2006 workloads (Fig. 4/Fig. 5 x-axes).
+//!
+//! The original binaries cannot be compiled here (no LLVM/SPEC sources in
+//! scope), so each kernel is written in the `hwst-compiler` IR with the
+//! *pointer-operation profile* of its namesake — array streaming for
+//! `lbm`/`milc`, pointer chasing and allocation churn for the Olden
+//! programs, temporal-check-dominated inner loops for `bzip2`/`hmmer`
+//! (the paper's standout speedups), and so on. Overheads in this
+//! reproduction are driven by metadata-operation density, so matching the
+//! profile preserves the shape of the paper's results (see DESIGN.md §2).
+//!
+//! ## Example
+//!
+//! ```
+//! use hwst_workloads::{Workload, Scale, Suite};
+//!
+//! let wl = Workload::by_name("treeadd").unwrap();
+//! assert_eq!(wl.suite, Suite::Olden);
+//! let module = wl.module(Scale::Test);
+//! assert!(module.func("main").is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mibench;
+mod olden;
+mod spec;
+pub mod util;
+
+use hwst_compiler::ir::Module;
+
+/// Which benchmark suite a workload imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Embedded kernels (MiBench).
+    MiBench,
+    /// Pointer-intensive kernels (Olden).
+    Olden,
+    /// General-purpose kernels (SPEC CPU2006).
+    Spec,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Suite::MiBench => "MiBench",
+            Suite::Olden => "Olden",
+            Suite::Spec => "SPEC",
+        })
+    }
+}
+
+/// Problem size: small for unit tests, larger for benchmark runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Fast (tens of thousands of baseline instructions).
+    Test,
+    /// Benchmark-sized (hundreds of thousands and up).
+    Bench,
+}
+
+impl Scale {
+    /// The scale multiplier applied to each workload's base size.
+    pub const fn factor(self) -> u64 {
+        match self {
+            Scale::Test => 1,
+            Scale::Bench => 6,
+        }
+    }
+}
+
+/// One named workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// The benchmark's name as printed in the paper's figures.
+    pub name: &'static str,
+    /// Its suite.
+    pub suite: Suite,
+    /// One-line description of the pointer profile it models.
+    pub profile: &'static str,
+    builder: fn(Scale) -> Module,
+}
+
+impl PartialEq for Workload {
+    fn eq(&self, other: &Self) -> bool {
+        // Identity is the (name, suite) pair; the builder function
+        // pointer is intentionally excluded (fn-pointer comparison is
+        // not meaningful across codegen units).
+        self.name == other.name && self.suite == other.suite
+    }
+}
+
+impl Eq for Workload {}
+
+impl Workload {
+    /// Builds the IR module at the given scale.
+    pub fn module(&self, scale: Scale) -> Module {
+        (self.builder)(scale)
+    }
+
+    /// Instruction budget for simulating this workload at `scale`
+    /// (generous; used as the `fuel` argument of `Machine::run`).
+    pub fn fuel(&self, scale: Scale) -> u64 {
+        600_000_000 * scale.factor()
+    }
+
+    /// Looks a workload up by name.
+    pub fn by_name(name: &str) -> Option<Workload> {
+        all().into_iter().find(|w| w.name == name)
+    }
+}
+
+/// Every workload, in the paper's Fig. 4 order (MiBench, Olden, SPEC).
+pub fn all() -> Vec<Workload> {
+    let mut v = mibench_suite();
+    v.extend(olden_suite());
+    v.extend(spec_suite());
+    v
+}
+
+/// The nine MiBench-like kernels.
+pub fn mibench_suite() -> Vec<Workload> {
+    vec![
+        wl(
+            "string",
+            Suite::MiBench,
+            "byte-array scan and compare",
+            mibench::string,
+        ),
+        wl(
+            "CRC32",
+            Suite::MiBench,
+            "table-driven checksum over a byte stream",
+            mibench::crc32,
+        ),
+        wl(
+            "bitcounts",
+            Suite::MiBench,
+            "ALU-heavy bit twiddling over a small array",
+            mibench::bitcounts,
+        ),
+        wl(
+            "dijkstra",
+            Suite::MiBench,
+            "adjacency-matrix shortest path, O(n^2) scans",
+            mibench::dijkstra,
+        ),
+        wl(
+            "sha",
+            Suite::MiBench,
+            "block hashing with rotate/xor word mixing",
+            mibench::sha,
+        ),
+        wl(
+            "math",
+            Suite::MiBench,
+            "multiply/divide chains, little memory traffic",
+            mibench::math,
+        ),
+        wl(
+            "FFT",
+            Suite::MiBench,
+            "strided butterfly passes over twin arrays",
+            mibench::fft,
+        ),
+        wl(
+            "adpcm",
+            Suite::MiBench,
+            "sequential byte codec with scalar state",
+            mibench::adpcm,
+        ),
+        wl(
+            "susan",
+            Suite::MiBench,
+            "2-D image smoothing, 3x3 neighbourhood",
+            mibench::susan,
+        ),
+    ]
+}
+
+/// The seven Olden-like kernels.
+pub fn olden_suite() -> Vec<Workload> {
+    vec![
+        wl(
+            "tsp",
+            Suite::Olden,
+            "nearest-neighbour tour over a linked city list",
+            olden::tsp,
+        ),
+        wl(
+            "em3d",
+            Suite::Olden,
+            "bipartite graph relaxation through pointer arrays",
+            olden::em3d,
+        ),
+        wl(
+            "health",
+            Suite::Olden,
+            "linked-list simulation with allocation churn",
+            olden::health,
+        ),
+        wl(
+            "mst",
+            Suite::Olden,
+            "adjacency-list minimum spanning tree",
+            olden::mst,
+        ),
+        wl(
+            "perimeter",
+            Suite::Olden,
+            "quadtree build and traversal",
+            olden::perimeter,
+        ),
+        wl(
+            "bisort",
+            Suite::Olden,
+            "binary-tree build with swapped traversals",
+            olden::bisort,
+        ),
+        wl(
+            "treeadd",
+            Suite::Olden,
+            "recursive tree construction and reduction",
+            olden::treeadd,
+        ),
+    ]
+}
+
+/// The seven SPEC-like kernels (Fig. 5 set).
+pub fn spec_suite() -> Vec<Workload> {
+    vec![
+        wl(
+            "milc",
+            Suite::Spec,
+            "streaming lattice arithmetic over large arrays",
+            spec::milc,
+        ),
+        wl(
+            "lbm",
+            Suite::Spec,
+            "9-point stencil over ping-pong grids",
+            spec::lbm,
+        ),
+        wl(
+            "sphinx3",
+            Suite::Spec,
+            "table scoring plus list management",
+            spec::sphinx3,
+        ),
+        wl(
+            "sjeng",
+            Suite::Spec,
+            "branchy board scanning with small tables",
+            spec::sjeng,
+        ),
+        wl(
+            "gobmk",
+            Suite::Spec,
+            "flood fill over a 19x19 board with a work stack",
+            spec::gobmk,
+        ),
+        wl(
+            "bzip2",
+            Suite::Spec,
+            "per-block buffer churn, temporal-check dominated",
+            spec::bzip2,
+        ),
+        wl(
+            "hmmer",
+            Suite::Spec,
+            "dynamic programming over per-row heap buffers",
+            spec::hmmer,
+        ),
+    ]
+}
+
+fn wl(
+    name: &'static str,
+    suite: Suite,
+    profile: &'static str,
+    builder: fn(Scale) -> Module,
+) -> Workload {
+    Workload {
+        name,
+        suite,
+        profile,
+        builder,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_paper_figure4() {
+        let names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 23);
+        assert_eq!(mibench_suite().len(), 9);
+        assert_eq!(olden_suite().len(), 7);
+        assert_eq!(spec_suite().len(), 7);
+        for n in ["string", "CRC32", "treeadd", "bzip2", "hmmer", "lbm"] {
+            assert!(names.contains(&n), "{n} missing");
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for w in all() {
+            assert_eq!(Workload::by_name(w.name).unwrap().name, w.name);
+        }
+        assert!(Workload::by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn every_module_passes_analysis() {
+        for w in all() {
+            let m = w.module(Scale::Test);
+            hwst_compiler::analysis::analyze(&m).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! MiBench-like embedded kernels.
+
+use crate::util::*;
+use crate::Scale;
+use hwst_compiler::ir::{BinOp, Module, Width};
+use hwst_compiler::ModuleBuilder;
+
+/// `string`: scan a pseudo-random byte buffer counting matches of a
+/// needle byte and comparing two windows, byte-at-a-time (strsearch-ish).
+pub(crate) fn string(scale: Scale) -> Module {
+    let n = 512 * scale.factor() as i64;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let buf = f.malloc_bytes(n as u64);
+    // Fill with LCG bytes.
+    let x = f.local();
+    let seed = f.konst(7);
+    f.local_set(x, seed);
+    for_range(&mut f, 0, n, |f, i| {
+        let cur = f.local_get(x);
+        let nxt = lcg_next(f, cur);
+        f.local_set(x, nxt);
+        let b = f.bin_imm(BinOp::And, nxt, 0xff);
+        let slot = f.gep(buf, i);
+        f.store(b, slot, 0, Width::U8);
+    });
+    // Count occurrences of byte 0x41 and sum window comparisons.
+    let acc = f.local();
+    let z = f.konst(0);
+    f.local_set(acc, z);
+    for_range(&mut f, 0, n - 8, |f, i| {
+        let slot = f.gep(buf, i);
+        let b = f.load(slot, 0, Width::U8);
+        let hit = f.bin_imm(BinOp::Eq, b, 0x41);
+        if_then(f, hit, |f| {
+            let a = f.local_get(acc);
+            let s = f.bin_imm(BinOp::Add, a, 1);
+            f.local_set(acc, s);
+        });
+        // Compare with the byte 8 positions ahead (memcmp-like).
+        let b2 = f.load(slot, 8, Width::U8);
+        let eq = f.bin(BinOp::Eq, b, b2);
+        let a = f.local_get(acc);
+        let s = f.bin(BinOp::Add, a, eq);
+        f.local_set(acc, s);
+    });
+    f.free(buf);
+    let r = f.local_get(acc);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `CRC32`: build the reflected table, then checksum a byte stream.
+pub(crate) fn crc32(scale: Scale) -> Module {
+    let n = 384 * scale.factor() as i64;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let table = f.malloc_bytes(256 * 8);
+    // Table generation: 256 entries x 8 shift steps.
+    for_range(&mut f, 0, 256, |f, i| {
+        let c = f.local();
+        f.local_set(c, i);
+        for_range(f, 0, 8, |f, _j| {
+            let cv = f.local_get(c);
+            let lsb = f.bin_imm(BinOp::And, cv, 1);
+            let shifted = f.bin_imm(BinOp::Srl, cv, 1);
+            if_else(
+                f,
+                lsb,
+                |f| {
+                    let x = f.konst(0xedb8_8320);
+                    let v = f.bin(BinOp::Xor, shifted, x);
+                    f.local_set(c, v);
+                },
+                |f| f.local_set(c, shifted),
+            );
+        });
+        let cv = f.local_get(c);
+        let off = f.bin_imm(BinOp::Sll, i, 3);
+        let slot = f.gep(table, off);
+        f.store(cv, slot, 0, Width::U64);
+    });
+    // Stream bytes through the table.
+    let data = f.malloc_bytes(n as u64);
+    fill_array(&mut f, data, n / 8, 99);
+    let crc = f.local();
+    let init = f.konst(0xffff_ffff);
+    f.local_set(crc, init);
+    for_range(&mut f, 0, n, |f, i| {
+        let slot = f.gep(data, i);
+        let b = f.load(slot, 0, Width::U8);
+        let c = f.local_get(crc);
+        let idx = f.bin(BinOp::Xor, c, b);
+        let idx = f.bin_imm(BinOp::And, idx, 0xff);
+        let off = f.bin_imm(BinOp::Sll, idx, 3);
+        let tslot = f.gep(table, off);
+        let t = f.load(tslot, 0, Width::U64);
+        let c8 = f.bin_imm(BinOp::Srl, c, 8);
+        let nc = f.bin(BinOp::Xor, c8, t);
+        f.local_set(crc, nc);
+    });
+    f.free(data);
+    f.free(table);
+    let r = f.local_get(crc);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `bitcounts`: population counts over a word array with three different
+/// bit-twiddling strategies (ALU-dominated, light memory traffic).
+pub(crate) fn bitcounts(scale: Scale) -> Module {
+    let n = 96 * scale.factor() as i64;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let arr = f.malloc_bytes((n * 8) as u64);
+    fill_array(&mut f, arr, n, 3);
+    let acc = f.local();
+    let z = f.konst(0);
+    f.local_set(acc, z);
+    for_range(&mut f, 0, n, |f, i| {
+        let off = f.bin_imm(BinOp::Sll, i, 3);
+        let slot = f.gep(arr, off);
+        let w = f.load(slot, 0, Width::U64);
+        // Strategy 1: Kernighan loop.
+        let v = f.local();
+        f.local_set(v, w);
+        while_loop(
+            f,
+            |f| f.local_get(v),
+            |f| {
+                let x = f.local_get(v);
+                let xm1 = f.bin_imm(BinOp::Sub, x, 1);
+                let x2 = f.bin(BinOp::And, x, xm1);
+                f.local_set(v, x2);
+                let a = f.local_get(acc);
+                let s = f.bin_imm(BinOp::Add, a, 1);
+                f.local_set(acc, s);
+            },
+        );
+        // Strategy 2: nibble shifts.
+        let v2 = f.local();
+        f.local_set(v2, w);
+        for_range(f, 0, 16, |f, _| {
+            let x = f.local_get(v2);
+            let nib = f.bin_imm(BinOp::And, x, 0xf);
+            let a = f.local_get(acc);
+            let s = f.bin(BinOp::Add, a, nib);
+            f.local_set(acc, s);
+            let x4 = f.bin_imm(BinOp::Srl, x, 4);
+            f.local_set(v2, x4);
+        });
+    });
+    f.free(arr);
+    let r = f.local_get(acc);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `dijkstra`: single-source shortest path over an adjacency matrix.
+pub(crate) fn dijkstra(scale: Scale) -> Module {
+    let n = (10 + 6 * scale.factor()) as i64; // nodes
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let adj = f.malloc_bytes((n * n * 8) as u64);
+    fill_array(&mut f, adj, n * n, 11);
+    // Clamp weights to 1..=255.
+    for_range(&mut f, 0, n * n, |f, i| {
+        let off = f.bin_imm(BinOp::Sll, i, 3);
+        let slot = f.gep(adj, off);
+        let w = f.load(slot, 0, Width::U64);
+        let w = f.bin_imm(BinOp::And, w, 0xff);
+        let w = f.bin_imm(BinOp::Add, w, 1);
+        f.store(w, slot, 0, Width::U64);
+    });
+    let dist = f.malloc_bytes((n * 8) as u64);
+    let visited = f.malloc_bytes((n * 8) as u64);
+    let inf = f.konst(1 << 40);
+    for_range(&mut f, 0, n, |f, i| {
+        let off = f.bin_imm(BinOp::Sll, i, 3);
+        let ds = f.gep(dist, off);
+        f.store(inf, ds, 0, Width::U64);
+        let vs = f.gep(visited, off);
+        let z = f.konst(0);
+        f.store(z, vs, 0, Width::U64);
+    });
+    let zero = f.konst(0);
+    f.store(zero, dist, 0, Width::U64); // dist[0] = 0
+                                        // n rounds of select-min + relax.
+    for_range(&mut f, 0, n, |f, _round| {
+        let best = f.local();
+        let best_d = f.local();
+        let m1 = f.konst(-1);
+        f.local_set(best, m1);
+        let inf2 = f.konst(1 << 41);
+        f.local_set(best_d, inf2);
+        for_range(f, 0, n, |f, j| {
+            let off = f.bin_imm(BinOp::Sll, j, 3);
+            let vs = f.gep(visited, off);
+            let seen = f.load(vs, 0, Width::U64);
+            let unseen = f.bin_imm(BinOp::Eq, seen, 0);
+            if_then(f, unseen, |f| {
+                let ds = f.gep(dist, off);
+                let d = f.load(ds, 0, Width::U64);
+                let bd = f.local_get(best_d);
+                let better = f.bin(BinOp::Sltu, d, bd);
+                if_then(f, better, |f| {
+                    f.local_set(best_d, d);
+                    f.local_set(best, j);
+                });
+            });
+        });
+        let b = f.local_get(best);
+        let found = f.bin_imm(BinOp::Ne, b, -1);
+        if_then(f, found, |f| {
+            let b = f.local_get(best);
+            let boff = f.bin_imm(BinOp::Sll, b, 3);
+            let vs = f.gep(visited, boff);
+            let one = f.konst(1);
+            f.store(one, vs, 0, Width::U64);
+            let bd = f.local_get(best_d);
+            // Relax neighbours.
+            for_range(f, 0, n, |f, j| {
+                let b2 = f.local_get(best);
+                let row = f.bin_imm(BinOp::Mul, b2, n);
+                let idx = f.bin(BinOp::Add, row, j);
+                let aoff = f.bin_imm(BinOp::Sll, idx, 3);
+                let aslot = f.gep(adj, aoff);
+                let w = f.load(aslot, 0, Width::U64);
+                let cand = f.bin(BinOp::Add, bd, w);
+                let joff = f.bin_imm(BinOp::Sll, j, 3);
+                let ds = f.gep(dist, joff);
+                let d = f.load(ds, 0, Width::U64);
+                let better = f.bin(BinOp::Sltu, cand, d);
+                if_then(f, better, |f| {
+                    f.store(cand, ds, 0, Width::U64);
+                });
+            });
+        });
+    });
+    // Checksum the distances.
+    let acc = f.local();
+    f.local_set(acc, zero);
+    for_range(&mut f, 0, n, |f, i| {
+        let off = f.bin_imm(BinOp::Sll, i, 3);
+        let ds = f.gep(dist, off);
+        let d = f.load(ds, 0, Width::U64);
+        let a = f.local_get(acc);
+        let s = f.bin(BinOp::Add, a, d);
+        f.local_set(acc, s);
+    });
+    f.free(adj);
+    f.free(dist);
+    f.free(visited);
+    let r = f.local_get(acc);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `sha`: block hashing — 16-word blocks mixed into a 5-word state with
+/// shifts and xors (SHA-1 style skeleton).
+pub(crate) fn sha(scale: Scale) -> Module {
+    let blocks = 12 * scale.factor() as i64;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let data = f.malloc_bytes((blocks * 16 * 8) as u64);
+    fill_array(&mut f, data, blocks * 16, 5);
+    let state = f.malloc_bytes(5 * 8);
+    for_range(&mut f, 0, 5, |f, i| {
+        let c = f.bin_imm(BinOp::Mul, i, 0x1234_5678);
+        let off = f.bin_imm(BinOp::Sll, i, 3);
+        let slot = f.gep(state, off);
+        f.store(c, slot, 0, Width::U64);
+    });
+    for_range(&mut f, 0, blocks, |f, b| {
+        for_range(f, 0, 16, |f, j| {
+            let base = f.bin_imm(BinOp::Mul, b, 16 * 8);
+            let joff = f.bin_imm(BinOp::Sll, j, 3);
+            let off = f.bin(BinOp::Add, base, joff);
+            let slot = f.gep(data, off);
+            let word = f.load(slot, 0, Width::U64);
+            // state[j % 5] = rotl(state[j%5], 5) ^ word + j
+            let idx = f.bin_imm(BinOp::Rem, j, 5);
+            let soff = f.bin_imm(BinOp::Sll, idx, 3);
+            let sslot = f.gep(state, soff);
+            let s = f.load(sslot, 0, Width::U64);
+            let hi = f.bin_imm(BinOp::Sll, s, 5);
+            let lo = f.bin_imm(BinOp::Srl, s, 59);
+            let rot = f.bin(BinOp::Or, hi, lo);
+            let x = f.bin(BinOp::Xor, rot, word);
+            let x = f.bin(BinOp::Add, x, j);
+            f.store(x, sslot, 0, Width::U64);
+        });
+    });
+    let acc = f.local();
+    let z = f.konst(0);
+    f.local_set(acc, z);
+    for_range(&mut f, 0, 5, |f, i| {
+        let off = f.bin_imm(BinOp::Sll, i, 3);
+        let slot = f.gep(state, off);
+        let s = f.load(slot, 0, Width::U64);
+        let a = f.local_get(acc);
+        let n = f.bin(BinOp::Xor, a, s);
+        f.local_set(acc, n);
+    });
+    f.free(data);
+    f.free(state);
+    let r = f.local_get(acc);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `math`: multiply/divide/remainder chains with almost no memory
+/// traffic — the low-overhead end of Fig. 4.
+pub(crate) fn math(scale: Scale) -> Module {
+    let n = 900 * scale.factor() as i64;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    // A small result table: one store per iteration is the only pointer
+    // traffic, keeping this the low-overhead end of Fig. 4.
+    let results = f.malloc_bytes(64 * 8);
+    let acc = f.local();
+    let one = f.konst(1);
+    f.local_set(acc, one);
+    for_range(&mut f, 1, n, |f, i| {
+        let a = f.local_get(acc);
+        let t = f.bin(BinOp::Mul, a, i);
+        let t = f.bin_imm(BinOp::Add, t, 17);
+        let d = f.bin_imm(BinOp::Add, i, 3);
+        let q = f.bin(BinOp::Div, t, d);
+        let r = f.bin(BinOp::Rem, t, d);
+        let s = f.bin(BinOp::Add, q, r);
+        let s = f.bin_imm(BinOp::And, s, 0xffff_ffff);
+        f.local_set(acc, s);
+        let idx = f.bin_imm(BinOp::And, i, 63);
+        let off = f.bin_imm(BinOp::Sll, idx, 3);
+        let slot = f.gep(results, off);
+        f.store(s, slot, 0, Width::U64);
+    });
+    // Fold the table back into the checksum.
+    for_range(&mut f, 0, 64, |f, i| {
+        let off = f.bin_imm(BinOp::Sll, i, 3);
+        let slot = f.gep(results, off);
+        let v = f.load(slot, 0, Width::U64);
+        let a = f.local_get(acc);
+        let s = f.bin(BinOp::Xor, a, v);
+        f.local_set(acc, s);
+    });
+    f.free(results);
+    let r = f.local_get(acc);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `FFT`: log-n butterfly passes with strided array accesses over
+/// real/imaginary twin arrays (fixed-point).
+pub(crate) fn fft(scale: Scale) -> Module {
+    let log_n = 7 + (scale.factor() as i64 - 1).min(3); // 128..1024 points
+    let n = 1i64 << log_n;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let re = f.malloc_bytes((n * 8) as u64);
+    let im = f.malloc_bytes((n * 8) as u64);
+    fill_array(&mut f, re, n, 21);
+    fill_array(&mut f, im, n, 22);
+    // Butterfly passes: for span in 1,2,4..n/2, combine pairs.
+    let span = f.local();
+    let one = f.konst(1);
+    f.local_set(span, one);
+    while_loop(
+        &mut f,
+        |f| {
+            let s = f.local_get(span);
+            f.bin_imm(BinOp::Sltu, s, n)
+        },
+        |f| {
+            let s = f.local_get(span);
+            for_range(f, 0, n / 2, |f, k| {
+                let s2 = f.local_get(span);
+                // i = (k / span) * 2*span + (k % span); j = i + span
+                let q = f.bin(BinOp::Div, k, s2);
+                let rm = f.bin(BinOp::Rem, k, s2);
+                let two_s = f.bin_imm(BinOp::Sll, s2, 1);
+                let base = f.bin(BinOp::Mul, q, two_s);
+                let i = f.bin(BinOp::Add, base, rm);
+                let j = f.bin(BinOp::Add, i, s2);
+                let ioff = f.bin_imm(BinOp::Sll, i, 3);
+                let joff = f.bin_imm(BinOp::Sll, j, 3);
+                let ri = f.gep(re, ioff);
+                let rj = f.gep(re, joff);
+                let ii = f.gep(im, ioff);
+                let ij = f.gep(im, joff);
+                let a = f.load(ri, 0, Width::U64);
+                let b = f.load(rj, 0, Width::U64);
+                let c = f.load(ii, 0, Width::U64);
+                let d = f.load(ij, 0, Width::U64);
+                // Unit twiddle butterfly (keeps it integer-exact).
+                let sum_r = f.bin(BinOp::Add, a, b);
+                let dif_r = f.bin(BinOp::Sub, a, b);
+                let sum_i = f.bin(BinOp::Add, c, d);
+                let dif_i = f.bin(BinOp::Sub, c, d);
+                f.store(sum_r, ri, 0, Width::U64);
+                f.store(dif_r, rj, 0, Width::U64);
+                f.store(sum_i, ii, 0, Width::U64);
+                f.store(dif_i, ij, 0, Width::U64);
+            });
+            let ns = f.bin_imm(BinOp::Sll, s, 1);
+            f.local_set(span, ns);
+        },
+    );
+    let acc = f.local();
+    let z = f.konst(0);
+    f.local_set(acc, z);
+    for_range(&mut f, 0, n, |f, i| {
+        let off = f.bin_imm(BinOp::Sll, i, 3);
+        let rs = f.gep(re, off);
+        let is = f.gep(im, off);
+        let a = f.load(rs, 0, Width::U64);
+        let b = f.load(is, 0, Width::U64);
+        let x = f.bin(BinOp::Xor, a, b);
+        let t = f.local_get(acc);
+        let s = f.bin(BinOp::Add, t, x);
+        f.local_set(acc, s);
+    });
+    f.free(re);
+    f.free(im);
+    let r = f.local_get(acc);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `adpcm`: sequential byte codec with a scalar predictor state.
+pub(crate) fn adpcm(scale: Scale) -> Module {
+    let n = 1024 * scale.factor() as i64;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let input = f.malloc_bytes(n as u64);
+    let output = f.malloc_bytes(n as u64);
+    // Fill input bytes.
+    let x = f.local();
+    let seed = f.konst(77);
+    f.local_set(x, seed);
+    for_range(&mut f, 0, n, |f, i| {
+        let cur = f.local_get(x);
+        let nxt = lcg_next(f, cur);
+        f.local_set(x, nxt);
+        let b = f.bin_imm(BinOp::And, nxt, 0xff);
+        let slot = f.gep(input, i);
+        f.store(b, slot, 0, Width::U8);
+    });
+    // Encode: delta against a predicted value with adaptive step.
+    let pred = f.local();
+    let step = f.local();
+    let z = f.konst(0);
+    let one = f.konst(1);
+    f.local_set(pred, z);
+    f.local_set(step, one);
+    for_range(&mut f, 0, n, |f, i| {
+        let islot = f.gep(input, i);
+        let sample = f.load(islot, 0, Width::U8);
+        let p = f.local_get(pred);
+        let delta = f.bin(BinOp::Sub, sample, p);
+        let st = f.local_get(step);
+        let code = f.bin(BinOp::Div, delta, st);
+        let code = f.bin_imm(BinOp::And, code, 0xff);
+        let oslot = f.gep(output, i);
+        f.store(code, oslot, 0, Width::U8);
+        // Update predictor and step.
+        let back = f.bin(BinOp::Mul, code, st);
+        let np = f.bin(BinOp::Add, p, back);
+        let np = f.bin_imm(BinOp::And, np, 0xff);
+        f.local_set(pred, np);
+        let big = f.bin_imm(BinOp::Sltu, code, 4);
+        if_else(
+            f,
+            big,
+            |f| {
+                let s = f.local_get(step);
+                let shrunk = f.bin_imm(BinOp::Srl, s, 1);
+                let shrunk = f.bin_imm(BinOp::Or, shrunk, 1);
+                f.local_set(step, shrunk);
+            },
+            |f| {
+                let s = f.local_get(step);
+                let grown = f.bin_imm(BinOp::Add, s, 2);
+                f.local_set(step, grown);
+            },
+        );
+    });
+    // Checksum output.
+    let acc = f.local();
+    f.local_set(acc, z);
+    for_range(&mut f, 0, n, |f, i| {
+        let oslot = f.gep(output, i);
+        let b = f.load(oslot, 0, Width::U8);
+        let a = f.local_get(acc);
+        let s = f.bin(BinOp::Add, a, b);
+        f.local_set(acc, s);
+    });
+    f.free(input);
+    f.free(output);
+    let r = f.local_get(acc);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `susan`: 3x3 neighbourhood smoothing over a 2-D image.
+pub(crate) fn susan(scale: Scale) -> Module {
+    let w = (24 + 8 * scale.factor()) as i64;
+    let h = w;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let img = f.malloc_bytes((w * h) as u64);
+    let out = f.malloc_bytes((w * h) as u64);
+    let x = f.local();
+    let seed = f.konst(13);
+    f.local_set(x, seed);
+    for_range(&mut f, 0, w * h, |f, i| {
+        let cur = f.local_get(x);
+        let nxt = lcg_next(f, cur);
+        f.local_set(x, nxt);
+        let b = f.bin_imm(BinOp::And, nxt, 0xff);
+        let slot = f.gep(img, i);
+        f.store(b, slot, 0, Width::U8);
+    });
+    for_range(&mut f, 1, h - 1, |f, yy| {
+        for_range(f, 1, w - 1, |f, xx| {
+            let sum = f.local();
+            let z = f.konst(0);
+            f.local_set(sum, z);
+            for_range(f, -1, 2, |f, dy| {
+                for_range(f, -1, 2, |f, dx| {
+                    let row = f.bin(BinOp::Add, yy, dy);
+                    let col = f.bin(BinOp::Add, xx, dx);
+                    let roff = f.bin_imm(BinOp::Mul, row, w);
+                    let idx = f.bin(BinOp::Add, roff, col);
+                    let slot = f.gep(img, idx);
+                    let p = f.load(slot, 0, Width::U8);
+                    let s = f.local_get(sum);
+                    let ns = f.bin(BinOp::Add, s, p);
+                    f.local_set(sum, ns);
+                });
+            });
+            let s = f.local_get(sum);
+            let avg = f.bin_imm(BinOp::Div, s, 9);
+            let roff = f.bin_imm(BinOp::Mul, yy, w);
+            let idx = f.bin(BinOp::Add, roff, xx);
+            let oslot = f.gep(out, idx);
+            f.store(avg, oslot, 0, Width::U8);
+        });
+    });
+    let acc = f.local();
+    let z = f.konst(0);
+    f.local_set(acc, z);
+    for_range(&mut f, 0, w * h, |f, i| {
+        let slot = f.gep(out, i);
+        let b = f.load(slot, 0, Width::U8);
+        let a = f.local_get(acc);
+        let s = f.bin(BinOp::Add, a, b);
+        f.local_set(acc, s);
+    });
+    f.free(img);
+    f.free(out);
+    let r = f.local_get(acc);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}

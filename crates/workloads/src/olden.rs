@@ -1,0 +1,533 @@
+//! Olden-like pointer-intensive kernels.
+//!
+//! Node fields are laid out as consecutive 8-byte slots; child links are
+//! stored with `StorePtr`/`LoadPtr` so metadata propagates through memory
+//! (the dominant cost of pointer-based safety on these programs). Absent
+//! children are denoted by a depth guard rather than a null dereference.
+
+use crate::util::*;
+use crate::Scale;
+use hwst_compiler::ir::{BinOp, Module, Width};
+use hwst_compiler::ModuleBuilder;
+
+/// `treeadd`: build a binary tree recursively, then reduce it.
+pub(crate) fn treeadd(scale: Scale) -> Module {
+    let depth = 6 + (scale.factor() as i64).min(4); // 127..1023 nodes
+    let mut mb = ModuleBuilder::new();
+
+    // build(depth) -> node*
+    let mut f = mb.func("build");
+    let d = f.param(false);
+    let node = f.malloc_bytes(24);
+    f.store(d, node, 0, Width::U64);
+    let more = f.bin_imm(BinOp::Slt, d, 2);
+    let leaf = f.bin_imm(BinOp::Eq, more, 0); // d >= 2
+    if_then(&mut f, leaf, |f| {
+        let dm1 = f.bin_imm(BinOp::Sub, d, 1);
+        let l = f.call("build", &[dm1]);
+        f.store_ptr(l, node, 8);
+        let r = f.call("build", &[dm1]);
+        f.store_ptr(r, node, 16);
+    });
+    f.ret(Some(node));
+    f.finish();
+
+    // sum(node*, depth) -> u64
+    let mut f = mb.func("sum");
+    let node = f.param(true);
+    let d = f.param(false);
+    let v = f.load(node, 0, Width::U64);
+    let acc = f.local();
+    f.local_set(acc, v);
+    let internal = f.bin_imm(BinOp::Slt, d, 2);
+    let internal = f.bin_imm(BinOp::Eq, internal, 0);
+    if_then(&mut f, internal, |f| {
+        let dm1 = f.bin_imm(BinOp::Sub, d, 1);
+        let l = f.load_ptr(node, 8);
+        let ls = f.call("sum", &[l, dm1]);
+        let r = f.load_ptr(node, 16);
+        let rs = f.call("sum", &[r, dm1]);
+        let a = f.local_get(acc);
+        let t = f.bin(BinOp::Add, a, ls);
+        let t = f.bin(BinOp::Add, t, rs);
+        f.local_set(acc, t);
+    });
+    let r = f.local_get(acc);
+    f.ret(Some(r));
+    f.finish();
+
+    let mut f = mb.func("main");
+    let dd = f.konst(depth);
+    let root = f.call("build", &[dd]);
+    let s = f.call("sum", &[root, dd]);
+    let code = f.bin_imm(BinOp::And, s, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `bisort`: binary tree with value-swapping traversals (the sort phase
+/// of Olden's bitonic sort, reduced to its pointer-access pattern).
+pub(crate) fn bisort(scale: Scale) -> Module {
+    let depth = 5 + (scale.factor() as i64).min(4);
+    let mut mb = ModuleBuilder::new();
+
+    // build(depth, seed) -> node*  — node: [val][left][right]
+    let mut f = mb.func("build");
+    let d = f.param(false);
+    let seed = f.param(false);
+    let node = f.malloc_bytes(24);
+    let v = lcg_next(&mut f, seed);
+    f.store(v, node, 0, Width::U64);
+    let internal = f.bin_imm(BinOp::Slt, d, 2);
+    let internal = f.bin_imm(BinOp::Eq, internal, 0);
+    if_then(&mut f, internal, |f| {
+        let dm1 = f.bin_imm(BinOp::Sub, d, 1);
+        let s1 = f.bin_imm(BinOp::Add, v, 1);
+        let l = f.call("build", &[dm1, s1]);
+        f.store_ptr(l, node, 8);
+        let s2 = f.bin_imm(BinOp::Add, v, 2);
+        let r = f.call("build", &[dm1, s2]);
+        f.store_ptr(r, node, 16);
+    });
+    f.ret(Some(node));
+    f.finish();
+
+    // sortpass(node*, depth, dir) -> u64 — swap children values toward
+    // `dir`, return the subtree min/max witness.
+    let mut f = mb.func("sortpass");
+    let node = f.param(true);
+    let d = f.param(false);
+    let dir = f.param(false);
+    let v = f.load(node, 0, Width::U64);
+    let out = f.local();
+    f.local_set(out, v);
+    let internal = f.bin_imm(BinOp::Slt, d, 2);
+    let internal = f.bin_imm(BinOp::Eq, internal, 0);
+    if_then(&mut f, internal, |f| {
+        let l = f.load_ptr(node, 8);
+        let r = f.load_ptr(node, 16);
+        let lv = f.load(l, 0, Width::U64);
+        let rv = f.load(r, 0, Width::U64);
+        // Swap if out of order w.r.t. dir.
+        let lt = f.bin(BinOp::Sltu, rv, lv);
+        let want = f.bin(BinOp::Eq, lt, dir);
+        if_then(f, want, |f| {
+            f.store(rv, l, 0, Width::U64);
+            f.store(lv, r, 0, Width::U64);
+        });
+        let dm1 = f.bin_imm(BinOp::Sub, d, 1);
+        let a = f.call("sortpass", &[l, dm1, dir]);
+        let ndir = f.bin_imm(BinOp::Xor, dir, 1);
+        let b = f.call("sortpass", &[r, dm1, ndir]);
+        let o = f.local_get(out);
+        let t = f.bin(BinOp::Xor, o, a);
+        let t = f.bin(BinOp::Add, t, b);
+        f.local_set(out, t);
+    });
+    let r = f.local_get(out);
+    f.ret(Some(r));
+    f.finish();
+
+    let mut f = mb.func("main");
+    let dd = f.konst(depth);
+    let sd = f.konst(1);
+    let root = f.call("build", &[dd, sd]);
+    let acc = f.local();
+    let z = f.konst(0);
+    f.local_set(acc, z);
+    for_range(&mut f, 0, 4, |f, pass| {
+        let dir = f.bin_imm(BinOp::And, pass, 1);
+        let dd2 = f.konst(depth);
+        let w = f.call("sortpass", &[root, dd2, dir]);
+        let a = f.local_get(acc);
+        let t = f.bin(BinOp::Add, a, w);
+        f.local_set(acc, t);
+    });
+    let r = f.local_get(acc);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `mst`: vertices with adjacency linked lists; repeated list walks
+/// accumulating minimum edge weights (Prim's skeleton).
+pub(crate) fn mst(scale: Scale) -> Module {
+    let n = (12 + 6 * scale.factor()) as i64; // vertices
+    let deg = 4i64; // edges per vertex
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    // vertex table: n pointer slots to list heads.
+    let verts = f.malloc_bytes((n * 8) as u64);
+    // Build lists: cell = [weight][target][next*].
+    let x = f.local();
+    let seed = f.konst(31);
+    f.local_set(x, seed);
+    for_range(&mut f, 0, n, |f, i| {
+        // Build `deg` cells, linking each to the previous through memory.
+        let voff = f.bin_imm(BinOp::Sll, i, 3);
+        let vslot = f.gep(verts, voff);
+        let z = f.konst(0);
+        f.store(z, vslot, 0, Width::U64); // empty list sentinel
+        for_range(f, 0, deg, |f, _j| {
+            let cell = f.malloc_bytes(24);
+            let cur = f.local_get(x);
+            let nxt = lcg_next(f, cur);
+            f.local_set(x, nxt);
+            let w = f.bin_imm(BinOp::And, nxt, 0xff);
+            let w = f.bin_imm(BinOp::Add, w, 1);
+            f.store(w, cell, 0, Width::U64);
+            let tgt = f.bin_imm(BinOp::Rem, nxt, n);
+            f.store(tgt, cell, 8, Width::U64);
+            // cell.next = verts[i]; verts[i] = cell
+            let voff2 = f.bin_imm(BinOp::Sll, i, 3);
+            let vslot2 = f.gep(verts, voff2);
+            let old = f.load_ptr(vslot2, 0);
+            f.store_ptr(old, cell, 16);
+            f.store_ptr(cell, vslot2, 0);
+        });
+    });
+    // Prim-lite: n rounds; in each, walk every vertex list and take the
+    // global minimum weight, marking by zeroing the chosen weight.
+    let total = f.local();
+    let z = f.konst(0);
+    f.local_set(total, z);
+    for_range(&mut f, 0, n, |f, _round| {
+        let best = f.local();
+        let big = f.konst(1 << 30);
+        f.local_set(best, big);
+        for_range(f, 0, n, |f, i| {
+            let voff = f.bin_imm(BinOp::Sll, i, 3);
+            let vslot = f.gep(verts, voff);
+            // Walk exactly `deg` cells via chained LoadPtr.
+            let mut cur = f.load_ptr(vslot, 0);
+            for _step in 0..deg {
+                let w = f.load(cur, 0, Width::U64);
+                let nz = f.bin_imm(BinOp::Ne, w, 0);
+                if_then(f, nz, |f| {
+                    let b = f.local_get(best);
+                    let better = f.bin(BinOp::Sltu, w, b);
+                    if_then(f, better, |f| f.local_set(best, w));
+                });
+                cur = f.load_ptr(cur, 16);
+            }
+            let _ = cur;
+        });
+        let b = f.local_get(best);
+        let found = f.bin_imm(BinOp::Sltu, b, 1 << 30);
+        if_then(f, found, |f| {
+            let b2 = f.local_get(best);
+            let t = f.local_get(total);
+            let s = f.bin(BinOp::Add, t, b2);
+            f.local_set(total, s);
+        });
+    });
+    let r = f.local_get(total);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `perimeter`: quadtree build and leaf-counting traversal.
+pub(crate) fn perimeter(scale: Scale) -> Module {
+    let depth = 4 + (scale.factor() as i64).min(3);
+    let mut mb = ModuleBuilder::new();
+
+    // build(depth, colour) -> node*  — node: [colour][c0][c1][c2][c3]
+    let mut f = mb.func("build");
+    let d = f.param(false);
+    let colour = f.param(false);
+    let node = f.malloc_bytes(40);
+    f.store(colour, node, 0, Width::U64);
+    let internal = f.bin_imm(BinOp::Slt, d, 2);
+    let internal = f.bin_imm(BinOp::Eq, internal, 0);
+    if_then(&mut f, internal, |f| {
+        let dm1 = f.bin_imm(BinOp::Sub, d, 1);
+        for (q, off) in [(0i64, 8i64), (1, 16), (2, 24), (3, 32)] {
+            let qc = f.konst(q);
+            let c = f.bin(BinOp::Xor, colour, qc);
+            let c = f.bin_imm(BinOp::And, c, 1);
+            let child = f.call("build", &[dm1, c]);
+            f.store_ptr(child, node, off);
+        }
+    });
+    f.ret(Some(node));
+    f.finish();
+
+    // peri(node*, depth) -> u64 — count black leaves (colour 1).
+    let mut f = mb.func("peri");
+    let node = f.param(true);
+    let d = f.param(false);
+    let acc = f.local();
+    let leaf = f.bin_imm(BinOp::Slt, d, 2);
+    let c = f.load(node, 0, Width::U64);
+    f.local_set(acc, c);
+    let internal = f.bin_imm(BinOp::Eq, leaf, 0);
+    if_then(&mut f, internal, |f| {
+        let z = f.konst(0);
+        f.local_set(acc, z);
+        let dm1 = f.bin_imm(BinOp::Sub, d, 1);
+        for off in [8i64, 16, 24, 32] {
+            let child = f.load_ptr(node, off);
+            let s = f.call("peri", &[child, dm1]);
+            let a = f.local_get(acc);
+            let t = f.bin(BinOp::Add, a, s);
+            f.local_set(acc, t);
+        }
+    });
+    let r = f.local_get(acc);
+    f.ret(Some(r));
+    f.finish();
+
+    let mut f = mb.func("main");
+    let dd = f.konst(depth);
+    let black = f.konst(1);
+    let root = f.call("build", &[dd, black]);
+    let s = f.call("peri", &[root, dd]);
+    let code = f.bin_imm(BinOp::And, s, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `health`: a waiting-list simulation with steady malloc/free churn —
+/// the temporal-metadata stress among the Olden kernels.
+pub(crate) fn health(scale: Scale) -> Module {
+    let steps = 60 * scale.factor() as i64;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    // Head cell on the heap so pointers round-trip memory.
+    let headg = f.malloc_bytes(8);
+    let checksum = f.local();
+    let z = f.konst(0);
+    f.local_set(checksum, z);
+    let x = f.local();
+    let seed = f.konst(17);
+    f.local_set(x, seed);
+    for_range(&mut f, 0, steps, |f, step| {
+        // Admit a patient: cell = [id][severity][next*]
+        let cell = f.malloc_bytes(24);
+        f.store(step, cell, 0, Width::U64);
+        let cur = f.local_get(x);
+        let nxt = lcg_next(f, cur);
+        f.local_set(x, nxt);
+        let sev = f.bin_imm(BinOp::And, nxt, 0x3);
+        let sev = f.bin_imm(BinOp::Add, sev, 1);
+        f.store(sev, cell, 8, Width::U64);
+        let old = f.load_ptr(headg, 0);
+        f.store_ptr(old, cell, 16);
+        f.store_ptr(cell, headg, 0);
+        // Treat: walk the list, decrement severity, discharge (free) the
+        // head when it reaches zero (frees interleave with allocation).
+        let head = f.load_ptr(headg, 0);
+        let hsev = f.load(head, 8, Width::U64);
+        let hsev = f.bin_imm(BinOp::Sub, hsev, 1);
+        f.store(hsev, head, 8, Width::U64);
+        let done = f.bin_imm(BinOp::Eq, hsev, 0);
+        if_then(f, done, |f| {
+            let h = f.load_ptr(headg, 0);
+            let id = f.load(h, 0, Width::U64);
+            let c = f.local_get(checksum);
+            let s = f.bin(BinOp::Add, c, id);
+            f.local_set(checksum, s);
+            let next = f.load_ptr(h, 16);
+            f.store_ptr(next, headg, 0);
+            f.free(h);
+        });
+    });
+    let r = f.local_get(checksum);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `em3d`: bipartite graph relaxation through per-node dependency
+/// pointer arrays.
+pub(crate) fn em3d(scale: Scale) -> Module {
+    let n = (16 + 8 * scale.factor()) as i64; // nodes per side
+    let deps = 3i64;
+    let iters = 4i64;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    // Node: [value][dep0*][dep1*][dep2*] = 32 bytes.
+    let enodes = f.malloc_bytes((n * 8) as u64); // pointer tables
+    let hnodes = f.malloc_bytes((n * 8) as u64);
+    let x = f.local();
+    let seed = f.konst(23);
+    f.local_set(x, seed);
+    for (tbl, base_seed) in [(enodes, 1i64), (hnodes, 2)] {
+        for_range(&mut f, 0, n, |f, i| {
+            let node = f.malloc_bytes(32);
+            let cur = f.local_get(x);
+            let nxt = lcg_next(f, cur);
+            f.local_set(x, nxt);
+            let v = f.bin_imm(BinOp::Add, nxt, base_seed);
+            f.store(v, node, 0, Width::U64);
+            let off = f.bin_imm(BinOp::Sll, i, 3);
+            let slot = f.gep(tbl, off);
+            f.store_ptr(node, slot, 0);
+        });
+    }
+    // Wire dependencies: e-node deps point at h-nodes and vice versa.
+    for (tbl, other) in [(enodes, hnodes), (hnodes, enodes)] {
+        for_range(&mut f, 0, n, |f, i| {
+            let off = f.bin_imm(BinOp::Sll, i, 3);
+            let slot = f.gep(tbl, off);
+            let node = f.load_ptr(slot, 0);
+            for d in 0..deps {
+                let cur = f.local_get(x);
+                let nxt = lcg_next(f, cur);
+                f.local_set(x, nxt);
+                let t = f.bin_imm(BinOp::Rem, nxt, n);
+                let toff = f.bin_imm(BinOp::Sll, t, 3);
+                let tslot = f.gep(other, toff);
+                let dep = f.load_ptr(tslot, 0);
+                f.store_ptr(dep, node, 8 + d * 8);
+            }
+        });
+    }
+    // Relaxation iterations.
+    for_range(&mut f, 0, iters, |f, _it| {
+        for tbl in [enodes, hnodes] {
+            for_range(f, 0, n, |f, i| {
+                let off = f.bin_imm(BinOp::Sll, i, 3);
+                let slot = f.gep(tbl, off);
+                let node = f.load_ptr(slot, 0);
+                let v = f.load(node, 0, Width::U64);
+                let acc = f.local();
+                f.local_set(acc, v);
+                for d in 0..deps {
+                    let dep = f.load_ptr(node, 8 + d * 8);
+                    let dv = f.load(dep, 0, Width::U64);
+                    let half = f.bin_imm(BinOp::Srl, dv, 1);
+                    let a = f.local_get(acc);
+                    let s = f.bin(BinOp::Sub, a, half);
+                    f.local_set(acc, s);
+                }
+                let nv = f.local_get(acc);
+                f.store(nv, node, 0, Width::U64);
+            });
+        }
+    });
+    // Checksum e-node values.
+    let acc = f.local();
+    let z = f.konst(0);
+    f.local_set(acc, z);
+    for_range(&mut f, 0, n, |f, i| {
+        let off = f.bin_imm(BinOp::Sll, i, 3);
+        let slot = f.gep(enodes, off);
+        let node = f.load_ptr(slot, 0);
+        let v = f.load(node, 0, Width::U64);
+        let a = f.local_get(acc);
+        let s = f.bin(BinOp::Xor, a, v);
+        f.local_set(acc, s);
+    });
+    let r = f.local_get(acc);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `tsp`: nearest-neighbour tour over a linked list of cities.
+pub(crate) fn tsp(scale: Scale) -> Module {
+    let n = (14 + 6 * scale.factor()) as i64;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    // City: [x][y][visited][next*] = 32 bytes. The list head and two
+    // scan cursors live in heap cells so pointers round-trip memory
+    // (list chasing is the whole point of this workload).
+    let headc = f.malloc_bytes(8);
+    let scanc = f.malloc_bytes(8);
+    let bestc = f.malloc_bytes(8);
+    let z = f.konst(0);
+    f.store(z, headc, 0, Width::U64);
+    let x = f.local();
+    let seed = f.konst(41);
+    f.local_set(x, seed);
+    for_range(&mut f, 0, n, |f, _i| {
+        let city = f.malloc_bytes(32);
+        let cur = f.local_get(x);
+        let nxt = lcg_next(f, cur);
+        f.local_set(x, nxt);
+        let cx = f.bin_imm(BinOp::And, nxt, 0x3ff);
+        f.store(cx, city, 0, Width::U64);
+        let nxt2 = lcg_next(f, nxt);
+        f.local_set(x, nxt2);
+        let cy = f.bin_imm(BinOp::And, nxt2, 0x3ff);
+        f.store(cy, city, 8, Width::U64);
+        let zz = f.konst(0);
+        f.store(zz, city, 16, Width::U64);
+        let old = f.load_ptr(headc, 0);
+        f.store_ptr(old, city, 24);
+        f.store_ptr(city, headc, 0);
+    });
+    // Tour: start at the head city; n-1 times pick the nearest unvisited.
+    let tour = f.local();
+    f.local_set(tour, z);
+    let curx = f.local();
+    let cury = f.local();
+    let first = f.load_ptr(headc, 0);
+    let fx = f.load(first, 0, Width::U64);
+    let fy = f.load(first, 8, Width::U64);
+    f.local_set(curx, fx);
+    f.local_set(cury, fy);
+    let one = f.konst(1);
+    f.store(one, first, 16, Width::U64);
+    for_range(&mut f, 1, n, |f, _step| {
+        let bestd = f.local();
+        let big = f.konst(1 << 40);
+        f.local_set(bestd, big);
+        // Rewind the scan cursor and walk all n cells.
+        let h = f.load_ptr(headc, 0);
+        f.store_ptr(h, scanc, 0);
+        for_range(f, 0, n, |f, _idx| {
+            let p = f.load_ptr(scanc, 0);
+            let visited = f.load(p, 16, Width::U64);
+            let un = f.bin_imm(BinOp::Eq, visited, 0);
+            if_then(f, un, |f| {
+                let px = f.load(p, 0, Width::U64);
+                let py = f.load(p, 8, Width::U64);
+                let cx = f.local_get(curx);
+                let cy = f.local_get(cury);
+                let dx = f.bin(BinOp::Sub, px, cx);
+                let dy = f.bin(BinOp::Sub, py, cy);
+                let dx2 = f.bin(BinOp::Mul, dx, dx);
+                let dy2 = f.bin(BinOp::Mul, dy, dy);
+                let d = f.bin(BinOp::Add, dx2, dy2);
+                let b = f.local_get(bestd);
+                let better = f.bin(BinOp::Sltu, d, b);
+                if_then(f, better, |f| {
+                    f.local_set(bestd, d);
+                    let p2 = f.load_ptr(scanc, 0);
+                    f.store_ptr(p2, bestc, 0);
+                });
+            });
+            let next = f.load_ptr(p, 24);
+            f.store_ptr(next, scanc, 0);
+        });
+        let d = f.local_get(bestd);
+        let found = f.bin_imm(BinOp::Sltu, d, 1 << 40);
+        if_then(f, found, |f| {
+            let b = f.load_ptr(bestc, 0);
+            let one = f.konst(1);
+            f.store(one, b, 16, Width::U64);
+            let bx = f.load(b, 0, Width::U64);
+            let by = f.load(b, 8, Width::U64);
+            f.local_set(curx, bx);
+            f.local_set(cury, by);
+            let d2 = f.local_get(bestd);
+            let t = f.local_get(tour);
+            let s = f.bin(BinOp::Add, t, d2);
+            f.local_set(tour, s);
+        });
+    });
+    let r = f.local_get(tour);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}

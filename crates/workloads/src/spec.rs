@@ -1,0 +1,488 @@
+//! SPEC CPU2006-like kernels (the Fig. 5 comparison set).
+
+use crate::util::*;
+use crate::Scale;
+use hwst_compiler::ir::{BinOp, Module, Width};
+use hwst_compiler::ModuleBuilder;
+
+/// `milc`: streaming lattice arithmetic — 3x3 integer "matrix" products
+/// over large flat arrays (su3 multiplication skeleton).
+pub(crate) fn milc(scale: Scale) -> Module {
+    let sites = 40 * scale.factor() as i64;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let a = f.malloc_bytes((sites * 9 * 8) as u64);
+    let b = f.malloc_bytes((sites * 9 * 8) as u64);
+    let c = f.malloc_bytes((sites * 9 * 8) as u64);
+    fill_array(&mut f, a, sites * 9, 61);
+    fill_array(&mut f, b, sites * 9, 62);
+    for_range(&mut f, 0, sites, |f, s| {
+        let base = f.bin_imm(BinOp::Mul, s, 9 * 8);
+        for i in 0..3i64 {
+            for j in 0..3i64 {
+                let acc = f.local();
+                let z = f.konst(0);
+                f.local_set(acc, z);
+                for k in 0..3i64 {
+                    let aoff = f.bin_imm(BinOp::Add, base, (i * 3 + k) * 8);
+                    let boff = f.bin_imm(BinOp::Add, base, (k * 3 + j) * 8);
+                    let ap = f.gep(a, aoff);
+                    let bp = f.gep(b, boff);
+                    let av = f.load(ap, 0, Width::U64);
+                    let bv = f.load(bp, 0, Width::U64);
+                    let prod = f.bin(BinOp::Mul, av, bv);
+                    let t = f.local_get(acc);
+                    let t2 = f.bin(BinOp::Add, t, prod);
+                    f.local_set(acc, t2);
+                }
+                let coff = f.bin_imm(BinOp::Add, base, (i * 3 + j) * 8);
+                let cp = f.gep(c, coff);
+                let v = f.local_get(acc);
+                f.store(v, cp, 0, Width::U64);
+            }
+        }
+    });
+    let acc = f.local();
+    let z = f.konst(0);
+    f.local_set(acc, z);
+    for_range(&mut f, 0, sites * 9, |f, i| {
+        let off = f.bin_imm(BinOp::Sll, i, 3);
+        let cp = f.gep(c, off);
+        let v = f.load(cp, 0, Width::U64);
+        let t = f.local_get(acc);
+        let s = f.bin(BinOp::Xor, t, v);
+        f.local_set(acc, s);
+    });
+    f.free(a);
+    f.free(b);
+    f.free(c);
+    let r = f.local_get(acc);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `lbm`: lattice-Boltzmann-like stencil — read 5 neighbours, write the
+/// other grid, swap roles each sweep. Big-footprint streaming.
+pub(crate) fn lbm(scale: Scale) -> Module {
+    let w = (20 + 10 * scale.factor()) as i64;
+    let h = w;
+    let sweeps = 3i64;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let g0 = f.malloc_bytes((w * h * 8) as u64);
+    let g1 = f.malloc_bytes((w * h * 8) as u64);
+    fill_array(&mut f, g0, w * h, 71);
+    // Ping-pong sweeps: even sweeps g0 -> g1, odd g1 -> g0.
+    for sweep in 0..sweeps {
+        let (src, dst) = if sweep % 2 == 0 { (g0, g1) } else { (g1, g0) };
+        for_range(&mut f, 1, h - 1, |f, y| {
+            for_range(f, 1, w - 1, |f, x| {
+                let row = f.bin_imm(BinOp::Mul, y, w);
+                let idx = f.bin(BinOp::Add, row, x);
+                let off = f.bin_imm(BinOp::Sll, idx, 3);
+                let center = f.gep(src, off);
+                let cv = f.load(center, 0, Width::U64);
+                let nv = f.load(center, -w * 8, Width::U64);
+                let sv = f.load(center, w * 8, Width::U64);
+                let wv = f.load(center, -8, Width::U64);
+                let ev = f.load(center, 8, Width::U64);
+                let t = f.bin(BinOp::Add, nv, sv);
+                let t = f.bin(BinOp::Add, t, wv);
+                let t = f.bin(BinOp::Add, t, ev);
+                let t = f.bin_imm(BinOp::Srl, t, 2);
+                let mixed = f.bin(BinOp::Add, cv, t);
+                let mixed = f.bin_imm(BinOp::Srl, mixed, 1);
+                let dslot = f.gep(dst, off);
+                f.store(mixed, dslot, 0, Width::U64);
+            });
+        });
+    }
+    let fin = if sweeps % 2 == 0 { g0 } else { g1 };
+    let acc = f.local();
+    let z = f.konst(0);
+    f.local_set(acc, z);
+    for_range(&mut f, 0, w * h, |f, i| {
+        let off = f.bin_imm(BinOp::Sll, i, 3);
+        let slot = f.gep(fin, off);
+        let v = f.load(slot, 0, Width::U64);
+        let t = f.local_get(acc);
+        let s = f.bin(BinOp::Add, t, v);
+        f.local_set(acc, s);
+    });
+    f.free(g0);
+    f.free(g1);
+    let r = f.local_get(acc);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `sphinx3`: acoustic-scoring skeleton — gaussian table lookups mixed
+/// with a linked active-list that is rebuilt every frame.
+pub(crate) fn sphinx3(scale: Scale) -> Module {
+    let frames = 14 * scale.factor() as i64;
+    let senones = 48i64;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let means = f.malloc_bytes((senones * 8) as u64);
+    let vars = f.malloc_bytes((senones * 8) as u64);
+    fill_array(&mut f, means, senones, 81);
+    fill_array(&mut f, vars, senones, 82);
+    let listh = f.malloc_bytes(8);
+    let z = f.konst(0);
+    f.store(z, listh, 0, Width::U64);
+    let score = f.local();
+    f.local_set(score, z);
+    let x = f.local();
+    let seed = f.konst(83);
+    f.local_set(x, seed);
+    for_range(&mut f, 0, frames, |f, frame| {
+        // Score all senones against the frame's feature.
+        let cur = f.local_get(x);
+        let feat = lcg_next(f, cur);
+        f.local_set(x, feat);
+        for_range(f, 0, senones, |f, s| {
+            let off = f.bin_imm(BinOp::Sll, s, 3);
+            let mp = f.gep(means, off);
+            let vp = f.gep(vars, off);
+            let m = f.load(mp, 0, Width::U64);
+            let v = f.load(vp, 0, Width::U64);
+            let d = f.bin(BinOp::Sub, feat, m);
+            let d2 = f.bin(BinOp::Mul, d, d);
+            let vv = f.bin_imm(BinOp::Or, v, 1);
+            let sc = f.bin(BinOp::Div, d2, vv);
+            let t = f.local_get(score);
+            let t2 = f.bin(BinOp::Add, t, sc);
+            f.local_set(score, t2);
+        });
+        // Rebuild the active list: push 4 entries, then pop and free them
+        // (list churn every frame).
+        for_range(f, 0, 4, |f, _| {
+            let cell = f.malloc_bytes(16);
+            f.store(frame, cell, 0, Width::U64);
+            let old = f.load_ptr(listh, 0);
+            f.store_ptr(old, cell, 8);
+            f.store_ptr(cell, listh, 0);
+        });
+        for_range(f, 0, 4, |f, _| {
+            let head = f.load_ptr(listh, 0);
+            let v = f.load(head, 0, Width::U64);
+            let t = f.local_get(score);
+            let t2 = f.bin(BinOp::Xor, t, v);
+            f.local_set(score, t2);
+            let next = f.load_ptr(head, 8);
+            f.store_ptr(next, listh, 0);
+            f.free(head);
+        });
+    });
+    f.free(means);
+    f.free(vars);
+    let r = f.local_get(score);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `sjeng`: chess-like board scanning — branchy nested loops over a
+/// 120-slot board with small attack tables.
+pub(crate) fn sjeng(scale: Scale) -> Module {
+    let plies = 20 * scale.factor() as i64;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let board = f.malloc_bytes(120 * 8);
+    let attack = f.malloc_bytes(16 * 8);
+    fill_array(&mut f, board, 120, 91);
+    fill_array(&mut f, attack, 16, 92);
+    // Clamp board cells to piece codes 0..=6.
+    for_range(&mut f, 0, 120, |f, i| {
+        let off = f.bin_imm(BinOp::Sll, i, 3);
+        let slot = f.gep(board, off);
+        let v = f.load(slot, 0, Width::U64);
+        let v = f.bin_imm(BinOp::Rem, v, 7);
+        f.store(v, slot, 0, Width::U64);
+    });
+    let eval = f.local();
+    let z = f.konst(0);
+    f.local_set(eval, z);
+    for_range(&mut f, 0, plies, |f, ply| {
+        for_range(f, 20, 100, |f, sq| {
+            let off = f.bin_imm(BinOp::Sll, sq, 3);
+            let slot = f.gep(board, off);
+            let piece = f.load(slot, 0, Width::U64);
+            let occupied = f.bin_imm(BinOp::Ne, piece, 0);
+            if_then(f, occupied, |f| {
+                // Look the piece up in the attack table and branch on
+                // parity (move generation's branchy core).
+                let idx = f.bin_imm(BinOp::And, piece, 0xf);
+                let aoff = f.bin_imm(BinOp::Sll, idx, 3);
+                let ap = f.gep(attack, aoff);
+                let pat = f.load(ap, 0, Width::U64);
+                let odd = f.bin_imm(BinOp::And, pat, 1);
+                if_else(
+                    f,
+                    odd,
+                    |f| {
+                        let e = f.local_get(eval);
+                        let s = f.bin(BinOp::Add, e, pat);
+                        f.local_set(eval, s);
+                    },
+                    |f| {
+                        let e = f.local_get(eval);
+                        let s = f.bin(BinOp::Xor, e, pat);
+                        f.local_set(eval, s);
+                    },
+                );
+                // Make/unmake: swap with a neighbour square.
+                let nb = f.load(slot, 8, Width::U64);
+                f.store(piece, slot, 8, Width::U64);
+                f.store(nb, slot, 0, Width::U64);
+            });
+        });
+        let e = f.local_get(eval);
+        let rot = f.bin(BinOp::Add, e, ply);
+        f.local_set(eval, rot);
+    });
+    f.free(board);
+    f.free(attack);
+    let r = f.local_get(eval);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `gobmk`: flood fill over a 19x19 board driven by an explicit work
+/// stack (liberty counting's access pattern).
+pub(crate) fn gobmk(scale: Scale) -> Module {
+    let rounds = 6 * scale.factor() as i64;
+    let n = 19i64;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let board = f.malloc_bytes((n * n * 8) as u64);
+    let stack = f.malloc_bytes((n * n * 8) as u64);
+    let acc = f.local();
+    let z = f.konst(0);
+    f.local_set(acc, z);
+    for_range(&mut f, 0, rounds, |f, round| {
+        // Recolour the board deterministically per round.
+        for_range(f, 0, n * n, |f, i| {
+            let v = f.bin(BinOp::Add, i, round);
+            let v = f.bin_imm(BinOp::Rem, v, 3);
+            let off = f.bin_imm(BinOp::Sll, i, 3);
+            let slot = f.gep(board, off);
+            f.store(v, slot, 0, Width::U64);
+        });
+        // Flood fill from the centre over colour 0 using the work stack.
+        let sp = f.local();
+        f.local_set(sp, z);
+        let start = f.konst(9 * 19 + 9);
+        let soff = f.konst(0);
+        let sslot = f.gep(stack, soff);
+        f.store(start, sslot, 0, Width::U64);
+        let one = f.konst(1);
+        f.local_set(sp, one);
+        while_loop(
+            f,
+            |f| f.local_get(sp),
+            |f| {
+                let p = f.local_get(sp);
+                let p1 = f.bin_imm(BinOp::Sub, p, 1);
+                f.local_set(sp, p1);
+                let off = f.bin_imm(BinOp::Sll, p1, 3);
+                let slot = f.gep(stack, off);
+                let pos = f.load(slot, 0, Width::U64);
+                let boff = f.bin_imm(BinOp::Sll, pos, 3);
+                let bslot = f.gep(board, boff);
+                let colour = f.load(bslot, 0, Width::U64);
+                let fillable = f.bin_imm(BinOp::Eq, colour, 0);
+                if_then(f, fillable, |f| {
+                    let mark = f.konst(9);
+                    f.store(mark, bslot, 0, Width::U64);
+                    let a = f.local_get(acc);
+                    let a1 = f.bin_imm(BinOp::Add, a, 1);
+                    f.local_set(acc, a1);
+                    // Push the 4 neighbours (bounds-guarded).
+                    for (d, guard_lo, guard_hi) in [
+                        (-1i64, 1, n * n),
+                        (1, 0, n * n - 1),
+                        (-n, n, n * n),
+                        (n, 0, n * n - n),
+                    ] {
+                        let lo = f.konst(guard_lo);
+                        let hi = f.konst(guard_hi);
+                        let ge = f.bin(BinOp::Sltu, pos, hi);
+                        let lt = f.bin(BinOp::Sltu, pos, lo);
+                        let ok = f.bin_imm(BinOp::Eq, lt, 0);
+                        let ok = f.bin(BinOp::And, ok, ge);
+                        if_then(f, ok, |f| {
+                            let np = f.bin_imm(BinOp::Add, pos, d);
+                            let spv = f.local_get(sp);
+                            let room = f.bin_imm(BinOp::Sltu, spv, n * n);
+                            if_then(f, room, |f| {
+                                let spv2 = f.local_get(sp);
+                                let soff2 = f.bin_imm(BinOp::Sll, spv2, 3);
+                                let ss = f.gep(stack, soff2);
+                                f.store(np, ss, 0, Width::U64);
+                                let sp1 = f.bin_imm(BinOp::Add, spv2, 1);
+                                f.local_set(sp, sp1);
+                            });
+                        });
+                    }
+                });
+            },
+        );
+    });
+    f.free(board);
+    f.free(stack);
+    let r = f.local_get(acc);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `bzip2`: per-block work-buffer churn. Every block allocates fresh
+/// buffers, runs deref-dense transform loops over them, and frees them —
+/// the temporal-check-dominated profile behind the paper's 7.98x
+/// HWST128-vs-SBCETS speedup on this benchmark.
+pub(crate) fn bzip2(scale: Scale) -> Module {
+    let blocks = 10 * scale.factor() as i64;
+    let block_len = 96i64;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let acc = f.local();
+    let z = f.konst(0);
+    f.local_set(acc, z);
+    for_range(&mut f, 0, blocks, |f, blk| {
+        // Fresh buffers per block (allocation churn).
+        let src = f.malloc_bytes((block_len * 8) as u64);
+        let work = f.malloc_bytes((block_len * 8) as u64);
+        let freq = f.malloc_bytes(16 * 8);
+        let seed = f.bin_imm(BinOp::Add, blk, 7);
+        let sv = f.local();
+        f.local_set(sv, seed);
+        for_range(f, 0, block_len, |f, i| {
+            let cur = f.local_get(sv);
+            let nxt = lcg_next(f, cur);
+            f.local_set(sv, nxt);
+            let off = f.bin_imm(BinOp::Sll, i, 3);
+            let slot = f.gep(src, off);
+            f.store(nxt, slot, 0, Width::U64);
+        });
+        // "Sort" pass: repeated pairwise compare/swap sweeps with
+        // multiple dereferences of the same heap pointers per iteration
+        // (high temporal-check density; keybuffer hits constantly).
+        for_range(f, 0, 4, |f, _pass| {
+            for_range(f, 0, block_len - 1, |f, i| {
+                let off = f.bin_imm(BinOp::Sll, i, 3);
+                let a = f.gep(src, off);
+                let x = f.load(a, 0, Width::U64);
+                let y = f.load(a, 8, Width::U64);
+                let gt = f.bin(BinOp::Sltu, y, x);
+                if_then(f, gt, |f| {
+                    let x2 = f.load(a, 0, Width::U64);
+                    let y2 = f.load(a, 8, Width::U64);
+                    f.store(x2, a, 8, Width::U64);
+                    f.store(y2, a, 0, Width::U64);
+                });
+                let woff = f.bin_imm(BinOp::Sll, i, 3);
+                let w = f.gep(work, woff);
+                let x3 = f.load(a, 0, Width::U64);
+                f.store(x3, w, 0, Width::U64);
+                // Frequency table update (two more derefs).
+                let nib = f.bin_imm(BinOp::And, x3, 0xf);
+                let foff = f.bin_imm(BinOp::Sll, nib, 3);
+                let fp = f.gep(freq, foff);
+                let c = f.load(fp, 0, Width::U64);
+                let c1 = f.bin_imm(BinOp::Add, c, 1);
+                f.store(c1, fp, 0, Width::U64);
+            });
+        });
+        // Fold the frequency table into the checksum and free everything.
+        for_range(f, 0, 16, |f, i| {
+            let off = f.bin_imm(BinOp::Sll, i, 3);
+            let fp = f.gep(freq, off);
+            let c = f.load(fp, 0, Width::U64);
+            let t = f.local_get(acc);
+            let s = f.bin(BinOp::Add, t, c);
+            f.local_set(acc, s);
+        });
+        f.free(freq);
+        f.free(work);
+        f.free(src);
+    });
+    let r = f.local_get(acc);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}
+
+/// `hmmer`: Viterbi-like dynamic programming with per-row heap buffers,
+/// freed as soon as the next row is computed — the other temporal-heavy
+/// SPEC profile (paper: 7.78x).
+pub(crate) fn hmmer(scale: Scale) -> Module {
+    let rows = 16 * scale.factor() as i64;
+    let cols = 48i64;
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let model = f.malloc_bytes((cols * 8) as u64);
+    fill_array(&mut f, model, cols, 101);
+    let acc = f.local();
+    let z = f.konst(0);
+    f.local_set(acc, z);
+    // prev row buffer pointer lives in a heap cell (row ping-pong through
+    // memory, like hmmer's dp matrix rows).
+    let prevc = f.malloc_bytes(8);
+    let first = f.malloc_bytes((cols * 8) as u64);
+    fill_array(&mut f, first, cols, 103);
+    f.store_ptr(first, prevc, 0);
+    for_range(&mut f, 0, rows, |f, row| {
+        let cur = f.malloc_bytes((cols * 8) as u64);
+        let prev = f.load_ptr(prevc, 0);
+        for_range(f, 1, cols, |f, j| {
+            let joff = f.bin_imm(BinOp::Sll, j, 3);
+            // Three reads from prev (match/insert/delete states), one
+            // model read, one write to cur: five heap derefs per cell.
+            let pm = f.gep(prev, joff);
+            let m = f.load(pm, -8, Width::U64);
+            let i = f.load(pm, 0, Width::U64);
+            let d = f.load(pm, -8, Width::U64);
+            let mp = f.gep(model, joff);
+            let e = f.load(mp, 0, Width::U64);
+            let best = f.local();
+            f.local_set(best, m);
+            let better = f.bin(BinOp::Sltu, i, m);
+            if_then(f, better, |f| f.local_set(best, i));
+            let b = f.local_get(best);
+            let better2 = f.bin(BinOp::Sltu, d, b);
+            if_then(f, better2, |f| f.local_set(best, d));
+            let b2 = f.local_get(best);
+            let v = f.bin(BinOp::Add, b2, e);
+            let v = f.bin(BinOp::Add, v, row);
+            let v = f.bin_imm(BinOp::And, v, 0xffff_ffff);
+            let cp = f.gep(cur, joff);
+            f.store(v, cp, 0, Width::U64);
+        });
+        // Free the previous row, promote cur.
+        let old = f.load_ptr(prevc, 0);
+        f.free(old);
+        f.store_ptr(cur, prevc, 0);
+        let tail = f.load(cur, (cols - 1) * 8, Width::U64);
+        let t = f.local_get(acc);
+        let s = f.bin(BinOp::Xor, t, tail);
+        f.local_set(acc, s);
+    });
+    let last = f.load_ptr(prevc, 0);
+    f.free(last);
+    f.free(model);
+    let r = f.local_get(acc);
+    let code = f.bin_imm(BinOp::And, r, 0xff);
+    f.ret(Some(code));
+    f.finish();
+    mb.finish()
+}

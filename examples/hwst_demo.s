@@ -1,0 +1,37 @@
+# hwst_demo.s — the HWST128 extension, by hand.
+#
+# Run:   cargo run -p hwst128 --bin hwst128-cli -- asm examples/hwst_demo.s --run --trace 16
+# Debug: cargo run -p hwst128 --bin hwst128-cli -- debug examples/hwst_demo.s
+
+    li    a0, 64            # size of the allocation
+    li    a7, 1000          # MALLOC syscall
+    ecall                   # a0 = ptr, a1 = key, a2 = lock (key stored at lock)
+
+    addi  t0, a0, 64        # bound = ptr + 64
+    bndrs a0, a0, t0        # bind compressed spatial metadata into SRF[a0]
+    bndrt a0, a1, a2        # bind compressed temporal metadata
+
+    li    t1, 123
+    csd   t1, 56(a0)        # bounded store — last valid slot, SCU passes
+    tchk  a0                # temporal check — key matches, TCU passes
+
+    # Spill the pointer with its metadata, wipe the register state, and
+    # reload both (through-memory propagation, paper Fig. 1-c/d).
+    li    s2, 0x200000      # a container in the data region
+    sd    a0, 0(s2)
+    sbdl  a0, 0(s2)         # store SRF[a0] lower half to the shadow of s2
+    sbdu  a0, 0(s2)         # ... and the upper half
+    srfclr a0               # destroy the in-register metadata
+    ld    s3, 0(s2)         # reload the pointer ...
+    lbdls s3, 0(s2)         # ... and its metadata into SRF[s3]
+    lbdus s3, 0(s2)
+
+    cld   a0, 56(a0)        # read back through the original register: 123
+    tchk  s3                # the reloaded pointer is still temporally valid
+
+    # Uncomment either line to watch a trap fire:
+    # csd   t1, 64(a0)      # spatial violation: one byte past the bound
+    # (or free the buffer first, then tchk s3 for a temporal violation)
+
+    li    a7, 93            # EXIT
+    ecall                   # exit code = 123

@@ -1,0 +1,2 @@
+//! Root integration package; see the [`hwst128`] facade crate.
+pub use hwst128 as facade;
