@@ -33,13 +33,15 @@ pub struct PointerInfo {
 }
 
 impl PointerInfo {
-    /// The analysis of one function.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `name` was not part of the analyzed module.
-    pub fn func(&self, name: &str) -> &FuncInfo {
-        &self.funcs[name]
+    /// The analysis of one function, or `None` if `name` was not part
+    /// of the analyzed module.
+    pub fn func(&self, name: &str) -> Option<&FuncInfo> {
+        self.funcs.get(name)
+    }
+
+    /// Iterates over `(name, info)` pairs in unspecified order.
+    pub fn funcs(&self) -> impl Iterator<Item = (&str, &FuncInfo)> {
+        self.funcs.iter().map(|(n, i)| (n.as_str(), i))
     }
 
     /// Whether `var` is a pointer in `func`.
@@ -288,7 +290,7 @@ mod tests {
         assert!(info.is_pointer("main", VarId(2)));
         assert!(!info.is_pointer("main", VarId(0)));
         assert!(!info.is_pointer("main", VarId(3)));
-        assert_eq!(info.func("main").deref_sites, 1);
+        assert_eq!(info.func("main").unwrap().deref_sites, 1);
     }
 
     #[test]
@@ -362,7 +364,7 @@ mod tests {
             globals: vec![],
         };
         let info = analyze(&m).unwrap();
-        assert!(info.func("helper").returns_ptr);
+        assert!(info.func("helper").unwrap().returns_ptr);
         assert!(info.is_pointer("main", VarId(0)));
     }
 
@@ -408,6 +410,6 @@ mod tests {
             )],
             globals: vec![],
         };
-        assert!(analyze(&m).unwrap().func("main").has_stack_alloc);
+        assert!(analyze(&m).unwrap().func("main").unwrap().has_stack_alloc);
     }
 }

@@ -41,6 +41,19 @@ pub enum CompileError {
         /// The missing block index.
         target: u32,
     },
+    /// The metadata-completeness verifier found a dereference the
+    /// active scheme's promised checks do not cover (see
+    /// [`crate::verify`]).
+    UncoveredDeref {
+        /// The function containing the access.
+        func: String,
+        /// Block index of the access.
+        block: usize,
+        /// Instruction index within the block.
+        inst: usize,
+        /// The scheme whose contract was violated.
+        scheme: &'static str,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -66,6 +79,15 @@ impl fmt::Display for CompileError {
             CompileError::BadBlockTarget { func, target } => {
                 write!(f, "{func}: control flow targets missing block b{target}")
             }
+            CompileError::UncoveredDeref {
+                func,
+                block,
+                inst,
+                scheme,
+            } => write!(
+                f,
+                "{func}: dereference at b{block}/{inst} is not covered by the {scheme} checks"
+            ),
         }
     }
 }

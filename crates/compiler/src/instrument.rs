@@ -752,8 +752,11 @@ impl<'a> Rewriter<'a> {
     }
 
     fn run(&mut self) -> Function {
-        let fi = self.info.func(&self.src.name);
-        let needs_frame_lock = fi.has_stack_alloc && self.scheme.temporal_safety();
+        let needs_frame_lock = self
+            .info
+            .func(&self.src.name)
+            .is_some_and(|fi| fi.has_stack_alloc)
+            && self.scheme.temporal_safety();
 
         // ---- entry prologue (block 0) ----
         self.cur = 0;
@@ -1300,7 +1303,7 @@ impl<'a> Rewriter<'a> {
             // ---- calls: transfer pointer-argument metadata ----
             Inst::Call { dst, func, args } => {
                 let callee = self.module.func(&func).expect("validated by analysis");
-                let callee_ret_ptr = self.info.func(&func).returns_ptr;
+                let callee_ret_ptr = self.info.func(&func).is_some_and(|fi| fi.returns_ptr);
                 for (i, &a) in args.iter().enumerate() {
                     if *callee.param_is_ptr.get(i).unwrap_or(&false) && self.is_ptr(a) {
                         self.send_meta(i, a);

@@ -49,16 +49,21 @@
 
 pub mod analysis;
 mod builder;
+pub mod dataflow;
 mod error;
 pub mod instrument;
 pub mod ir;
+pub mod lint;
 mod lower;
 pub mod opt;
 mod printer;
+pub mod rce;
+pub mod verify;
 
 pub use builder::{FuncBuilder, ModuleBuilder};
 pub use error::CompileError;
 pub use instrument::Scheme;
+pub use printer::function_with_cfg;
 
 use hwst_isa::Program;
 
@@ -91,4 +96,82 @@ pub fn compile_with_sizes(
     let info = analysis::analyze(module)?;
     let instrumented = instrument::instrument(module, &info, scheme);
     lower::lower_with_sizes(&instrumented, scheme)
+}
+
+/// Pass configuration for [`compile_with_options`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Instrumentation scheme.
+    pub scheme: Scheme,
+    /// Run redundant-check elimination ([`rce`]) on the instrumented
+    /// IR.
+    pub rce: bool,
+    /// Run the metadata-completeness verifier ([`verify`]) on the final
+    /// instrumented IR (after RCE, when enabled).
+    pub verify: bool,
+}
+
+impl CompileOptions {
+    /// Plain compilation for `scheme` — exactly what [`compile`] does.
+    pub const fn new(scheme: Scheme) -> Self {
+        CompileOptions {
+            scheme,
+            rce: false,
+            verify: false,
+        }
+    }
+
+    /// Enables redundant-check elimination.
+    pub const fn with_rce(mut self) -> Self {
+        self.rce = true;
+        self
+    }
+
+    /// Enables the completeness verifier.
+    pub const fn with_verify(mut self) -> Self {
+        self.verify = true;
+        self
+    }
+}
+
+/// The result of [`compile_with_options`].
+#[derive(Debug)]
+pub struct Compiled {
+    /// The lowered program.
+    pub program: Program,
+    /// Check-elimination counters (all zero when RCE was off).
+    pub rce: rce::RceStats,
+    /// Static check sites remaining in the final instrumented IR
+    /// ([`rce::static_check_count`]).
+    pub check_count: usize,
+}
+
+/// [`compile`] with the optional static-analysis passes: redundant-
+/// check elimination and the metadata-completeness verifier.
+///
+/// # Errors
+///
+/// Same as [`compile`], plus [`CompileError::UncoveredDeref`] when
+/// verification is enabled and fails.
+pub fn compile_with_options(
+    module: &ir::Module,
+    opts: CompileOptions,
+) -> Result<Compiled, CompileError> {
+    let info = analysis::analyze(module)?;
+    let mut instrumented = instrument::instrument(module, &info, opts.scheme);
+    let stats = if opts.rce {
+        rce::eliminate(&mut instrumented)
+    } else {
+        rce::RceStats::default()
+    };
+    if opts.verify {
+        verify::verify(&instrumented, opts.scheme)?;
+    }
+    let check_count = rce::static_check_count(&instrumented);
+    let program = lower::lower(&instrumented, opts.scheme)?;
+    Ok(Compiled {
+        program,
+        rce: stats,
+        check_count,
+    })
 }

@@ -250,7 +250,7 @@ fn rewrite_uses(i: &mut Inst, resolve: &impl Fn(VarId) -> VarId) -> bool {
     }
 }
 
-fn eliminate_dead(f: &mut Function) -> bool {
+pub(crate) fn eliminate_dead(f: &mut Function) -> bool {
     // Uses across the whole function (incl. terminators).
     let mut used: HashSet<VarId> = HashSet::new();
     for b in &f.blocks {

@@ -63,6 +63,46 @@ impl fmt::Display for Block {
     }
 }
 
+/// Renders one function with CFG annotations: each block header carries
+/// its predecessors and immediate dominator as a trailing comment, and
+/// unreachable blocks are marked. Debugging aid for the dataflow-based
+/// passes ([`crate::dataflow`], [`crate::rce`], [`crate::verify`]).
+pub fn function_with_cfg(func: &Function) -> String {
+    use crate::dataflow::{Cfg, Dominators};
+    use std::fmt::Write as _;
+
+    let cfg = Cfg::new(func);
+    let dom = Dominators::compute(&cfg);
+    let mut s = String::new();
+    let _ = write!(s, "fn {}(", func.name);
+    for (i, (p, is_ptr)) in func.params.iter().zip(&func.param_is_ptr).enumerate() {
+        if i > 0 {
+            let _ = write!(s, ", ");
+        }
+        let _ = write!(s, "{p}{}", if *is_ptr { ": ptr" } else { "" });
+    }
+    let _ = writeln!(s, ") {{");
+    for (i, b) in func.blocks.iter().enumerate() {
+        if !cfg.is_reachable(i) {
+            let _ = writeln!(s, "b{i}: ; unreachable");
+        } else {
+            let preds = cfg.preds[i]
+                .iter()
+                .map(|p| format!("b{p}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let idom = match dom.idom(i) {
+                Some(d) => format!(" idom=b{d}"),
+                None => String::new(),
+            };
+            let _ = writeln!(s, "b{i}: ; preds=[{preds}]{idom}");
+        }
+        let _ = write!(s, "{b}");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
 fn width_suffix(w: Width) -> &'static str {
     match w {
         Width::U8 => "u8",

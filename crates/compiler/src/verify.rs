@@ -1,0 +1,289 @@
+//! Metadata-completeness verifier for instrumented IR.
+//!
+//! Replays the same available-checks dataflow the redundant-check
+//! eliminator uses ([`crate::rce`]) and demands that at every
+//! dereference the checks the active [`Scheme`] promises are available:
+//!
+//! * [`Scheme::Hwst128Tchk`] — a [`Inst::Tchk`] fact for the access's
+//!   SRF root (exact),
+//! * [`Scheme::Sbcets`] — a `__sbcets_spatial_check` fact matching the
+//!   access's `(root, offset, size)` exactly, plus a temporal-check
+//!   fact,
+//! * [`Scheme::Hwst128`] — an inline temporal-pattern fact (spatial
+//!   safety is carried by the hardware's bounded accesses, so there is
+//!   nothing spatial to verify in the IR),
+//! * [`Scheme::None`] / [`Scheme::Shore`] — no promised IR checks;
+//!   trivially complete.
+//!
+//! Because this runs *after* RCE, it is an end-to-end soundness gate:
+//! if elimination ever deleted a check that some path still needs, the
+//! fact is absent at the dereference and verification fails with
+//! [`CompileError::UncoveredDeref`].
+//!
+//! ## Precision notes
+//!
+//! The temporal facts for the software schemes name the `(key, lock)`
+//! value pair, not the pointer; the verifier accepts any available
+//! temporal fact for those schemes (associating companions with
+//! pointers is the instrumenter's private bookkeeping). The
+//! `Hwst128Tchk` contract — the hardware scheme the paper centres on —
+//! is verified exactly per-pointer. Infrastructure accesses are exempt:
+//! metadata-shuttle globals (`__meta_args`, `__meta_tmp`,
+//! `__hwst_scratch`), the runtime helper bodies (`__sbcets_*`), the
+//! lock-word load inside a recognised inline temporal pattern, and
+//! unreachable blocks (no fact, no runtime behaviour). Functions that
+//! are not single-assignment are skipped, matching the eliminator's
+//! bail-out.
+
+use crate::instrument::{Scheme, META_ARGS_GLOBAL, META_TMP_GLOBAL, SCRATCH_GLOBAL};
+use crate::ir::{Function, Inst, Module, VarId};
+use crate::rce::{available_checks, transfer_check, CheckFact, FactSet};
+use crate::CompileError;
+use std::collections::HashSet;
+
+/// Checks every dereference of `module` against `scheme`'s contract.
+///
+/// # Errors
+///
+/// [`CompileError::UncoveredDeref`] naming the first uncovered access.
+pub fn verify(module: &Module, scheme: Scheme) -> Result<(), CompileError> {
+    if matches!(scheme, Scheme::None | Scheme::Shore) {
+        return Ok(());
+    }
+    let exempt_globals: HashSet<u32> = module
+        .globals
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| {
+            g.name == META_ARGS_GLOBAL || g.name == META_TMP_GLOBAL || g.name == SCRATCH_GLOBAL
+        })
+        .map(|(i, _)| i as u32)
+        .collect();
+    for f in &module.funcs {
+        if f.name.starts_with("__sbcets_") {
+            continue; // runtime helper bodies implement the checks
+        }
+        verify_func(f, scheme, &exempt_globals)?;
+    }
+    Ok(())
+}
+
+fn verify_func(
+    f: &Function,
+    scheme: Scheme,
+    exempt_globals: &HashSet<u32>,
+) -> Result<(), CompileError> {
+    let Some((defs, patterns, facts)) = available_checks(f) else {
+        return Ok(()); // not single-assignment: out of scope (see docs)
+    };
+    let pattern_check_blocks: HashSet<usize> = patterns.values().map(|p| p.check_block).collect();
+
+    let exempt_root = |v: VarId| -> bool {
+        matches!(
+            defs.def(defs.temporal_root(v)),
+            Some(Inst::AddrOfGlobal { global, .. }) if exempt_globals.contains(&global.0)
+        )
+    };
+
+    for (b, block) in f.blocks.iter().enumerate() {
+        let Some(mut fact) = facts[b].clone() else {
+            continue; // unreachable: never executes
+        };
+        let in_pattern_check = pattern_check_blocks.contains(&b);
+        for (idx, inst) in block.insts.iter().enumerate() {
+            let access = match *inst {
+                Inst::Load {
+                    addr,
+                    offset,
+                    width,
+                    ..
+                } => Some((addr, offset, width.bytes() as i64)),
+                Inst::Store {
+                    addr,
+                    offset,
+                    width,
+                    ..
+                } => Some((addr, offset, width.bytes() as i64)),
+                Inst::LoadPtr { addr, offset, .. } | Inst::StorePtr { addr, offset, .. } => {
+                    Some((addr, offset, 8))
+                }
+                _ => None,
+            };
+            if let Some((addr, offset, size)) = access {
+                let exempt = exempt_root(addr) || (in_pattern_check && idx == 0);
+                if !exempt && !covered(scheme, &defs, &fact, addr, offset, size) {
+                    return Err(CompileError::UncoveredDeref {
+                        func: f.name.clone(),
+                        block: b,
+                        inst: idx,
+                        scheme: scheme.label(),
+                    });
+                }
+            }
+            transfer_check(&defs, inst, &mut fact);
+        }
+    }
+    Ok(())
+}
+
+fn covered(
+    scheme: Scheme,
+    defs: &crate::dataflow::DefMap,
+    fact: &FactSet,
+    addr: VarId,
+    offset: i64,
+    size: i64,
+) -> bool {
+    match scheme {
+        Scheme::Hwst128Tchk => fact.contains(&CheckFact::Tchk(defs.temporal_root(addr))),
+        Scheme::Hwst128 => fact
+            .iter()
+            .any(|f| matches!(f, CheckFact::SbTemporal { .. })),
+        Scheme::Sbcets => {
+            let (root, delta) = defs.spatial_anchor(addr);
+            let want = delta.wrapping_add(offset);
+            let spatial = fact.iter().any(|f| {
+                matches!(
+                    f,
+                    CheckFact::SbSpatial {
+                        root: r,
+                        delta: d,
+                        size: s,
+                        ..
+                    } if *r == root && *d == want && *s == size
+                )
+            });
+            let temporal = fact
+                .iter()
+                .any(|f| matches!(f, CheckFact::SbTemporal { .. }));
+            spatial && temporal
+        }
+        Scheme::None | Scheme::Shore => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::instrument::instrument;
+    use crate::ir::{Terminator, Width};
+    use crate::ModuleBuilder;
+
+    fn sample_modules() -> Vec<Module> {
+        let mut out = Vec::new();
+
+        // Straight-line heap traffic with a free.
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("main");
+        let p = f.malloc_bytes(64);
+        let v = f.konst(5);
+        f.store(v, p, 0, Width::U64);
+        let _ = f.load(p, 8, Width::U32);
+        f.free(p);
+        f.ret(None);
+        f.finish();
+        out.push(mb.finish());
+
+        // Stack + global + cross-function pointer traffic.
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("table", 32);
+        let mut f = mb.func("sink");
+        let q = f.param(true);
+        let v = f.konst(1);
+        f.store(v, q, 0, Width::U8);
+        f.ret(None);
+        f.finish();
+        let mut f = mb.func("main");
+        let s = f.stack_alloc(16);
+        let ga = f.addr_of_global(g);
+        let v = f.konst(3);
+        f.store(v, s, 8, Width::U64);
+        f.store(v, ga, 0, Width::U64);
+        f.call_void("sink", &[s]);
+        let cell = f.malloc_bytes(8);
+        f.store_ptr(s, cell, 0);
+        let r = f.load_ptr(cell, 0);
+        let _ = f.load(r, 0, Width::U8);
+        f.ret(None);
+        f.finish();
+        out.push(mb.finish());
+
+        out
+    }
+
+    #[test]
+    fn instrumented_modules_verify_under_every_scheme() {
+        for m in sample_modules() {
+            let info = analyze(&m).unwrap();
+            for scheme in Scheme::ALL {
+                let out = instrument(&m, &info, scheme);
+                verify(&out, scheme).unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn rce_output_still_verifies() {
+        for m in sample_modules() {
+            let info = analyze(&m).unwrap();
+            for scheme in Scheme::ALL {
+                let mut out = instrument(&m, &info, scheme);
+                crate::rce::eliminate(&mut out);
+                verify(&out, scheme).unwrap_or_else(|e| panic!("{scheme:?} post-RCE: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn deleting_a_needed_check_is_caught() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("main");
+        let p = f.malloc_bytes(64);
+        let v = f.konst(5);
+        f.store(v, p, 0, Width::U64);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        let info = analyze(&m).unwrap();
+        let mut out = instrument(&m, &info, Scheme::Hwst128Tchk);
+        // Hand-break the module: drop every tchk.
+        for func in &mut out.funcs {
+            for b in &mut func.blocks {
+                b.insts.retain(|i| !matches!(i, Inst::Tchk { .. }));
+            }
+        }
+        let err = verify(&out, Scheme::Hwst128Tchk).unwrap_err();
+        assert!(matches!(err, CompileError::UncoveredDeref { .. }), "{err}");
+    }
+
+    #[test]
+    fn unreachable_derefs_are_ignored() {
+        // A dead block dereferencing without checks must not fail the
+        // verifier: it cannot execute.
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("main");
+        let p = f.malloc_bytes(8);
+        let v = f.konst(1);
+        f.store(v, p, 0, Width::U64);
+        f.ret(None);
+        f.finish();
+        let m = mb.finish();
+        let info = analyze(&m).unwrap();
+        let mut out = instrument(&m, &info, Scheme::Hwst128Tchk);
+        // Append an unreachable block with a raw deref.
+        let main = out.funcs.iter_mut().find(|f| f.name == "main").unwrap();
+        let addr = main.params.first().copied().unwrap_or(VarId(0));
+        main.blocks.push(crate::ir::Block {
+            insts: vec![Inst::Load {
+                dst: VarId(999),
+                addr,
+                offset: 0,
+                width: Width::U64,
+            }],
+            term: Terminator::Ret { value: None },
+        });
+        main.num_vars = main.num_vars.max(1000);
+        verify(&out, Scheme::Hwst128Tchk).unwrap();
+    }
+}

@@ -39,8 +39,10 @@ mod case;
 mod detector;
 mod program;
 mod report;
+mod static_detect;
 
 pub use case::{suite, Case, Cwe, Flow};
 pub use detector::{model_detects, Detector};
-pub use program::{build_benign_program, build_program, execute_detects};
+pub use program::{build_benign_program, build_program, execute_detects, execute_detects_with};
 pub use report::{measure_coverage, model_coverage, CoverageReport};
+pub use static_detect::{static_coverage, static_detects, StaticRow};

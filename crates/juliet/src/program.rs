@@ -2,7 +2,9 @@
 
 use crate::{Case, Cwe};
 use hwst_compiler::ir::{BinOp, Module, Width};
-use hwst_compiler::{compile, FuncBuilder, ModuleBuilder, Scheme};
+use hwst_compiler::{
+    compile, compile_with_options, CompileOptions, FuncBuilder, ModuleBuilder, Scheme,
+};
 use hwst_sim::{Machine, SafetyConfig};
 
 /// Builds the IR program for a case: allocate, exercise the buffer
@@ -289,6 +291,25 @@ pub fn execute_detects(case: &Case, scheme: Scheme) -> bool {
     }
 }
 
+/// Like [`execute_detects`], but with redundant-check elimination
+/// switched on or off, and the metadata-completeness verifier always
+/// armed: compilation fails (counting as "not detected") if RCE ever
+/// deletes a check the scheme's contract still needs.
+pub fn execute_detects_with(case: &Case, scheme: Scheme, rce: bool) -> bool {
+    let module = build_program(case);
+    let cfg = hwst128_config_for(scheme);
+    let mut opts = CompileOptions::new(scheme).with_verify();
+    opts.rce = rce;
+    let compiled = match compile_with_options(&module, opts) {
+        Ok(c) => c,
+        Err(_) => return false,
+    };
+    match Machine::new(compiled.program, cfg).run(5_000_000) {
+        Err(t) => t.is_violation(),
+        Ok(_) => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +379,87 @@ mod tests {
                     "{cwe} benign twin false-positived under {scheme}: {:?}",
                     r.err()
                 );
+            }
+        }
+    }
+
+    /// A representative slice per category: the three flow shapes of
+    /// the reachable zone, the sub-granule edge (CWE122), and a
+    /// laundered case.
+    fn differential_sample(cwe: Cwe) -> Vec<Case> {
+        let mut v: Vec<Case> = (0..cwe.reachable_count())
+            .map(|i| make_case(cwe, i))
+            .scan((false, false, false), |(s, b, x), c| {
+                use crate::Flow;
+                let pick = match c.flow {
+                    Flow::Straight if !*s => {
+                        *s = true;
+                        true
+                    }
+                    Flow::Branched if !*b => {
+                        *b = true;
+                        true
+                    }
+                    Flow::CrossFunction if !*x => {
+                        *x = true;
+                        true
+                    }
+                    _ => false,
+                };
+                Some((c, pick))
+            })
+            .filter_map(|(c, pick)| pick.then_some(c))
+            .collect();
+        if cwe.sub_granule_count() > 0 {
+            v.push(make_case(cwe, 0));
+        }
+        v.push(laundered(cwe));
+        v
+    }
+
+    #[test]
+    fn rce_never_loses_a_detection() {
+        // Differential gate: for every sampled case and scheme, the
+        // RCE-compiled binary detects exactly what the plain one does
+        // (and the completeness verifier accepts the RCE output, since
+        // execute_detects_with always arms it).
+        for cwe in Cwe::ALL {
+            for case in differential_sample(cwe) {
+                for scheme in Scheme::ALL {
+                    let plain = execute_detects_with(&case, scheme, false);
+                    let rce = execute_detects_with(&case, scheme, true);
+                    assert_eq!(
+                        plain, rce,
+                        "{cwe} case {} under {scheme}: detection changed with RCE",
+                        case.index
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rce_keeps_benign_outputs_bit_identical() {
+        for cwe in Cwe::ALL {
+            let module = build_benign_program(cwe);
+            for scheme in Scheme::ALL {
+                let cfg = hwst128_config_for(scheme);
+                let run = |rce: bool| {
+                    let opts = if rce {
+                        CompileOptions::new(scheme).with_rce().with_verify()
+                    } else {
+                        CompileOptions::new(scheme).with_verify()
+                    };
+                    let c = compile_with_options(&module, opts)
+                        .unwrap_or_else(|e| panic!("{cwe} {scheme}: {e}"));
+                    Machine::new(c.program, cfg)
+                        .run(5_000_000)
+                        .unwrap_or_else(|t| panic!("{cwe} {scheme} trapped: {t:?}"))
+                };
+                let plain = run(false);
+                let opt = run(true);
+                assert_eq!(plain.code, opt.code, "{cwe} {scheme}: exit code changed");
+                assert_eq!(plain.output, opt.output, "{cwe} {scheme}: output changed");
             }
         }
     }

@@ -1,0 +1,128 @@
+//! Offline drop-in replacement for the subset of the `proptest` API this
+//! workspace uses.
+//!
+//! The real `proptest` crate cannot be fetched in the air-gapped build
+//! environment, so this shim reimplements the pieces the test suites
+//! rely on: `Strategy` with `prop_map`, range/tuple/`Just`/union
+//! strategies, `any::<T>()`, `prop::collection::vec`, and the
+//! `proptest!` / `prop_compose!` / `prop_oneof!` / `prop_assert*!`
+//! macros. Generation is deterministic (fixed-seed SplitMix64) so runs
+//! are reproducible; there is no shrinking — a failing case panics with
+//! the generated inputs printed via `Debug`.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Size specification for collection strategies.
+    pub trait IntoSizeRange {
+        /// Lower bound (inclusive) and upper bound (exclusive).
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end.max(self.start + 1))
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    /// Generates a `Vec` whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy::new(element, lo, hi)
+    }
+}
+
+/// Mirror of `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The common import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u64> {
+        prop_oneof![Just(1u64), 2u64..5, (10u64..12).prop_map(|v| v * 10)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -4i64..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+        }
+
+        #[test]
+        fn unions_pick_only_arms(v in small()) {
+            prop_assert!(v == 1 || (2..5).contains(&v) || v == 100 || v == 110);
+        }
+
+        #[test]
+        fn vecs_respect_sizes(v in prop::collection::vec(any::<bool>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()), "bad len {}", v.len());
+        }
+
+        #[test]
+        fn tuples_compose((a, b) in (0u8..4, any::<bool>())) {
+            prop_assert!(a < 4);
+            let _ = b;
+        }
+    }
+
+    prop_compose! {
+        fn even()(half in 0u32..100) -> u32 {
+            half * 2
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_strategies_apply_body(e in even()) {
+            prop_assert_eq!(e % 2, 0);
+            prop_assert_ne!(e, 1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = crate::collection::vec(0u64..1000, 5..10);
+        let a: Vec<u64> = (0..20)
+            .flat_map(|i| s.new_value(&mut TestRng::for_case(i)))
+            .collect();
+        let b: Vec<u64> = (0..20)
+            .flat_map(|i| s.new_value(&mut TestRng::for_case(i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}
