@@ -1,0 +1,69 @@
+//! Regenerates R1: metadata-path fault-injection campaigns under
+//! HWST128_tchk, AVF-style (detected / masked / silent / machine-fault
+//! per fault class, split by target group).
+//!
+//! `--smoke` runs the reduced CI configuration; the default is the full
+//! deterministic campaign from EXPERIMENTS.md.
+
+use hwst128::sim::inject::OutcomeCounts;
+use hwst128::workloads::Scale;
+use hwst_bench::{resilience_guarantee_violations, resilience_rows, ResilienceConfig};
+
+fn cell(c: &OutcomeCounts) -> String {
+    format!(
+        "{:>5} {:>5} {:>6} {:>6} {:>4} {:>7.3}",
+        c.detected,
+        c.masked,
+        c.silent,
+        c.machine_fault,
+        c.not_applied,
+        c.silent_fraction()
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let rc = if smoke {
+        ResilienceConfig::smoke()
+    } else {
+        ResilienceConfig::default()
+    };
+    println!(
+        "R1 — metadata-path fault injection (HWST128_tchk){}",
+        if smoke { " [smoke]" } else { "" }
+    );
+    println!(
+        "targets: {} (Fig. 4 subset) + Juliet sample ({} reachable case(s)/CWE)",
+        rc.workloads.join(", "),
+        rc.juliet_per_cwe
+    );
+    println!(
+        "seeds/target: {}  master seed: {:#x}",
+        rc.seeds_per_target, rc.master_seed
+    );
+    let hdr = "  det  mask silent mfault  n/a     avf";
+    println!("{:<17}|{:^39}|{:^39}", "fault class", "workloads", "juliet");
+    println!("{:<17}|{hdr} |{hdr}", "");
+    let rows = resilience_rows(&rc, Scale::Test);
+    for r in &rows {
+        println!(
+            "{:<17}| {} | {}",
+            r.class.name(),
+            cell(&r.workloads),
+            cell(&r.juliet)
+        );
+    }
+    let bad = resilience_guarantee_violations(&rows);
+    if bad.is_empty() {
+        println!("guarantee: lock/shadow corruption never silent on clean workloads — PASS");
+    } else {
+        for r in &bad {
+            println!(
+                "guarantee VIOLATED: {} silent={} on clean workloads",
+                r.class.name(),
+                r.workloads.silent
+            );
+        }
+        std::process::exit(1);
+    }
+}

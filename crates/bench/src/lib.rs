@@ -13,7 +13,8 @@
 //! * `hwcost` — the §5.3 LUT/FF/critical-path table,
 //! * `ablation_keybuffer` — keybuffer size sweep (A1),
 //! * `ablation_compression` — range/lock field width sweep (A2),
-//! * `ablation_shadow` — linear map vs trie lookup cost (A3).
+//! * `ablation_shadow` — linear map vs trie lookup cost (A3),
+//! * `resilience` — metadata-path fault-injection campaigns (R1).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -134,6 +135,121 @@ pub fn cycles_with_keybuffer(wl: &Workload, scale: Scale, entries: usize) -> u64
         .expect("runs clean")
         .stats
         .total_cycles()
+}
+
+use hwst128::sim::inject::{campaign, FaultClass, OutcomeCounts};
+
+/// Campaign parameters for [`resilience_rows`] (experiment R1).
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceConfig {
+    /// Faulted runs per (fault class, target) cell.
+    pub seeds_per_target: u64,
+    /// Reachable Juliet cases sampled per CWE.
+    pub juliet_per_cwe: u32,
+    /// Base of the deterministic seed sequence.
+    pub master_seed: u64,
+    /// Workload names drawn from the Fig. 4 set (temporal-heavy A1
+    /// subset by default — lock/keybuffer faults need `tchk` traffic to
+    /// be observable).
+    pub workloads: &'static [&'static str],
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            seeds_per_target: 8,
+            juliet_per_cwe: 2,
+            master_seed: 0xC0FF_EE00,
+            workloads: &["bzip2", "hmmer", "health", "math"],
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// The fast CI smoke configuration: fewer seeds, fewer targets.
+    pub fn smoke() -> Self {
+        ResilienceConfig {
+            seeds_per_target: 3,
+            juliet_per_cwe: 1,
+            workloads: &["bzip2", "math"],
+            ..Self::default()
+        }
+    }
+
+    /// The deterministic seed sequence used for every campaign cell.
+    pub fn seeds(&self) -> Vec<u64> {
+        (0..self.seeds_per_target)
+            .map(|i| self.master_seed.wrapping_add(i))
+            .collect()
+    }
+}
+
+/// One R1 row: per-fault-class outcome counters, split by target group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilienceRow {
+    /// The injected fault class.
+    pub class: FaultClass,
+    /// Aggregated over the Fig. 4 workload subset.
+    pub workloads: OutcomeCounts,
+    /// Aggregated over the sampled Juliet cases.
+    pub juliet: OutcomeCounts,
+}
+
+/// Runs the full R1 fault-injection campaign: every fault class against
+/// the configured Fig. 4 workload subset and the sampled Juliet cases,
+/// all under `HWST128_tchk`. Deterministic for a fixed config.
+pub fn resilience_rows(rc: &ResilienceConfig, scale: Scale) -> Vec<ResilienceRow> {
+    let safety = hwst128::config_for(Scheme::Hwst128Tchk);
+    let mut workload_targets = Vec::new();
+    for name in rc.workloads {
+        let wl = Workload::by_name(name).expect("known workload");
+        let prog = compile(&wl.module(scale), Scheme::Hwst128Tchk).expect("compiles");
+        workload_targets.push((prog, wl.fuel(scale)));
+    }
+    let mut juliet_targets = Vec::new();
+    for case in hwst128::juliet::sample_reachable(rc.juliet_per_cwe) {
+        let module = hwst128::juliet::build_program(&case);
+        let prog = compile(&module, Scheme::Hwst128Tchk).expect("compiles");
+        juliet_targets.push((prog, 5_000_000u64));
+    }
+    let seeds = rc.seeds();
+    FaultClass::ALL
+        .iter()
+        .map(|&class| {
+            let mut agg = [OutcomeCounts::default(); 2];
+            for (group, targets) in [&workload_targets, &juliet_targets].into_iter().enumerate() {
+                for (prog, fuel) in targets {
+                    agg[group].merge(campaign(
+                        || Machine::new(prog.clone(), safety),
+                        *fuel,
+                        class,
+                        &seeds,
+                    ));
+                }
+            }
+            ResilienceRow {
+                class,
+                workloads: agg[0],
+                juliet: agg[1],
+            }
+        })
+        .collect()
+}
+
+/// The R1 graceful-degradation guarantee: on the clean (bug-free)
+/// temporal-heavy workloads, lock-word and shadow-word corruption must
+/// never be *silent* — every injected fault is either detected by the
+/// checks or provably benign. Returns the offending rows, empty on pass.
+pub fn resilience_guarantee_violations(rows: &[ResilienceRow]) -> Vec<ResilienceRow> {
+    rows.iter()
+        .filter(|r| {
+            matches!(
+                r.class,
+                FaultClass::LockWordOverwrite | FaultClass::ShadowWordFlip
+            ) && r.workloads.silent > 0
+        })
+        .copied()
+        .collect()
 }
 
 /// Convenience re-export for binaries.

@@ -122,10 +122,9 @@ fn strip_comment(l: &str) -> &str {
 }
 
 fn is_ident(s: &str) -> bool {
-    !s.is_empty()
-        && s.chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
-        && !s.chars().next().expect("nonempty").is_ascii_digit()
+    let ident_char = |c: char| c.is_ascii_alphanumeric() || c == '_' || c == '.';
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if ident_char(c) && !c.is_ascii_digit()) && chars.all(ident_char)
 }
 
 /// Number of machine instructions a statement expands to.

@@ -21,12 +21,16 @@ impl fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+// Infallible: the index is masked to 5 bits and `Reg` has 32 variants.
+#[allow(clippy::expect_used)]
 fn rd(w: u32) -> Reg {
     Reg::from_index(((w >> 7) & 0x1f) as u8).expect("5-bit index")
 }
+#[allow(clippy::expect_used)]
 fn rs1(w: u32) -> Reg {
     Reg::from_index(((w >> 15) & 0x1f) as u8).expect("5-bit index")
 }
+#[allow(clippy::expect_used)]
 fn rs2(w: u32) -> Reg {
     Reg::from_index(((w >> 20) & 0x1f) as u8).expect("5-bit index")
 }

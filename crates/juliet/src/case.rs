@@ -187,6 +187,25 @@ pub fn suite() -> Vec<Case> {
     v
 }
 
+/// Deterministically samples `per_cwe` *reachable* cases from every CWE
+/// (fewer when a CWE has fewer reachable cases), spread evenly across
+/// each CWE's index range. Used by the resilience campaigns (R1), which
+/// need a small, representative, reproducible slice of the suite rather
+/// than all 8366 cases.
+pub fn sample_reachable(per_cwe: u32) -> Vec<Case> {
+    let mut v = Vec::new();
+    for cwe in Cwe::ALL {
+        let reachable = cwe.reachable_count();
+        let n = per_cwe.min(reachable);
+        for i in 0..n {
+            // Even stride over [0, reachable): stable under any per_cwe.
+            let index = (i * reachable) / n.max(1);
+            v.push(make_case(cwe, index));
+        }
+    }
+    v
+}
+
 pub(crate) fn make_case(cwe: Cwe, index: u32) -> Case {
     let reachable = cwe.reachable_count();
     // Reachable cases first, laundered variants after — a fixed, easily
@@ -225,6 +244,20 @@ pub(crate) fn make_case(cwe: Cwe, index: u32) -> Case {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sample_reachable_is_deterministic_and_reachable_only() {
+        let a = sample_reachable(3);
+        assert_eq!(a, sample_reachable(3), "sampling is reproducible");
+        assert_eq!(a.len(), 3 * Cwe::ALL.len());
+        assert!(a.iter().all(|c| !c.laundered));
+        // Oversampling clamps to what exists.
+        let big = sample_reachable(u32::MAX);
+        assert_eq!(
+            big.len() as u32,
+            Cwe::ALL.iter().map(|c| c.reachable_count()).sum::<u32>()
+        );
+    }
 
     #[test]
     fn totals_match_paper_section4() {

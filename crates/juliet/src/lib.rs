@@ -41,7 +41,7 @@ mod program;
 mod report;
 mod static_detect;
 
-pub use case::{suite, Case, Cwe, Flow};
+pub use case::{sample_reachable, suite, Case, Cwe, Flow};
 pub use detector::{model_detects, Detector};
 pub use program::{build_benign_program, build_program, execute_detects, execute_detects_with};
 pub use report::{measure_coverage, model_coverage, CoverageReport};

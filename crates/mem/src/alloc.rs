@@ -116,7 +116,15 @@ impl HeapAllocator {
     ///
     /// [`AllocError::OutOfMemory`] when no free block fits.
     pub fn malloc(&mut self, size: u64) -> Result<Allocation, AllocError> {
-        let rounded = size.max(1).div_ceil(8) * 8;
+        // Checked rounding: sizes within 7 bytes of u64::MAX cannot be
+        // rounded up to a granule and can never fit anyway. The guest
+        // reaches this path directly (`malloc(-1)`), so it must degrade
+        // to OutOfMemory, not overflow.
+        let rounded = size
+            .max(1)
+            .checked_add(7)
+            .map(|v| v & !7)
+            .ok_or(AllocError::OutOfMemory { requested: size })?;
         // First fit.
         let slot = self
             .free
@@ -267,6 +275,20 @@ mod tests {
         let mut h = HeapAllocator::new(0x1000, 64);
         assert!(h.malloc(32).is_ok());
         assert!(matches!(h.malloc(64), Err(AllocError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn absurd_sizes_degrade_to_oom() {
+        // Sizes near u64::MAX must not overflow the granule rounding —
+        // the guest can ask for them directly via malloc(-1).
+        let mut h = heap();
+        for size in [u64::MAX, u64::MAX - 6, u64::MAX - 7, 1u64 << 63] {
+            assert!(matches!(
+                h.malloc(size),
+                Err(AllocError::OutOfMemory { .. })
+            ));
+        }
+        assert!(h.malloc(8).is_ok(), "heap still usable after OOM");
     }
 
     #[test]

@@ -155,6 +155,19 @@ impl LockAllocator {
         self.live.len()
     }
 
+    /// Addresses of every live lock_location slot, in ascending order.
+    /// Fault-injection campaigns use this to pick a deterministic
+    /// lock-word corruption target; the sort makes the result independent
+    /// of `HashSet` iteration order.
+    pub fn live_lock_addrs(&self) -> Vec<u64> {
+        let mut slots: Vec<u64> = self.live.iter().copied().collect();
+        slots.sort_unstable();
+        slots
+            .into_iter()
+            .map(|s| self.region_base + s * 8)
+            .collect()
+    }
+
     /// Total keys ever issued.
     pub fn keys_issued(&self) -> u64 {
         self.next_key - 1
@@ -197,6 +210,17 @@ mod tests {
             Err(LockError::InvalidRelease { addr: g.lock }),
             "double release"
         );
+    }
+
+    #[test]
+    fn live_lock_addrs_are_sorted() {
+        let mut l = LockAllocator::new(0x9000, 16);
+        let grants: Vec<_> = (0..5).map(|_| l.acquire().unwrap()).collect();
+        l.release(grants[2].lock).unwrap();
+        let addrs = l.live_lock_addrs();
+        assert_eq!(addrs.len(), 4);
+        assert!(addrs.windows(2).all(|w| w[0] < w[1]));
+        assert!(!addrs.contains(&grants[2].lock));
     }
 
     #[test]

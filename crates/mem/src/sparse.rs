@@ -160,6 +160,43 @@ impl SparseMemory {
             .collect()
     }
 
+    /// Flips one bit of the 64-bit word at `addr` — the fault-injection
+    /// hook behind the LMSM shadow-word corruption campaigns. The word is
+    /// read, XOR-ed with `1 << (bit % 64)` and written back, so a flip of
+    /// a previously untouched word allocates its page like any write.
+    pub fn flip_word_bit(&mut self, addr: u64, bit: u32) {
+        let v = self.read_u64(addr);
+        self.write_u64(addr, v ^ (1u64 << (bit % 64)));
+    }
+
+    /// Addresses of every *nonzero* 8-byte-aligned word in `[lo, hi)`,
+    /// in ascending address order. Used by fault-injection campaigns to
+    /// pick a deterministic corruption target; the explicit sort makes
+    /// the result independent of `HashMap` iteration order.
+    pub fn nonzero_word_addrs_in(&self, lo: u64, hi: u64) -> Vec<u64> {
+        let mut pages: Vec<u64> = self
+            .pages
+            .keys()
+            .copied()
+            .filter(|&p| {
+                let base = p << PAGE_BITS;
+                base < hi && base.wrapping_add(PAGE_SIZE) > lo
+            })
+            .collect();
+        pages.sort_unstable();
+        let mut out = Vec::new();
+        for page in pages {
+            let base = page << PAGE_BITS;
+            for off in (0..PAGE_SIZE).step_by(8) {
+                let a = base + off;
+                if a >= lo && a < hi && self.read_u64(a) != 0 {
+                    out.push(a);
+                }
+            }
+        }
+        out
+    }
+
     /// Zeroes `len` bytes starting at `addr` (page-granular fast path).
     pub fn zero(&mut self, addr: u64, len: u64) {
         for i in 0..len {
@@ -252,5 +289,32 @@ mod tests {
     #[should_panic(expected = "at most 8 bytes")]
     fn read_le_rejects_wide_access() {
         SparseMemory::new().read_le(0, 9);
+    }
+
+    #[test]
+    fn flip_word_bit_toggles() {
+        let mut m = SparseMemory::new();
+        m.flip_word_bit(0x1000, 3);
+        assert_eq!(m.read_u64(0x1000), 8);
+        m.flip_word_bit(0x1000, 3);
+        assert_eq!(m.read_u64(0x1000), 0);
+        // Shift amount is reduced mod 64, never panics.
+        m.flip_word_bit(0x1000, 64);
+        assert_eq!(m.read_u64(0x1000), 1);
+    }
+
+    #[test]
+    fn nonzero_word_addrs_are_sorted_and_bounded() {
+        let mut m = SparseMemory::new();
+        m.write_u64(0x9_0000, 7);
+        m.write_u64(0x1000, 1);
+        m.write_u64(0x1008, 0); // zero word: not reported
+        m.write_u64(0x2000, 2);
+        assert_eq!(
+            m.nonzero_word_addrs_in(0, u64::MAX),
+            vec![0x1000, 0x2000, 0x9_0000]
+        );
+        assert_eq!(m.nonzero_word_addrs_in(0x1001, 0x9_0000), vec![0x2000]);
+        assert!(m.nonzero_word_addrs_in(0x10_0000, u64::MAX).is_empty());
     }
 }

@@ -28,6 +28,14 @@ impl Compressed {
             upper: (v >> 64) as u64,
         }
     }
+
+    /// Returns this record with one of its 128 bits flipped — the
+    /// pre-DECOMP fault representation used by the injection campaigns
+    /// (a single-event upset in an SRF cell or a shadow word). The bit
+    /// index is reduced mod 128.
+    pub const fn flip_bit(self, bit: u8) -> Self {
+        Self::from_u128(self.to_u128() ^ (1u128 << (bit % 128)))
+    }
 }
 
 impl fmt::Display for Compressed {
@@ -174,14 +182,23 @@ impl ShadowCodec {
     }
 
     /// Decompresses the spatial half into `(base, bound)`.
+    ///
+    /// The DECOMP datapath is a fixed-width shifter/adder: with an
+    /// adversarial `compcfg` (e.g. 63 base bits) a garbage shadow word
+    /// can drive the adder past 2^64, and the hardware simply wraps —
+    /// so the model wraps too instead of overflowing.
     pub fn decompress_spatial(self, lower: u64) -> (u64, u64) {
         let cfg = self.cfg;
         let base = (lower & ((1u64 << cfg.base_bits()) - 1)) << 3;
         let range_field = (lower >> cfg.base_bits()) & ((1u64 << cfg.range_bits()) - 1);
-        (base, base + (range_field << 3))
+        (base, base.wrapping_add(range_field << 3))
     }
 
     /// Decompresses the temporal half into `(key, lock)`.
+    ///
+    /// Like [`decompress_spatial`](Self::decompress_spatial), the
+    /// lock-address adder wraps: `hwst.lockbase` is software-controlled
+    /// and may be arbitrarily large.
     pub fn decompress_temporal(self, upper: u64) -> (u64, u64) {
         let cfg = self.cfg;
         let index = upper & ((1u64 << cfg.lock_bits()) - 1);
@@ -189,7 +206,7 @@ impl ShadowCodec {
         let lock = if index == 0 {
             0
         } else {
-            self.lock_region_base + (index << 3)
+            self.lock_region_base.wrapping_add(index << 3)
         };
         (key, lock)
     }
@@ -375,6 +392,35 @@ mod tests {
         let (b, bd) = codec().decompress_spatial(c.lower);
         let (k, l) = codec().decompress_temporal(c.upper);
         assert_eq!((b, bd, k, l), (md.base, md.bound, md.key, md.lock));
+    }
+
+    #[test]
+    fn flip_bit_is_a_single_bit_involution() {
+        let c = Compressed {
+            lower: 0x1234_5678_9abc_def0,
+            upper: 0x0fed_cba9,
+        };
+        for bit in [0u8, 17, 63, 64, 100, 127, 128, 255] {
+            let f = c.flip_bit(bit);
+            assert_eq!((f.to_u128() ^ c.to_u128()).count_ones(), 1);
+            assert_eq!(f.flip_bit(bit), c, "flip twice restores");
+        }
+        // Bits >= 64 land in the upper (temporal) half.
+        assert_eq!(c.flip_bit(64).lower, c.lower);
+        assert_ne!(c.flip_bit(64).upper, c.upper);
+    }
+
+    #[test]
+    fn adversarial_decompress_wraps_instead_of_overflowing() {
+        // base_bits 63 is a legal config; a garbage lower word then
+        // drives base + range past 2^64. The DECOMP adder wraps.
+        let wide = ShadowCodec::new(CompressionConfig::new(63, 1, 1, 63).unwrap(), 0);
+        let (_, bound) = wide.decompress_spatial(u64::MAX);
+        let _ = bound; // any value is fine; not panicking is the contract
+                       // Same for the lock adder under a huge hwst.lockbase.
+        let far = ShadowCodec::new(CompressionConfig::SPEC_DEFAULT, u64::MAX - 8);
+        let (_, lock) = far.decompress_temporal(0xffff);
+        let _ = lock;
     }
 
     #[test]

@@ -88,6 +88,18 @@ impl KeyBuffer {
         self.clears += 1;
     }
 
+    /// Fault-injection hook: plants a (possibly stale or wrong)
+    /// `lock → key` entry as if it had been filled by a past `tchk`.
+    /// Subject to the same capacity rules as [`fill`](Self::fill) — a
+    /// disabled buffer cannot hold poison. The keybuffer is a *timing*
+    /// structure in this model (`tchk` semantics always read the
+    /// lock_location from memory), so a poisoned entry can perturb cycle
+    /// counts but must never change what `tchk` detects; the resilience
+    /// campaigns verify exactly that.
+    pub fn poison(&mut self, lock: u64, key: u64) {
+        self.fill(lock, key);
+    }
+
     /// `(hits, misses, clears)` counters.
     pub fn stats(&self) -> (u64, u64, u64) {
         (self.hits, self.misses, self.clears)
@@ -138,6 +150,20 @@ mod tests {
         kb.fill(1, 10);
         assert_eq!(kb.lookup(1), None);
         assert_eq!(kb.stats().1, 1);
+    }
+
+    #[test]
+    fn poison_plants_and_clear_flushes_it() {
+        let mut kb = KeyBuffer::new(4);
+        kb.poison(0x9000, 0xdead);
+        assert_eq!(kb.lookup(0x9000), Some(0xdead));
+        // The coherence rule applies to poison too: any free flushes it.
+        kb.clear();
+        assert_eq!(kb.lookup(0x9000), None);
+        // A disabled buffer cannot hold poison.
+        let mut off = KeyBuffer::new(0);
+        off.poison(0x9000, 0xdead);
+        assert_eq!(off.lookup(0x9000), None);
     }
 
     #[test]

@@ -134,6 +134,12 @@ impl Pipeline {
         self.keybuffer.clear();
     }
 
+    /// Fault-injection hook: plants a stale/wrong `lock → key` entry in
+    /// the keybuffer (see [`KeyBuffer::poison`]).
+    pub fn poison_keybuffer(&mut self, lock: u64, key: u64) {
+        self.keybuffer.poison(lock, key);
+    }
+
     /// Charges cycles for environment/runtime work performed on behalf of
     /// the program (the proxy-kernel allocator model).
     pub fn charge_runtime(&mut self, cycles: u64) {
@@ -383,6 +389,25 @@ mod tests {
         );
         assert_eq!(hit, 1);
         assert_eq!(p.stats().keybuffer_hits, 1);
+        assert_eq!(p.stats().keybuffer_misses, 1);
+    }
+
+    #[test]
+    fn poisoned_entry_only_bypasses_timing_and_dies_on_free() {
+        let mut p = pipe();
+        let tchk = Instr::Tchk { rs1: Reg::A0 };
+        let ev = ExecEvents {
+            tchk: Some((0x9000, 42)),
+            ..Default::default()
+        };
+        // A poisoned (stale) entry makes the next tchk a keybuffer hit —
+        // it changes cycles, never the (lock, key) the simulator checks.
+        p.poison_keybuffer(0x9000, 0xdead);
+        assert_eq!(p.retire(&tchk, &ev), 1);
+        assert_eq!(p.stats().keybuffer_hits, 1);
+        // The free-coherence rule flushes poison like any entry.
+        p.notify_free();
+        p.retire(&tchk, &ev);
         assert_eq!(p.stats().keybuffer_misses, 1);
     }
 

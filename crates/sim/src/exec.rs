@@ -349,7 +349,12 @@ impl Machine {
                 self.output.extend_from_slice(a0.to_string().as_bytes());
                 self.output.push(b'\n');
             }
-            _ => return Err(Trap::Breakpoint { pc }),
+            _ => {
+                return Err(Trap::MachineFault {
+                    pc,
+                    what: "unknown syscall number",
+                })
+            }
         }
         Ok(())
     }

@@ -13,6 +13,8 @@
 //! * [`ExitStatus`] — exit code, captured output and cycle statistics.
 //! * [`SafetyConfig`] — which checks are armed (spatial/temporal/
 //!   keybuffer) and the compression/pipeline parameters.
+//! * [`inject`] — deterministic metadata-path fault injection and the
+//!   AVF-style outcome classification (experiment R1).
 //!
 //! ## Example
 //!
@@ -35,11 +37,12 @@
 #![warn(missing_docs)]
 
 mod exec;
+pub mod inject;
 mod machine;
 pub mod syscall;
 mod trace;
 mod trap;
 
-pub use machine::{ExitStatus, Machine, RuntimeEvents, SafetyConfig};
+pub use machine::{ExitStatus, LoadError, Machine, RuntimeEvents, SafetyConfig};
 pub use trace::TraceEvent;
 pub use trap::Trap;

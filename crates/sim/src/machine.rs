@@ -59,6 +59,40 @@ impl SafetyConfig {
     }
 }
 
+/// Errors from [`Machine::from_image`]: the structured answers a binary
+/// loader gives instead of panicking on a malformed image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadError {
+    /// The image length is not a multiple of 4, so the tail cannot be an
+    /// instruction word (previously the trailing bytes were silently
+    /// dropped).
+    RaggedImage {
+        /// The offending image length in bytes.
+        len: usize,
+    },
+    /// A word failed to decode.
+    Decode(hwst_isa::DecodeError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            LoadError::RaggedImage { len } => {
+                write!(f, "image length {len} is not a multiple of 4")
+            }
+            LoadError::Decode(e) => write!(f, "image decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<hwst_isa::DecodeError> for LoadError {
+    fn from(e: hwst_isa::DecodeError) -> Self {
+        LoadError::Decode(e)
+    }
+}
+
 /// Successful program termination.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExitStatus {
@@ -166,15 +200,15 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns the first [`hwst_isa::DecodeError`] in the image.
-    pub fn from_image(
-        base: u64,
-        image: &[u8],
-        cfg: SafetyConfig,
-    ) -> Result<Self, hwst_isa::DecodeError> {
+    /// [`LoadError::RaggedImage`] when the image length is not a multiple
+    /// of 4, [`LoadError::Decode`] for the first undecodable word.
+    pub fn from_image(base: u64, image: &[u8], cfg: SafetyConfig) -> Result<Self, LoadError> {
+        if !image.len().is_multiple_of(4) {
+            return Err(LoadError::RaggedImage { len: image.len() });
+        }
         let mut instrs = Vec::with_capacity(image.len() / 4);
         for chunk in image.chunks_exact(4) {
-            let word = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+            let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
             instrs.push(hwst_isa::decode(word)?);
         }
         Ok(Self::new(Program::from_instrs(base, instrs), cfg))
@@ -221,6 +255,12 @@ impl Machine {
         &self.srf
     }
 
+    /// Mutable shadow register file — fault-injection hook (SRF cell
+    /// upsets).
+    pub fn srf_mut(&mut self) -> &mut ShadowRegisterFile {
+        &mut self.srf
+    }
+
     /// Simulated memory (for loading data and inspecting results).
     pub fn mem(&self) -> &SparseMemory {
         &self.mem
@@ -239,6 +279,12 @@ impl Machine {
     /// The pipeline model (keybuffer/D-cache diagnostics).
     pub fn pipeline(&self) -> &Pipeline {
         &self.pipeline
+    }
+
+    /// Mutable pipeline model — fault-injection hook (keybuffer
+    /// poisoning).
+    pub fn pipeline_mut(&mut self) -> &mut Pipeline {
+        &mut self.pipeline
     }
 
     /// Runtime events so far.

@@ -49,7 +49,7 @@ impl Machine {
         self.step()?;
         let reg_writes = (1u8..32)
             .filter_map(|i| {
-                let r = Reg::from_index(i).expect("index < 32");
+                let r = Reg::from_index(i)?;
                 (self.regs[i as usize] != before[i as usize]).then(|| (r, self.regs[i as usize]))
             })
             .collect();

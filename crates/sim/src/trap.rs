@@ -38,7 +38,7 @@ pub enum Trap {
         /// The faulting PC.
         pc: u64,
     },
-    /// `ebreak`, an unknown syscall or an unimplemented opcode.
+    /// `ebreak` (unknown syscalls raise [`Trap::MachineFault`]).
     Breakpoint {
         /// PC of the `ebreak`.
         pc: u64,
@@ -53,6 +53,17 @@ pub enum Trap {
     /// heap exhaustion inside `malloc`).
     Environment {
         /// PC of the faulting syscall.
+        pc: u64,
+        /// Human-readable cause.
+        what: &'static str,
+    },
+    /// The machine itself entered a state it cannot continue from —
+    /// the graceful-degradation variant that replaces every would-be
+    /// panic on adversarial state (unknown syscalls, corrupted internal
+    /// structures found by the fault-injection campaigns). Never counts
+    /// as a memory-safety detection.
+    MachineFault {
+        /// PC when the fault was raised.
         pc: u64,
         /// Human-readable cause.
         what: &'static str,
@@ -88,6 +99,9 @@ impl fmt::Display for Trap {
             }
             Trap::Environment { pc, what } => {
                 write!(f, "environment fault at pc={pc:#x}: {what}")
+            }
+            Trap::MachineFault { pc, what } => {
+                write!(f, "machine fault at pc={pc:#x}: {what}")
             }
         }
     }

@@ -155,6 +155,48 @@ fn keybuffer_never_serves_a_stale_key() {
 }
 
 #[test]
+fn stale_keybuffer_entry_never_masks_an_overwritten_lock_word() {
+    // Adversarial double fault: overwrite the live lock word AND plant
+    // the old (now wrong) key in the keybuffer. The keybuffer is a
+    // timing structure only — the semantic check must still read the
+    // lock_location and trap with the *overwritten* value, proving a
+    // stale hit can never turn a detection into a miss.
+    let mut body = prologue();
+    body.extend([
+        Instr::Tchk { rs1: Reg::A0 }, // fills the keybuffer (valid hit)
+        Instr::Tchk { rs1: Reg::A0 }, // final check, post-corruption
+        li(Reg::A7, syscall::EXIT as i64),
+        li(Reg::A0, 0),
+        Instr::Ecall,
+    ]);
+    let prog = Program::from_instrs(BASE, body);
+    let mut m = Machine::new(prog, SafetyConfig::default());
+    // Execute the prologue plus the first tchk (7 instructions).
+    for _ in 0..7 {
+        m.step().expect("setup executes");
+    }
+    let key = m.reg(Reg::A1);
+    let lock = m.reg(Reg::A2);
+    assert_eq!(m.mem().read_u64(lock), key, "lock word holds the key");
+    // Inject: clobber the lock word, then poison the keybuffer with the
+    // stale-but-formerly-correct key for that lock.
+    let clobbered = key ^ 0xDEAD;
+    m.mem_mut().write_u64(lock, clobbered);
+    m.pipeline_mut().poison_keybuffer(lock, key);
+    match m.run(1_000) {
+        Err(Trap::TemporalViolation {
+            stored_key,
+            lock: trapped_lock,
+            ..
+        }) => {
+            assert_eq!(stored_key, clobbered, "trap reports the real word");
+            assert_eq!(trapped_lock, lock);
+        }
+        other => panic!("stale keybuffer masked the overwrite: {other:?}"),
+    }
+}
+
+#[test]
 fn metadata_corruption_defeats_the_check_as_the_threat_model_assumes() {
     // Threat model (§3): "the adversary cannot corrupt the metadata".
     // Pin the assumption down: if shadow memory IS corrupted (which the

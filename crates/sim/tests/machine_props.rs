@@ -4,8 +4,58 @@
 //! bugs.
 
 use hwst_isa::{decode, Instr, Program, Reg};
-use hwst_sim::{Machine, SafetyConfig};
+use hwst_sim::inject::{run_with_plan, FaultClass, InjectionPlan};
+use hwst_sim::{syscall, Machine, SafetyConfig};
 use proptest::prelude::*;
+
+/// A small malloc → bind → check → free churn program: every metadata
+/// structure (SRF, shadow memory, lock words, keybuffer) is populated,
+/// so arbitrary injection plans have real targets to corrupt.
+fn churn_prog() -> Program {
+    let addi = |rd, rs1, imm| Instr::AluImm {
+        op: hwst_isa::AluImmOp::Addi,
+        rd,
+        rs1,
+        imm,
+    };
+    let mut body = Vec::new();
+    for _ in 0..3 {
+        body.extend([
+            addi(Reg::A0, Reg::Zero, 64),
+            addi(Reg::A7, Reg::Zero, syscall::MALLOC as i64),
+            Instr::Ecall,
+            addi(Reg::T0, Reg::A0, 64),
+            Instr::Bndrs {
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                rs2: Reg::T0,
+            },
+            Instr::Bndrt {
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2,
+            },
+            Instr::Tchk { rs1: Reg::A0 },
+            Instr::Store {
+                width: hwst_isa::StoreWidth::D,
+                rs1: Reg::A0,
+                rs2: Reg::T0,
+                offset: 0,
+                checked: true,
+            },
+            addi(Reg::A1, Reg::A2, 0),
+            addi(Reg::A0, Reg::A0, 0),
+            addi(Reg::A7, Reg::Zero, syscall::FREE as i64),
+            Instr::Ecall,
+        ]);
+    }
+    body.extend([
+        addi(Reg::A7, Reg::Zero, syscall::EXIT as i64),
+        addi(Reg::A0, Reg::Zero, 0),
+        Instr::Ecall,
+    ]);
+    Program::from_instrs(0x1_0000, body)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -69,6 +119,81 @@ proptest! {
         let mut m = Machine::new(prog, SafetyConfig::default());
         let _ = m.run(1_000);
     }
+
+    /// Arbitrary byte images — ragged lengths, undecodable words, all of
+    /// it — either load or return a structured error; loaded images run
+    /// without panicking.
+    #[test]
+    fn random_images_never_panic(image in prop::collection::vec(any::<u8>(), 0..64)) {
+        match Machine::from_image(0x1_0000, &image, SafetyConfig::default()) {
+            Ok(mut m) => {
+                let _ = m.run(1_000);
+            }
+            Err(e) => {
+                // The error is structured and printable, never a panic.
+                let _ = e.to_string();
+            }
+        }
+    }
+
+    /// Every fault class × any seed × any trigger point: the machine
+    /// degrades to a classified trap or exit status, never a panic.
+    #[test]
+    fn arbitrary_injection_plans_never_panic(
+        seed in any::<u64>(),
+        trigger in 0u64..64,
+        class_index in 0usize..FaultClass::ALL.len(),
+    ) {
+        let plan = InjectionPlan {
+            class: FaultClass::ALL[class_index],
+            seed,
+            trigger,
+        };
+        let mut m = Machine::new(churn_prog(), SafetyConfig::default());
+        let (result, record) = run_with_plan(&mut m, &plan, 10_000);
+        // Any classified outcome is legal; only a panic would fail this.
+        let _ = (result, record.applied());
+    }
+}
+
+#[test]
+fn ragged_image_is_a_structured_load_error() {
+    for len in [1usize, 2, 3, 5, 7, 9] {
+        let image = vec![0x13u8; len]; // 0x13 = addi x0,x0,0 prefix bytes
+        let Err(err) = Machine::from_image(0, &image, SafetyConfig::default()) else {
+            panic!("ragged image of len {len} must be rejected");
+        };
+        assert!(
+            err.to_string().contains("multiple of 4"),
+            "unexpected error for len {len}: {err}"
+        );
+    }
+}
+
+#[test]
+fn huge_malloc_degrades_to_null_not_panic() {
+    // malloc(-1): the size rounding used to overflow in debug builds;
+    // now it must degrade to a failed allocation (a0 = 0).
+    let addi = |rd, rs1, imm| Instr::AluImm {
+        op: hwst_isa::AluImmOp::Addi,
+        rd,
+        rs1,
+        imm,
+    };
+    let prog = Program::from_instrs(
+        0x1_0000,
+        vec![
+            addi(Reg::A0, Reg::Zero, -1),
+            addi(Reg::A7, Reg::Zero, syscall::MALLOC as i64),
+            Instr::Ecall,
+            // exit(a0): a failed allocation exits 0.
+            addi(Reg::A7, Reg::Zero, syscall::EXIT as i64),
+            Instr::Ecall,
+        ],
+    );
+    let mut m = Machine::new(prog, SafetyConfig::default());
+    let exit = m.run(100).expect("absurd sizes must degrade gracefully");
+    assert_eq!(exit.code, 0, "malloc(-1) must return the null block");
 }
 
 #[test]

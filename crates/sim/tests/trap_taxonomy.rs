@@ -1,0 +1,125 @@
+//! Exhaustive `Trap` taxonomy tests: every variant's Display string is
+//! distinct and carries its key fields, `is_violation()` is true for
+//! exactly the two memory-safety detections, and traps compare by value.
+
+use hwst_sim::Trap;
+
+/// One representative of every `Trap` variant, with distinctive field
+/// values so Display strings can be checked for content.
+fn all_variants() -> Vec<Trap> {
+    vec![
+        Trap::SpatialViolation {
+            pc: 0x1111,
+            addr: 0x2222,
+            base: 0x3333,
+            bound: 0x4444,
+        },
+        Trap::TemporalViolation {
+            pc: 0x1111,
+            key: 0x5555,
+            lock: 0x6666,
+            stored_key: 0x7777,
+        },
+        Trap::BadFetch { pc: 0x1111 },
+        Trap::Breakpoint { pc: 0x1111 },
+        Trap::OutOfFuel { executed: 99 },
+        Trap::Environment {
+            pc: 0x1111,
+            what: "env cause",
+        },
+        Trap::MachineFault {
+            pc: 0x1111,
+            what: "fault cause",
+        },
+    ]
+}
+
+#[test]
+fn is_violation_holds_for_exactly_the_two_detections() {
+    for t in all_variants() {
+        let expected = matches!(
+            t,
+            Trap::SpatialViolation { .. } | Trap::TemporalViolation { .. }
+        );
+        assert_eq!(
+            t.is_violation(),
+            expected,
+            "{t}: machine faults and other non-detections must not count \
+             as memory-safety violations"
+        );
+    }
+}
+
+#[test]
+fn display_strings_are_distinct_and_nonempty() {
+    let shown: Vec<String> = all_variants().iter().map(Trap::to_string).collect();
+    for (i, a) in shown.iter().enumerate() {
+        assert!(!a.is_empty());
+        for b in shown.iter().skip(i + 1) {
+            assert_ne!(a, b, "two variants render identically");
+        }
+    }
+}
+
+#[test]
+fn display_carries_the_key_fields() {
+    for t in all_variants() {
+        let s = t.to_string();
+        match t {
+            Trap::SpatialViolation {
+                addr, base, bound, ..
+            } => {
+                for v in [addr, base, bound] {
+                    assert!(s.contains(&format!("{v:#x}")), "{s} missing {v:#x}");
+                }
+            }
+            Trap::TemporalViolation {
+                key,
+                lock,
+                stored_key,
+                ..
+            } => {
+                for v in [key, lock, stored_key] {
+                    assert!(s.contains(&format!("{v:#x}")), "{s} missing {v:#x}");
+                }
+            }
+            Trap::BadFetch { pc } | Trap::Breakpoint { pc } => {
+                assert!(s.contains(&format!("{pc:#x}")), "{s} missing pc");
+            }
+            Trap::OutOfFuel { executed } => {
+                assert!(s.contains(&executed.to_string()), "{s} missing count");
+            }
+            Trap::Environment { what, .. } | Trap::MachineFault { what, .. } => {
+                assert!(s.contains(what), "{s} missing cause '{what}'");
+                assert!(s.contains("0x1111"), "{s} missing pc");
+            }
+        }
+    }
+}
+
+#[test]
+fn traps_compare_by_value_and_copy() {
+    for t in all_variants() {
+        let copy = t; // Copy, not move
+        assert_eq!(t, copy);
+    }
+    // Field changes break equality.
+    assert_ne!(
+        Trap::MachineFault { pc: 1, what: "a" },
+        Trap::MachineFault { pc: 2, what: "a" }
+    );
+    assert_ne!(
+        Trap::MachineFault { pc: 1, what: "a" },
+        Trap::MachineFault { pc: 1, what: "b" }
+    );
+    assert_ne!(Trap::BadFetch { pc: 1 }, Trap::Breakpoint { pc: 1 });
+}
+
+#[test]
+fn traps_are_std_errors() {
+    let t: Box<dyn std::error::Error> = Box::new(Trap::MachineFault {
+        pc: 0,
+        what: "boxed",
+    });
+    assert!(t.to_string().contains("boxed"));
+}
