@@ -59,18 +59,34 @@ pub struct WorkloadProfile {
 /// # Panics
 ///
 /// Panics if the module fails to compile or traps (profiles are for
-/// well-behaved benchmarks).
+/// well-behaved benchmarks); [`try_profile_workload`] is the
+/// harness-friendly structured-error variant.
 pub fn profile_workload(module: &Module, fuel: u64) -> WorkloadProfile {
+    try_profile_workload(module, fuel).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`profile_workload`], but compile errors and traps come back as
+/// `Err` instead of panicking, so a parallel sweep can record the
+/// failure and keep going.
+///
+/// # Errors
+///
+/// Returns a message naming the failing scheme when the module does
+/// not compile or does not run to clean exit.
+pub fn try_profile_workload(module: &Module, fuel: u64) -> Result<WorkloadProfile, String> {
     let run = |scheme: Scheme, cfg: SafetyConfig| {
-        let prog = compile(module, scheme).expect("benchmark compiles");
+        let prog =
+            compile(module, scheme).map_err(|e| format!("{scheme} failed to compile: {e}"))?;
         let mut m = Machine::new(prog, cfg);
-        let exit = m.run(fuel).expect("benchmark runs clean");
-        (exit.stats, m.events())
+        let exit = m
+            .run(fuel)
+            .map_err(|e| format!("{scheme} did not run clean: {e}"))?;
+        Ok::<_, String>((exit.stats, m.events()))
     };
-    let (base, _) = run(Scheme::None, SafetyConfig::baseline());
-    let (sb, _) = run(Scheme::Sbcets, SafetyConfig::baseline());
-    let (hwst, ev) = run(Scheme::Hwst128Tchk, SafetyConfig::default());
-    WorkloadProfile {
+    let (base, _) = run(Scheme::None, SafetyConfig::baseline())?;
+    let (sb, _) = run(Scheme::Sbcets, SafetyConfig::baseline())?;
+    let (hwst, ev) = run(Scheme::Hwst128Tchk, SafetyConfig::default())?;
+    Ok(WorkloadProfile {
         baseline_cycles: base.total_cycles(),
         sbcets_cycles: sb.total_cycles(),
         hwst_cycles: hwst.total_cycles(),
@@ -78,7 +94,7 @@ pub fn profile_workload(module: &Module, fuel: u64) -> WorkloadProfile {
         ptr_moves: hwst.meta_mem / 2,
         allocs: ev.mallocs,
         frees: ev.frees + ev.invalid_frees,
-    }
+    })
 }
 
 /// Per-event cost model of a safety mechanism on its own architecture

@@ -10,11 +10,16 @@
 //! * static check sites before/after elimination,
 //! * dynamic `tchk` executions (keybuffer hits + misses),
 //! * total cycles and the resulting Eq. 7 overhead delta.
+//!
+//! One harness job per workload computes both configurations;
+//! `--jobs N`, `--progress` (see `hwst_bench::cli`).
 
 use hwst128::compiler::{compile_with_options, CompileOptions, Scheme};
 use hwst128::config_for;
 use hwst128::sim::Machine;
-use hwst128::workloads::{all, Scale};
+use hwst128::workloads::all;
+use hwst_bench::cli::BenchArgs;
+use hwst_harness::{collect_ok, run as pool_run, Job};
 
 struct Run {
     static_checks: usize,
@@ -23,50 +28,59 @@ struct Run {
     cycles: u64,
 }
 
-fn run(module: &hwst128::compiler::ir::Module, fuel: u64, rce: bool) -> Run {
+fn run(module: &hwst128::compiler::ir::Module, fuel: u64, rce: bool) -> Result<Run, String> {
     let mut opts = CompileOptions::new(Scheme::Hwst128Tchk).with_verify();
     opts.rce = rce;
-    let compiled = compile_with_options(module, opts).expect("compiles and verifies");
+    let compiled = compile_with_options(module, opts)
+        .map_err(|e| format!("compile/verify (rce={rce}): {e}"))?;
     let exit = Machine::new(compiled.program, config_for(Scheme::Hwst128Tchk))
         .run(fuel)
-        .expect("runs clean");
-    Run {
+        .map_err(|e| format!("run (rce={rce}): {e}"))?;
+    Ok(Run {
         static_checks: compiled.check_count,
         removed: compiled.rce.total(),
         dynamic_tchks: exit.stats.keybuffer_hits + exit.stats.keybuffer_misses,
         cycles: exit.stats.total_cycles(),
-    }
+    })
 }
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--bench-scale") {
-        Scale::Bench
-    } else {
-        Scale::Test
-    };
-    println!("A8 — redundant-check elimination (HWST128_tchk, scale {scale:?})");
+    let args = BenchArgs::parse();
+    let scale = args.scale();
+    let pool = args.pool();
+    println!(
+        "A8 — redundant-check elimination (HWST128_tchk, scale {scale:?}, {} worker(s))",
+        pool.workers
+    );
     println!(
         "{:<12} {:>7} {:>7} {:>7} {:>12} {:>12} {:>8} {:>8}",
         "workload", "static", "-rce", "removed", "dyn tchk", "dyn -rce", "dyn red.", "cyc red."
     );
+    let jobs: Vec<Job<(String, Run, Run)>> = all()
+        .into_iter()
+        .map(|wl| {
+            Job::new(format!("a8/{}", wl.name), move || {
+                let module = wl.module(scale);
+                let fuel = wl.fuel(scale);
+                let plain = run(&module, fuel, false).map_err(|e| format!("{}: {e}", wl.name))?;
+                let opt = run(&module, fuel, true).map_err(|e| format!("{}: {e}", wl.name))?;
+                if opt.dynamic_tchks > plain.dynamic_tchks {
+                    return Err(format!("{}: RCE must never add checks", wl.name));
+                }
+                Ok((wl.name.to_string(), plain, opt))
+            })
+        })
+        .collect();
+    let (rows, failed) = collect_ok(pool_run(jobs, &pool, args.sink().as_mut()));
     let mut improved = 0usize;
-    let mut total = 0usize;
-    for wl in all() {
-        let module = wl.module(scale);
-        let fuel = wl.fuel(scale);
-        let plain = run(&module, fuel, false);
-        let opt = run(&module, fuel, true);
-        assert!(
-            opt.dynamic_tchks <= plain.dynamic_tchks,
-            "{}: RCE must never add checks",
-            wl.name
-        );
+    let total = rows.len();
+    for (name, plain, opt) in &rows {
         let dyn_red = 100.0 * (plain.dynamic_tchks - opt.dynamic_tchks) as f64
             / plain.dynamic_tchks.max(1) as f64;
         let cyc_red = 100.0 * (plain.cycles as f64 - opt.cycles as f64) / plain.cycles as f64;
         println!(
             "{:<12} {:>7} {:>7} {:>7} {:>12} {:>12} {:>7.1}% {:>7.1}%",
-            wl.name,
+            name,
             plain.static_checks,
             opt.static_checks,
             opt.removed,
@@ -75,14 +89,19 @@ fn main() {
             dyn_red,
             cyc_red,
         );
-        total += 1;
         if opt.dynamic_tchks < plain.dynamic_tchks {
             improved += 1;
         }
+    }
+    for f in &failed {
+        println!("{} FAILED {}", f.label, f.error);
     }
     println!();
     println!(
         "-> {improved}/{total} workloads execute strictly fewer tchks with RCE;\n   \
          the verifier accepts every eliminated binary, so coverage is intact."
     );
+    if !failed.is_empty() {
+        std::process::exit(1);
+    }
 }

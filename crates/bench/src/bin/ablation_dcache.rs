@@ -2,31 +2,39 @@
 //! traffic shares the D-cache with user data (the paper bypasses only
 //! keybuffer hits); this sweep shows how the overhead of each scheme
 //! responds to cache size and miss penalty.
+//!
+//! One harness job per cache point; `--jobs N`, `--progress` (see
+//! `hwst_bench::cli`).
 
 use hwst128::compiler::{compile, Scheme};
 use hwst128::pipeline::CacheConfig;
 use hwst128::sim::Machine;
 use hwst128::workloads::{Scale, Workload};
+use hwst_bench::cli::BenchArgs;
+use hwst_harness::{collect_ok, run as pool_run, Job};
 
-fn overhead(wl: &Workload, scheme: Scheme, dcache: CacheConfig) -> f64 {
-    let run = |scheme: Scheme| -> u64 {
+fn overhead(wl: &Workload, scheme: Scheme, dcache: CacheConfig) -> Result<f64, String> {
+    let run = |scheme: Scheme| -> Result<u64, String> {
         let mut cfg = hwst128::config_for(scheme);
         cfg.pipeline.dcache = dcache;
-        let prog = compile(&wl.module(Scale::Test), scheme).expect("compiles");
-        Machine::new(prog, cfg)
+        let prog = compile(&wl.module(Scale::Test), scheme)
+            .map_err(|e| format!("{} ({scheme}): {e}", wl.name))?;
+        Ok(Machine::new(prog, cfg)
             .run(wl.fuel(Scale::Test))
-            .expect("runs clean")
+            .map_err(|e| format!("{} ({scheme}): {e}", wl.name))?
             .stats
-            .total_cycles()
+            .total_cycles())
     };
-    (run(scheme) as f64 / run(Scheme::None) as f64 - 1.0) * 100.0
+    Ok((run(scheme)? as f64 / run(Scheme::None)? as f64 - 1.0) * 100.0)
 }
 
 fn main() {
+    let args = BenchArgs::parse();
+    let pool = args.pool();
     let wl = Workload::by_name("lbm").expect("known workload");
     println!(
-        "A4 — D-cache sensitivity on {} (overhead %, Eq. 7)",
-        wl.name
+        "A4 — D-cache sensitivity on {} (overhead %, Eq. 7), {} worker(s)",
+        wl.name, pool.workers
     );
     println!(
         "{:<26} {:>9} {:>9} {:>9}",
@@ -67,14 +75,27 @@ fn main() {
             },
         ),
     ];
-    for (label, dc) in sweeps {
-        println!(
-            "{:<26} {:>8.1}% {:>8.1}% {:>8.1}%",
-            label,
-            overhead(&wl, Scheme::Sbcets, dc),
-            overhead(&wl, Scheme::Hwst128, dc),
-            overhead(&wl, Scheme::Hwst128Tchk, dc),
-        );
+    let jobs: Vec<Job<(&'static str, [f64; 3])>> = sweeps
+        .into_iter()
+        .map(|(label, dc)| {
+            Job::new(format!("a4/{label}"), move || {
+                Ok((
+                    label,
+                    [
+                        overhead(&wl, Scheme::Sbcets, dc)?,
+                        overhead(&wl, Scheme::Hwst128, dc)?,
+                        overhead(&wl, Scheme::Hwst128Tchk, dc)?,
+                    ],
+                ))
+            })
+        })
+        .collect();
+    let (rows, failed) = collect_ok(pool_run(jobs, &pool, args.sink().as_mut()));
+    for (label, o) in &rows {
+        println!("{:<26} {:>8.1}% {:>8.1}% {:>8.1}%", label, o[0], o[1], o[2]);
+    }
+    for f in &failed {
+        println!("{} FAILED {}", f.label, f.error);
     }
     println!();
     println!("-> the kernels' working sets mostly fit even a 4 KiB cache, so");
@@ -82,4 +103,7 @@ fn main() {
     println!("   traffic is dominated by *instruction count*, not misses,");
     println!("   which is exactly why the paper attacks it with compression");
     println!("   and the keybuffer rather than with a bigger cache.");
+    if !failed.is_empty() {
+        std::process::exit(1);
+    }
 }

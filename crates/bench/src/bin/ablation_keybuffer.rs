@@ -1,28 +1,42 @@
 //! A1 ablation: keybuffer size sweep on the temporal-heavy workloads
 //! (paper §3.5/§5.1 — the keybuffer is what separates HWST128_tchk from
 //! HWST128; the published FF budget implies a single-entry buffer).
+//!
+//! The (workload × size) grid runs on the `hwst-harness` pool:
+//! `--jobs N`, `--progress` (see `hwst_bench::cli`).
 
-use hwst128::workloads::{Scale, Workload};
-use hwst_bench::cycles_with_keybuffer;
+use hwst_bench::cli::BenchArgs;
+use hwst_bench::runs::keybuffer_results;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let pool = args.pool();
     let sizes = [0usize, 1, 2, 4, 8, 16];
     let names = ["bzip2", "hmmer", "health", "math"];
-    println!("A1 — keybuffer size sweep (HWST128_tchk cycles)");
+    println!(
+        "A1 — keybuffer size sweep (HWST128_tchk cycles), {} worker(s)",
+        pool.workers
+    );
     print!("{:<10}", "workload");
     for s in sizes {
         print!("{s:>12}");
     }
     println!();
-    for name in names {
-        let wl = Workload::by_name(name).expect("known workload");
-        print!("{name:<10}");
-        let base = cycles_with_keybuffer(&wl, Scale::Test, 0);
-        for s in sizes {
-            let c = cycles_with_keybuffer(&wl, Scale::Test, s);
+    let (rows, failed) =
+        keybuffer_results(&names, &sizes, args.scale(), &pool, args.sink().as_mut());
+    for row in &rows {
+        print!("{:<10}", row.name);
+        let base = row.cycles[0];
+        for &c in &row.cycles {
             print!("{:>11.3}x", base as f64 / c as f64);
         }
         println!();
     }
+    for f in &failed {
+        println!("{} FAILED {}", f.label, f.error);
+    }
     println!("(values are speedup over the no-keybuffer configuration)");
+    if !failed.is_empty() {
+        std::process::exit(1);
+    }
 }

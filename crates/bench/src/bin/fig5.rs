@@ -1,26 +1,41 @@
 //! Regenerates Fig. 5: speedup over SoftBoundCETS (Eq. 8) for BOGO,
 //! WatchdogLite narrow/wide and HWST128 on the SPEC workloads.
+//!
+//! Harness flags: `--jobs N`, `--json PATH`, `--timeout-secs N`,
+//! `--progress` (see `hwst_bench::cli`).
 
-use hwst128::workloads::Scale;
-use hwst_bench::{fig5_geomean, fig5_rows};
+use hwst_bench::cli::BenchArgs;
+use hwst_bench::fig5_geomean;
+use hwst_bench::runs::{fig5_results, serial_wall};
+use hwst_bench::summary::{fig5_summary, write_json};
+use hwst_harness::collect_ok;
+use std::time::Instant;
 
 fn main() {
-    let scale = if std::env::args().any(|a| a == "--bench-scale") {
-        Scale::Bench
-    } else {
-        Scale::Test
-    };
-    println!("Fig. 5 — speedup over SBCETS (Eq. 8), scale {scale:?}");
+    let args = BenchArgs::parse();
+    let scale = args.scale();
+    let pool = args.pool();
+    println!(
+        "Fig. 5 — speedup over SBCETS (Eq. 8), scale {scale:?}, {} worker(s)",
+        pool.workers
+    );
     println!(
         "{:<10} {:>7} {:>12} {:>10} {:>9}",
         "workload", "BOGO", "WDL(narrow)", "WDL(wide)", "HWST128"
     );
-    let rows = fig5_rows(scale);
+    let start = Instant::now();
+    let results = fig5_results(scale, &pool, args.sink().as_mut());
+    let wall = start.elapsed();
+    let serial = serial_wall(&results);
+    let (rows, failed) = collect_ok(results.clone());
     for r in &rows {
         println!(
             "{:<10} {:>6.2}x {:>11.2}x {:>9.2}x {:>8.2}x",
             r.name, r.speedup[0], r.speedup[1], r.speedup[2], r.speedup[3]
         );
+    }
+    for f in &failed {
+        println!("{:<10} FAILED {}", f.label, f.error);
     }
     let g = fig5_geomean(&rows);
     println!(
@@ -28,4 +43,22 @@ fn main() {
         "Geo. mean", g[0], g[1], g[2], g[3]
     );
     println!("paper     :  1.31x        1.58x      1.64x     3.74x");
+    println!(
+        "wall {:.1} ms on {} worker(s); serial-equivalent {:.1} ms ({:.2}x)",
+        wall.as_secs_f64() * 1e3,
+        pool.workers,
+        serial.as_secs_f64() * 1e3,
+        serial.as_secs_f64() / wall.as_secs_f64().max(1e-9)
+    );
+    if let Some(path) = args.json_path() {
+        let doc = fig5_summary(scale, pool.workers, &results, wall, &failed);
+        write_json(path, &doc).unwrap_or_else(|e| {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(2)
+        });
+        println!("wrote {}", path.display());
+    }
+    if !failed.is_empty() {
+        std::process::exit(1);
+    }
 }

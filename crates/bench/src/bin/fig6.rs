@@ -3,24 +3,52 @@
 //! executing each case on the simulator; pass `--stride N` to sample
 //! every Nth case (default 1 = the full 8366-case suite), or
 //! `--model` for the instant modelled report.
+//!
+//! The measured sweep is chunked over the `hwst-harness` pool:
+//! `--jobs N`, `--json PATH`, `--progress` (see `hwst_bench::cli`).
 
-use hwst_bench::{measure_coverage, model_coverage};
+use hwst_bench::cli::BenchArgs;
+use hwst_bench::model_coverage;
+use hwst_bench::runs::fig6_results;
+use hwst_bench::summary::{fig6_summary, write_json};
+use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    if args.iter().any(|a| a == "--model") {
+    let args = BenchArgs::parse();
+    if args.flag("--model") {
         println!("Fig. 6 — security coverage (modelled)");
         println!("{}", model_coverage());
         return;
     }
-    let stride = args
-        .iter()
-        .position(|a| a == "--stride")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
-    println!("Fig. 6 — security coverage (SBCETS/HWST128 measured, stride {stride})");
-    println!("{}", measure_coverage(stride));
+    let stride = args.parsed_value::<usize>("--stride").unwrap_or(1).max(1);
+    let pool = args.pool();
+    println!(
+        "Fig. 6 — security coverage (SBCETS/HWST128 measured, stride {stride}, {} worker(s))",
+        pool.workers
+    );
+    let start = Instant::now();
+    let (report, failed) = fig6_results(stride, &pool, args.sink().as_mut());
+    let wall = start.elapsed();
+    println!("{report}");
+    for f in &failed {
+        println!("{} FAILED {}", f.label, f.error);
+    }
     println!();
     println!("paper: GCC 11.20%  ASAN 58.08%  SBCETS 64.49%  HWST128 63.63%");
+    println!(
+        "wall {:.1} ms on {} worker(s)",
+        wall.as_secs_f64() * 1e3,
+        pool.workers
+    );
+    if let Some(path) = args.json_path() {
+        let doc = fig6_summary(stride, pool.workers, &report, wall, &failed);
+        write_json(path, &doc).unwrap_or_else(|e| {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(2)
+        });
+        println!("wrote {}", path.display());
+    }
+    if !failed.is_empty() {
+        std::process::exit(1);
+    }
 }

@@ -3,11 +3,18 @@
 //! per fault class, split by target group).
 //!
 //! `--smoke` runs the reduced CI configuration; the default is the full
-//! deterministic campaign from EXPERIMENTS.md.
+//! deterministic campaign from EXPERIMENTS.md. Campaign cells (fault
+//! class × target) run on the `hwst-harness` pool — `--jobs N`,
+//! `--json PATH`, `--progress` (see `hwst_bench::cli`); per-class
+//! counters are merged in job-ID order so any worker count reproduces
+//! the serial table exactly.
 
 use hwst128::sim::inject::OutcomeCounts;
-use hwst128::workloads::Scale;
-use hwst_bench::{resilience_guarantee_violations, resilience_rows, ResilienceConfig};
+use hwst_bench::cli::BenchArgs;
+use hwst_bench::runs::resilience_results;
+use hwst_bench::summary::{resilience_summary, write_json};
+use hwst_bench::{resilience_guarantee_violations, ResilienceConfig};
+use std::time::Instant;
 
 fn cell(c: &OutcomeCounts) -> String {
     format!(
@@ -22,15 +29,19 @@ fn cell(c: &OutcomeCounts) -> String {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args = BenchArgs::parse();
+    let smoke = args.flag("--smoke");
+    let scale = args.scale();
+    let pool = args.pool();
     let rc = if smoke {
         ResilienceConfig::smoke()
     } else {
         ResilienceConfig::default()
     };
     println!(
-        "R1 — metadata-path fault injection (HWST128_tchk){}",
-        if smoke { " [smoke]" } else { "" }
+        "R1 — metadata-path fault injection (HWST128_tchk){}, {} worker(s)",
+        if smoke { " [smoke]" } else { "" },
+        pool.workers
     );
     println!(
         "targets: {} (Fig. 4 subset) + Juliet sample ({} reachable case(s)/CWE)",
@@ -41,10 +52,16 @@ fn main() {
         "seeds/target: {}  master seed: {:#x}",
         rc.seeds_per_target, rc.master_seed
     );
+    let start = Instant::now();
+    let (rows, failed) = resilience_results(&rc, scale, &pool, args.sink().as_mut())
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2)
+        });
+    let wall = start.elapsed();
     let hdr = "  det  mask silent mfault  n/a     avf";
     println!("{:<17}|{:^39}|{:^39}", "fault class", "workloads", "juliet");
     println!("{:<17}|{hdr} |{hdr}", "");
-    let rows = resilience_rows(&rc, Scale::Test);
     for r in &rows {
         println!(
             "{:<17}| {} | {}",
@@ -53,7 +70,32 @@ fn main() {
             cell(&r.juliet)
         );
     }
+    for f in &failed {
+        println!("{} FAILED {}", f.label, f.error);
+    }
+    println!(
+        "wall {:.1} ms on {} worker(s)",
+        wall.as_secs_f64() * 1e3,
+        pool.workers
+    );
     let bad = resilience_guarantee_violations(&rows);
+    let guarantee_holds = bad.is_empty() && failed.is_empty();
+    if let Some(path) = args.json_path() {
+        let doc = resilience_summary(
+            &rc,
+            scale,
+            pool.workers,
+            &rows,
+            wall,
+            &failed,
+            guarantee_holds,
+        );
+        write_json(path, &doc).unwrap_or_else(|e| {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(2)
+        });
+        println!("wrote {}", path.display());
+    }
     if bad.is_empty() {
         println!("guarantee: lock/shadow corruption never silent on clean workloads — PASS");
     } else {
@@ -64,6 +106,9 @@ fn main() {
                 r.workloads.silent
             );
         }
+        std::process::exit(1);
+    }
+    if !failed.is_empty() {
         std::process::exit(1);
     }
 }

@@ -19,13 +19,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod runs;
+pub mod summary;
+
 use hwst128::compiler::{compile, Scheme};
 use hwst128::run_scheme;
 use hwst128::sim::{Machine, SafetyConfig};
 use hwst128::workloads::{all, Scale, Suite, Workload};
 
 /// One Fig. 4 row: per-scheme overhead percentages for a workload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig4Row {
     /// Workload name.
     pub name: String,
@@ -38,19 +42,33 @@ pub struct Fig4Row {
 }
 
 /// Runs one workload under every scheme and computes Eq. 7 overheads.
+///
+/// This is the fail-fast wrapper around [`try_fig4_row`] for callers
+/// (unit tests, exploratory code) that want a panic on a broken
+/// workload; the harness-driven sweeps use the `Result` form so one
+/// bad workload becomes a structured failed row instead of killing the
+/// table.
 pub fn fig4_row(wl: &Workload, scale: Scale) -> Fig4Row {
+    try_fig4_row(wl, scale).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`fig4_row`] with structured errors.
+///
+/// # Errors
+///
+/// Returns `"<workload> (<scheme>): <trap/compile error>"` for the
+/// first scheme that fails to compile or run clean.
+pub fn try_fig4_row(wl: &Workload, scale: Scale) -> Result<Fig4Row, String> {
     let module = wl.module(scale);
     let fuel = wl.fuel(scale);
-    let cycles: Vec<f64> = Scheme::ALL
-        .iter()
-        .map(|&s| {
-            run_scheme(&module, s, fuel)
-                .unwrap_or_else(|e| panic!("{} ({s}): {e}", wl.name))
-                .stats
-                .total_cycles() as f64
-        })
-        .collect();
-    Fig4Row {
+    let mut cycles = [0.0f64; 4];
+    for (slot, &s) in cycles.iter_mut().zip(Scheme::ALL.iter()) {
+        *slot = run_scheme(&module, s, fuel)
+            .map_err(|e| format!("{} ({s}): {e}", wl.name))?
+            .stats
+            .total_cycles() as f64;
+    }
+    Ok(Fig4Row {
         name: wl.name.to_string(),
         suite: wl.suite,
         baseline_cycles: cycles[0] as u64,
@@ -59,7 +77,7 @@ pub fn fig4_row(wl: &Workload, scale: Scale) -> Fig4Row {
             (cycles[2] / cycles[0] - 1.0) * 100.0,
             (cycles[3] / cycles[0] - 1.0) * 100.0,
         ],
-    }
+    })
 }
 
 /// All Fig. 4 rows in the paper's order.
@@ -82,7 +100,7 @@ pub fn fig4_geomean(rows: &[Fig4Row]) -> [f64; 3] {
 }
 
 /// One Fig. 5 row: Eq. 8 speedups for a SPEC workload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig5Row {
     /// Workload name.
     pub name: String,
@@ -90,11 +108,23 @@ pub struct Fig5Row {
     pub speedup: [f64; 4],
 }
 
-/// Computes the Fig. 5 speedups for one workload.
+/// Computes the Fig. 5 speedups for one workload (fail-fast wrapper
+/// around [`try_fig5_row`]).
 pub fn fig5_row(wl: &Workload, scale: Scale) -> Fig5Row {
-    use hwst128::baselines::{hwst_speedup, profile_workload, Comparator};
-    let p = profile_workload(&wl.module(scale), wl.fuel(scale));
-    Fig5Row {
+    try_fig5_row(wl, scale).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`fig5_row`] with structured errors.
+///
+/// # Errors
+///
+/// Returns the failing scheme's compile/trap message from the profile
+/// runs, prefixed with the workload name.
+pub fn try_fig5_row(wl: &Workload, scale: Scale) -> Result<Fig5Row, String> {
+    use hwst128::baselines::{hwst_speedup, try_profile_workload, Comparator};
+    let p = try_profile_workload(&wl.module(scale), wl.fuel(scale))
+        .map_err(|e| format!("{}: {e}", wl.name))?;
+    Ok(Fig5Row {
         name: wl.name.to_string(),
         speedup: [
             Comparator::Bogo.speedup(&p),
@@ -102,7 +132,7 @@ pub fn fig5_row(wl: &Workload, scale: Scale) -> Fig5Row {
             Comparator::WdlWide.speedup(&p),
             hwst_speedup(&p),
         ],
-    }
+    })
 }
 
 /// All Fig. 5 rows (SPEC suite).
@@ -123,21 +153,37 @@ pub fn fig5_geomean(rows: &[Fig5Row]) -> [f64; 4] {
     out
 }
 
-/// Cycle count of one workload at a given keybuffer size (A1 ablation).
+/// Cycle count of one workload at a given keybuffer size (A1 ablation;
+/// fail-fast wrapper around [`try_cycles_with_keybuffer`]).
 pub fn cycles_with_keybuffer(wl: &Workload, scale: Scale, entries: usize) -> u64 {
+    try_cycles_with_keybuffer(wl, scale, entries).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`cycles_with_keybuffer`] with structured errors.
+///
+/// # Errors
+///
+/// Returns the compile error or trap, prefixed with the workload name
+/// and keybuffer size.
+pub fn try_cycles_with_keybuffer(
+    wl: &Workload,
+    scale: Scale,
+    entries: usize,
+) -> Result<u64, String> {
     let module = wl.module(scale);
-    let prog = compile(&module, Scheme::Hwst128Tchk).expect("compiles");
+    let prog = compile(&module, Scheme::Hwst128Tchk)
+        .map_err(|e| format!("{} (kb={entries}): {e}", wl.name))?;
     let mut cfg = SafetyConfig::default();
     cfg.pipeline.keybuffer_entries = entries;
     cfg.keybuffer = entries > 0;
-    Machine::new(prog, cfg)
+    Ok(Machine::new(prog, cfg)
         .run(wl.fuel(scale))
-        .expect("runs clean")
+        .map_err(|e| format!("{} (kb={entries}): {e}", wl.name))?
         .stats
-        .total_cycles()
+        .total_cycles())
 }
 
-use hwst128::sim::inject::{campaign, FaultClass, OutcomeCounts};
+use hwst128::sim::inject::{FaultClass, OutcomeCounts};
 
 /// Campaign parameters for [`resilience_rows`] (experiment R1).
 #[derive(Debug, Clone, Copy)]
@@ -198,42 +244,19 @@ pub struct ResilienceRow {
 /// Runs the full R1 fault-injection campaign: every fault class against
 /// the configured Fig. 4 workload subset and the sampled Juliet cases,
 /// all under `HWST128_tchk`. Deterministic for a fixed config.
+///
+/// Fail-fast wrapper over [`runs::resilience_results`] on a one-worker
+/// pool — the parallel campaign merges per-cell counters in job-ID
+/// order, which is exactly this serial nesting, so both paths agree
+/// bit-for-bit.
 pub fn resilience_rows(rc: &ResilienceConfig, scale: Scale) -> Vec<ResilienceRow> {
-    let safety = hwst128::config_for(Scheme::Hwst128Tchk);
-    let mut workload_targets = Vec::new();
-    for name in rc.workloads {
-        let wl = Workload::by_name(name).expect("known workload");
-        let prog = compile(&wl.module(scale), Scheme::Hwst128Tchk).expect("compiles");
-        workload_targets.push((prog, wl.fuel(scale)));
+    use hwst_harness::{NullSink, PoolConfig};
+    let (rows, failed) = runs::resilience_results(rc, scale, &PoolConfig::serial(), &mut NullSink)
+        .unwrap_or_else(|e| panic!("{e}"));
+    if let Some(f) = failed.first() {
+        panic!("campaign cell {}: {}", f.label, f.error);
     }
-    let mut juliet_targets = Vec::new();
-    for case in hwst128::juliet::sample_reachable(rc.juliet_per_cwe) {
-        let module = hwst128::juliet::build_program(&case);
-        let prog = compile(&module, Scheme::Hwst128Tchk).expect("compiles");
-        juliet_targets.push((prog, 5_000_000u64));
-    }
-    let seeds = rc.seeds();
-    FaultClass::ALL
-        .iter()
-        .map(|&class| {
-            let mut agg = [OutcomeCounts::default(); 2];
-            for (group, targets) in [&workload_targets, &juliet_targets].into_iter().enumerate() {
-                for (prog, fuel) in targets {
-                    agg[group].merge(campaign(
-                        || Machine::new(prog.clone(), safety),
-                        *fuel,
-                        class,
-                        &seeds,
-                    ));
-                }
-            }
-            ResilienceRow {
-                class,
-                workloads: agg[0],
-                juliet: agg[1],
-            }
-        })
-        .collect()
+    rows
 }
 
 /// The R1 graceful-degradation guarantee: on the clean (bug-free)

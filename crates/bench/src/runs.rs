@@ -1,0 +1,309 @@
+//! Harness-driven sweeps: every figure/ablation matrix expressed as
+//! [`hwst_harness::Job`] vectors and executed on the worker pool.
+//!
+//! Determinism contract: each function enumerates its jobs in the same
+//! nested order the historical serial loops used, and the harness
+//! returns results in job-ID order — so a `--jobs 16` run produces the
+//! same rows, in the same order, with the same aggregates as
+//! `--jobs 1` (see `tests/harness_e2e.rs` and `crates/harness`'s own
+//! determinism test).
+
+use crate::{
+    try_cycles_with_keybuffer, try_fig4_row, try_fig5_row, Fig4Row, Fig5Row, ResilienceConfig,
+    ResilienceRow,
+};
+use hwst128::compiler::{compile, Scheme};
+use hwst128::isa::Program;
+use hwst128::juliet::{measure_case, CoverageReport};
+use hwst128::sim::inject::{campaign, FaultClass, OutcomeCounts};
+use hwst128::sim::Machine;
+use hwst128::workloads::{all, spec_suite, Scale, Workload};
+use hwst_harness::{collect_ok, run, FailedJob, Job, JobResult, PoolConfig, Sink};
+
+/// One job per Fig. 4 workload, in the paper's row order.
+pub fn fig4_jobs(scale: Scale) -> Vec<Job<Fig4Row>> {
+    all()
+        .into_iter()
+        .map(|wl| {
+            Job::new(format!("fig4/{}", wl.name), move || {
+                try_fig4_row(&wl, scale)
+            })
+        })
+        .collect()
+}
+
+/// Runs the Fig. 4 sweep on the pool; results in row order.
+pub fn fig4_results(
+    scale: Scale,
+    cfg: &PoolConfig,
+    sink: &mut dyn Sink,
+) -> Vec<JobResult<Fig4Row>> {
+    run(fig4_jobs(scale), cfg, sink)
+}
+
+/// One job per Fig. 5 SPEC workload, in the paper's row order.
+pub fn fig5_jobs(scale: Scale) -> Vec<Job<Fig5Row>> {
+    spec_suite()
+        .into_iter()
+        .map(|wl| {
+            Job::new(format!("fig5/{}", wl.name), move || {
+                try_fig5_row(&wl, scale)
+            })
+        })
+        .collect()
+}
+
+/// Runs the Fig. 5 sweep on the pool; results in row order.
+pub fn fig5_results(
+    scale: Scale,
+    cfg: &PoolConfig,
+    sink: &mut dyn Sink,
+) -> Vec<JobResult<Fig5Row>> {
+    run(fig5_jobs(scale), cfg, sink)
+}
+
+/// Cases per Fig. 6 job: small enough to spread the 8366-case suite
+/// over any worker count, large enough to amortise job overhead.
+pub const FIG6_CHUNK: usize = 64;
+
+/// Runs the measured Fig. 6 Juliet sweep (`1/stride` of the suite) on
+/// the pool. Per-case verdicts are folded into the report in job-ID
+/// (i.e. suite) order; a failed chunk surfaces as [`FailedJob`]s and
+/// its cases are excluded from `total_cases`.
+pub fn fig6_results(
+    stride: usize,
+    cfg: &PoolConfig,
+    sink: &mut dyn Sink,
+) -> (CoverageReport, Vec<FailedJob>) {
+    let cases: Vec<_> = hwst128::juliet::suite()
+        .into_iter()
+        .step_by(stride.max(1))
+        .collect();
+    let jobs: Vec<Job<Vec<hwst128::juliet::CaseDetections>>> = cases
+        .chunks(FIG6_CHUNK)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let chunk = chunk.to_vec();
+            Job::new(format!("fig6/chunk{i:03}"), move || {
+                Ok(chunk.iter().map(measure_case).collect())
+            })
+        })
+        .collect();
+    let (batches, failed) = collect_ok(run(jobs, cfg, sink));
+    let mut report = CoverageReport::default();
+    for batch in batches {
+        for d in &batch {
+            report.absorb(d);
+        }
+    }
+    (report, failed)
+}
+
+/// One A1 keybuffer-ablation row: cycles per swept size, in `sizes`
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeybufferRow {
+    /// Workload name.
+    pub name: String,
+    /// `HWST128_tchk` cycles at each swept keybuffer size.
+    pub cycles: Vec<u64>,
+}
+
+/// Runs the A1 keybuffer grid (one job per `(workload, size)` cell) on
+/// the pool. Rows are only assembled when every cell of the workload
+/// succeeded; failed cells are reported individually.
+pub fn keybuffer_results(
+    names: &[&str],
+    sizes: &[usize],
+    scale: Scale,
+    cfg: &PoolConfig,
+    sink: &mut dyn Sink,
+) -> (Vec<KeybufferRow>, Vec<FailedJob>) {
+    let mut jobs = Vec::new();
+    for name in names {
+        let wl = match Workload::by_name(name) {
+            Some(wl) => wl,
+            None => {
+                // One failing job per cell keeps the grid aligned for
+                // the chunked row assembly below.
+                for &entries in sizes {
+                    let name = name.to_string();
+                    jobs.push(Job::new(format!("a1/{name}/{entries}"), move || {
+                        Err(format!("unknown workload `{name}`"))
+                    }));
+                }
+                continue;
+            }
+        };
+        for &entries in sizes {
+            jobs.push(Job::new(format!("a1/{}/{entries}", wl.name), move || {
+                try_cycles_with_keybuffer(&wl, scale, entries)
+            }));
+        }
+    }
+    let results = run(jobs, cfg, sink);
+    let per_row = sizes.len().max(1);
+    let mut rows = Vec::new();
+    let mut failed = Vec::new();
+    for (name, chunk) in names.iter().zip(results.chunks(per_row)) {
+        let mut cycles = Vec::with_capacity(per_row);
+        for r in chunk {
+            match r.outcome.clone().into_result() {
+                Ok(c) => cycles.push(c),
+                Err(error) => failed.push(FailedJob {
+                    id: r.id,
+                    label: r.label.clone(),
+                    error,
+                }),
+            }
+        }
+        if cycles.len() == per_row {
+            rows.push(KeybufferRow {
+                name: name.to_string(),
+                cycles,
+            });
+        }
+    }
+    (rows, failed)
+}
+
+/// Runs the R1 fault-injection campaign on the pool: one job per
+/// `(fault class, target)` cell, merged into per-class rows in job-ID
+/// order (identical to the historical serial nesting).
+///
+/// # Errors
+///
+/// Returns `Err` when a target fails to *compile* — nothing has run at
+/// that point. Per-cell campaign failures come back as [`FailedJob`]s
+/// next to the (partial) rows.
+#[allow(clippy::type_complexity)]
+pub fn resilience_results(
+    rc: &ResilienceConfig,
+    scale: Scale,
+    cfg: &PoolConfig,
+    sink: &mut dyn Sink,
+) -> Result<(Vec<ResilienceRow>, Vec<FailedJob>), String> {
+    let safety = hwst128::config_for(Scheme::Hwst128Tchk);
+    // Targets are compiled once, serially, and shared (cloned) into
+    // every campaign cell; group 0 = Fig. 4 workloads, 1 = Juliet.
+    let mut targets: Vec<(usize, String, Program, u64)> = Vec::new();
+    for name in rc.workloads {
+        let wl = Workload::by_name(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
+        let prog =
+            compile(&wl.module(scale), Scheme::Hwst128Tchk).map_err(|e| format!("{name}: {e}"))?;
+        targets.push((0, wl.name.to_string(), prog, wl.fuel(scale)));
+    }
+    for case in hwst128::juliet::sample_reachable(rc.juliet_per_cwe) {
+        let module = hwst128::juliet::build_program(&case);
+        let prog = compile(&module, Scheme::Hwst128Tchk)
+            .map_err(|e| format!("juliet CWE{}: {e}", case.cwe.code()))?;
+        targets.push((
+            1,
+            format!("CWE{}#{}", case.cwe.code(), case.index),
+            prog,
+            5_000_000,
+        ));
+    }
+    let seeds = rc.seeds();
+    let mut jobs = Vec::new();
+    for (ci, &class) in FaultClass::ALL.iter().enumerate() {
+        for (group, name, prog, fuel) in &targets {
+            let (group, fuel) = (*group, *fuel);
+            let prog = prog.clone();
+            let seeds = seeds.clone();
+            jobs.push(Job::new(format!("r1/{}/{name}", class.name()), move || {
+                Ok((
+                    ci,
+                    group,
+                    campaign(|| Machine::new(prog.clone(), safety), fuel, class, &seeds),
+                ))
+            }));
+        }
+    }
+    let (cells, failed) = collect_ok(run(jobs, cfg, sink));
+    let mut rows: Vec<ResilienceRow> = FaultClass::ALL
+        .iter()
+        .map(|&class| ResilienceRow {
+            class,
+            workloads: OutcomeCounts::default(),
+            juliet: OutcomeCounts::default(),
+        })
+        .collect();
+    for (ci, group, counts) in cells {
+        if group == 0 {
+            rows[ci].workloads.merge(counts);
+        } else {
+            rows[ci].juliet.merge(counts);
+        }
+    }
+    Ok((rows, failed))
+}
+
+/// Sum of per-job wall times: what the sweep would have cost serially.
+/// Paired with the observed wall clock it demonstrates the measured
+/// speedup (`serial_wall / wall`).
+pub fn serial_wall<T>(results: &[JobResult<T>]) -> std::time::Duration {
+    results.iter().map(|r| r.wall).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwst_harness::NullSink;
+
+    /// The parallel fig4 path produces rows identical to the direct
+    /// serial computation, regardless of worker count.
+    #[test]
+    fn fig4_parallel_matches_serial_rows() {
+        let wl = Workload::by_name("math").unwrap();
+        let serial = crate::fig4_row(&wl, Scale::Test);
+        let jobs = vec![Job::new("fig4/math", move || {
+            try_fig4_row(&wl, Scale::Test)
+        })];
+        let results = run(jobs, &PoolConfig::parallel(4), &mut NullSink);
+        let row = results[0].outcome.ok().expect("row computed");
+        assert_eq!(row.name, serial.name);
+        assert_eq!(row.baseline_cycles, serial.baseline_cycles);
+        assert_eq!(row.overhead_pct, serial.overhead_pct);
+    }
+
+    /// The A1 grid assembles rows in name × size order and matches the
+    /// direct per-cell computation.
+    #[test]
+    fn keybuffer_grid_matches_direct_cells() {
+        let sizes = [0usize, 1];
+        let (rows, failed) = keybuffer_results(
+            &["bzip2"],
+            &sizes,
+            Scale::Test,
+            &PoolConfig::parallel(2),
+            &mut NullSink,
+        );
+        assert!(failed.is_empty(), "{failed:?}");
+        let wl = Workload::by_name("bzip2").unwrap();
+        assert_eq!(
+            rows[0].cycles[0],
+            crate::cycles_with_keybuffer(&wl, Scale::Test, 0)
+        );
+        assert_eq!(
+            rows[0].cycles[1],
+            crate::cycles_with_keybuffer(&wl, Scale::Test, 1)
+        );
+    }
+
+    /// An unknown workload in the A1 grid is a structured failure, not
+    /// a panic.
+    #[test]
+    fn keybuffer_grid_reports_unknown_workload() {
+        let (rows, failed) = keybuffer_results(
+            &["no-such-workload"],
+            &[0],
+            Scale::Test,
+            &PoolConfig::serial(),
+            &mut NullSink,
+        );
+        assert!(rows.is_empty());
+        assert_eq!(failed.len(), 1);
+        assert!(failed[0].error.contains("unknown workload"));
+    }
+}

@@ -1,0 +1,281 @@
+//! Schema-stable JSON summaries (`BENCH_*.json`) — the machine-readable
+//! output that lets the perf trajectory be tracked across PRs.
+//!
+//! Schemas are documented in EXPERIMENTS.md ("Machine-readable
+//! summaries"); bump [`SCHEMA_VERSION`] on any breaking change. All
+//! object keys are emitted in a fixed order so summaries diff cleanly.
+
+use crate::runs::serial_wall;
+use crate::{fig4_geomean, fig5_geomean, Fig4Row, Fig5Row, ResilienceConfig, ResilienceRow};
+use hwst128::juliet::{CoverageReport, Cwe, Detector};
+use hwst128::sim::inject::OutcomeCounts;
+use hwst128::workloads::{Scale, Suite};
+use hwst_harness::{FailedJob, JobResult, Json};
+use std::path::Path;
+use std::time::Duration;
+
+/// Version stamp carried by every summary.
+pub const SCHEMA_VERSION: i64 = 1;
+
+fn header(schema: &str, scale: Scale, workers: usize) -> Json {
+    Json::obj()
+        .set("schema", schema)
+        .set("version", SCHEMA_VERSION)
+        .set("scale", format!("{scale:?}"))
+        .set("workers", workers)
+}
+
+fn timing(doc: Json, wall: Duration, serial: Duration) -> Json {
+    doc.set("wall_ms", wall.as_secs_f64() * 1e3)
+        .set("serial_wall_ms", serial.as_secs_f64() * 1e3)
+}
+
+fn failures(failed: &[FailedJob]) -> Json {
+    Json::Arr(
+        failed
+            .iter()
+            .map(|f| {
+                Json::obj()
+                    .set("label", f.label.as_str())
+                    .set("error", f.error.as_str())
+            })
+            .collect(),
+    )
+}
+
+fn overhead_triple(o: &[f64; 3]) -> Json {
+    Json::obj()
+        .set("sbcets", o[0])
+        .set("hwst128", o[1])
+        .set("hwst128_tchk", o[2])
+}
+
+/// The `BENCH_fig4.json` document.
+pub fn fig4_summary(
+    scale: Scale,
+    workers: usize,
+    results: &[JobResult<Fig4Row>],
+    wall: Duration,
+    failed: &[FailedJob],
+) -> Json {
+    let rows: Vec<&Fig4Row> = results.iter().filter_map(|r| r.outcome.ok()).collect();
+    let owned: Vec<Fig4Row> = rows.iter().map(|r| (*r).clone()).collect();
+    let mut suites = Json::obj();
+    for suite in [Suite::MiBench, Suite::Olden, Suite::Spec] {
+        let sub: Vec<Fig4Row> = owned.iter().filter(|r| r.suite == suite).cloned().collect();
+        if !sub.is_empty() {
+            suites = suites.set(&suite.to_string(), overhead_triple(&fig4_geomean(&sub)));
+        }
+    }
+    timing(
+        header("hwst-bench/fig4", scale, workers),
+        wall,
+        serial_wall(results),
+    )
+    .set(
+        "rows",
+        Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj()
+                        .set("name", r.name.as_str())
+                        .set("suite", r.suite.to_string())
+                        .set("baseline_cycles", r.baseline_cycles)
+                        .set("overhead_pct", overhead_triple(&r.overhead_pct))
+                })
+                .collect(),
+        ),
+    )
+    .set("failed", failures(failed))
+    .set("geomean", overhead_triple(&fig4_geomean(&owned)))
+    .set("suite_geomean", suites)
+}
+
+/// The `BENCH_fig5.json` document.
+pub fn fig5_summary(
+    scale: Scale,
+    workers: usize,
+    results: &[JobResult<Fig5Row>],
+    wall: Duration,
+    failed: &[FailedJob],
+) -> Json {
+    let speedups = |s: &[f64; 4]| {
+        Json::obj()
+            .set("bogo", s[0])
+            .set("wdl_narrow", s[1])
+            .set("wdl_wide", s[2])
+            .set("hwst128", s[3])
+    };
+    let rows: Vec<Fig5Row> = results
+        .iter()
+        .filter_map(|r| r.outcome.ok())
+        .cloned()
+        .collect();
+    timing(
+        header("hwst-bench/fig5", scale, workers),
+        wall,
+        serial_wall(results),
+    )
+    .set(
+        "rows",
+        Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj()
+                        .set("name", r.name.as_str())
+                        .set("speedup", speedups(&r.speedup))
+                })
+                .collect(),
+        ),
+    )
+    .set("failed", failures(failed))
+    .set("geomean", speedups(&fig5_geomean(&rows)))
+}
+
+/// The `BENCH_fig6.json` document.
+pub fn fig6_summary(
+    stride: usize,
+    workers: usize,
+    report: &CoverageReport,
+    wall: Duration,
+    failed: &[FailedJob],
+) -> Json {
+    let detectors = Json::Arr(
+        Detector::ALL
+            .iter()
+            .map(|d| {
+                let mut per_cwe = Json::obj();
+                for cwe in Cwe::ALL {
+                    per_cwe = per_cwe.set(&cwe.to_string(), report.count(d.label(), cwe));
+                }
+                Json::obj()
+                    .set("name", d.label())
+                    .set("detected", report.total(d.label()))
+                    .set("coverage_pct", report.coverage(d.label()) * 100.0)
+                    .set("per_cwe", per_cwe)
+            })
+            .collect(),
+    );
+    Json::obj()
+        .set("schema", "hwst-bench/fig6")
+        .set("version", SCHEMA_VERSION)
+        .set("stride", stride)
+        .set("workers", workers)
+        .set("wall_ms", wall.as_secs_f64() * 1e3)
+        .set("total_cases", u64::from(report.total_cases))
+        .set("detectors", detectors)
+        .set("failed", failures(failed))
+}
+
+fn counts(c: &OutcomeCounts) -> Json {
+    Json::obj()
+        .set("detected", c.detected)
+        .set("masked", c.masked)
+        .set("silent", c.silent)
+        .set("machine_fault", c.machine_fault)
+        .set("not_applied", c.not_applied)
+        .set("avf", c.silent_fraction())
+}
+
+/// The `BENCH_resilience.json` document.
+pub fn resilience_summary(
+    rc: &ResilienceConfig,
+    scale: Scale,
+    workers: usize,
+    rows: &[ResilienceRow],
+    wall: Duration,
+    failed: &[FailedJob],
+    guarantee_holds: bool,
+) -> Json {
+    header("hwst-bench/resilience", scale, workers)
+        .set("wall_ms", wall.as_secs_f64() * 1e3)
+        .set(
+            "config",
+            Json::obj()
+                .set("seeds_per_target", rc.seeds_per_target)
+                .set("juliet_per_cwe", u64::from(rc.juliet_per_cwe))
+                .set("master_seed", format!("{:#x}", rc.master_seed))
+                .set(
+                    "workloads",
+                    Json::Arr(rc.workloads.iter().map(|w| Json::from(*w)).collect()),
+                ),
+        )
+        .set(
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj()
+                            .set("class", r.class.name())
+                            .set("workloads", counts(&r.workloads))
+                            .set("juliet", counts(&r.juliet))
+                    })
+                    .collect(),
+            ),
+        )
+        .set("failed", failures(failed))
+        .set(
+            "guarantee",
+            if guarantee_holds { "pass" } else { "violated" },
+        )
+}
+
+/// Writes a summary document to `path` (with a trailing newline).
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_json(path: &Path, doc: &Json) -> std::io::Result<()> {
+    std::fs::write(path, format!("{doc}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwst128::workloads::Suite;
+    use hwst_harness::{JobId, JobOutcome};
+
+    fn fake_result(name: &str, suite: Suite, id: usize) -> JobResult<Fig4Row> {
+        JobResult {
+            id: JobId(id),
+            label: format!("fig4/{name}"),
+            outcome: JobOutcome::Ok(Fig4Row {
+                name: name.into(),
+                suite,
+                baseline_cycles: 1000,
+                overhead_pct: [400.0, 150.0, 90.0],
+            }),
+            wall: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn fig4_summary_round_trips_and_matches_geomean() {
+        let results = vec![
+            fake_result("a", Suite::MiBench, 0),
+            fake_result("b", Suite::Spec, 1),
+        ];
+        let doc = fig4_summary(Scale::Test, 2, &results, Duration::from_millis(6), &[]);
+        let parsed = Json::parse(&doc.to_string()).expect("parses");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("hwst-bench/fig4")
+        );
+        let rows: Vec<Fig4Row> = results
+            .iter()
+            .filter_map(|r| r.outcome.ok())
+            .cloned()
+            .collect();
+        let g = fig4_geomean(&rows);
+        let got = parsed
+            .get("geomean")
+            .and_then(|o| o.get("sbcets"))
+            .and_then(Json::as_f64)
+            .expect("geomean.sbcets");
+        assert_eq!(got, g[0], "JSON must carry the exact geomean");
+        assert_eq!(
+            parsed.get("rows").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Progress sinks. Events are delivered on the collector (calling)
+//! thread, so sinks need no synchronisation of their own.
+
+use crate::pool::{JobId, OutcomeKind};
+use std::time::Duration;
+
+/// One progress event from the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event<'a> {
+    /// A worker claimed a job.
+    Started {
+        /// The job's identity.
+        id: JobId,
+        /// Its label.
+        label: &'a str,
+        /// Jobs finished so far.
+        done: usize,
+        /// Total jobs in this run.
+        total: usize,
+    },
+    /// A job finished (in any [`OutcomeKind`]).
+    Finished {
+        /// The job's identity.
+        id: JobId,
+        /// Its label.
+        label: &'a str,
+        /// How it ended.
+        kind: OutcomeKind,
+        /// Its wall-clock duration.
+        wall: Duration,
+        /// Jobs finished so far (including this one).
+        done: usize,
+        /// Total jobs in this run.
+        total: usize,
+    },
+}
+
+/// Receives progress events from [`crate::run`].
+pub trait Sink {
+    /// Handles one event.
+    fn event(&mut self, event: Event<'_>);
+}
+
+/// Discards all events.
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn event(&mut self, _event: Event<'_>) {}
+}
+
+/// Prints one line per finished job to stderr (stdout stays clean for
+/// the table itself). Non-`ok` outcomes are always printed; `ok` lines
+/// only when `verbose`.
+pub struct ConsoleSink {
+    /// Print `ok` completions too, not just failures.
+    pub verbose: bool,
+}
+
+impl Sink for ConsoleSink {
+    fn event(&mut self, event: Event<'_>) {
+        if let Event::Finished {
+            label,
+            kind,
+            wall,
+            done,
+            total,
+            ..
+        } = event
+        {
+            if self.verbose || kind != OutcomeKind::Ok {
+                eprintln!(
+                    "[{done:>4}/{total}] {:<9} {label} ({:.1} ms)",
+                    kind.name(),
+                    wall.as_secs_f64() * 1e3
+                );
+            }
+        }
+    }
+}

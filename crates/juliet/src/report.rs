@@ -97,29 +97,53 @@ pub fn model_coverage() -> CoverageReport {
     r
 }
 
+/// One case's verdict under all four detectors — the unit of work a
+/// parallel Fig. 6 sweep farms out (GCC/ASAN modelled, SBCETS/HWST128
+/// executed on the simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaseDetections {
+    /// The case's category.
+    pub cwe: Cwe,
+    /// Per-detector verdicts, in [`Detector::ALL`] order.
+    pub detected: [(Detector, bool); 4],
+}
+
+/// Measures one case under every detector.
+pub fn measure_case(c: &Case) -> CaseDetections {
+    CaseDetections {
+        cwe: c.cwe,
+        detected: [
+            (Detector::Gcc, model_detects(Detector::Gcc, c)),
+            (Detector::Asan, model_detects(Detector::Asan, c)),
+            (Detector::Sbcets, execute_detects(c, Scheme::Sbcets)),
+            (Detector::Hwst128, execute_detects(c, Scheme::Hwst128Tchk)),
+        ],
+    }
+}
+
+impl CoverageReport {
+    /// Folds one measured case into the report (counts the case and
+    /// records every positive verdict). Merging is commutative, so a
+    /// parallel sweep can absorb in any order — the harness absorbs in
+    /// job-ID order regardless.
+    pub fn absorb(&mut self, d: &CaseDetections) {
+        self.total_cases += 1;
+        for (det, hit) in d.detected {
+            if hit {
+                self.record(det.label(), d.cwe);
+            }
+        }
+    }
+}
+
 /// *Measured* coverage: executes `1/stride` of the suite per pointer
 /// scheme on the simulator (stride 1 = the full 8366 cases, as the fig6
 /// harness runs it), with GCC/ASAN still modelled.
 pub fn measure_coverage(stride: usize) -> CoverageReport {
     let stride = stride.max(1);
-    let cases: Vec<Case> = suite().into_iter().step_by(stride).collect();
-    let mut r = CoverageReport {
-        total_cases: cases.len() as u32,
-        ..Default::default()
-    };
-    for c in &cases {
-        if model_detects(Detector::Gcc, c) {
-            r.record(Detector::Gcc.label(), c.cwe);
-        }
-        if model_detects(Detector::Asan, c) {
-            r.record(Detector::Asan.label(), c.cwe);
-        }
-        if execute_detects(c, Scheme::Sbcets) {
-            r.record(Detector::Sbcets.label(), c.cwe);
-        }
-        if execute_detects(c, Scheme::Hwst128Tchk) {
-            r.record(Detector::Hwst128.label(), c.cwe);
-        }
+    let mut r = CoverageReport::default();
+    for c in suite().into_iter().step_by(stride) {
+        r.absorb(&measure_case(&c));
     }
     r
 }
