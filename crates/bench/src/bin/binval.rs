@@ -1,0 +1,96 @@
+//! `hwst-binval` — the binary-level translation-validation gate.
+//!
+//! Lowers every workload under every scheme, runs the machine-code
+//! abstract interpreter (`hwst_compiler::binval`) against the IR-level
+//! verifier, and runs the deterministic mutation campaign. Any
+//! divergence, lowering finding or surviving mutant is a hard failure.
+//!
+//! Also reports the A9 ablation: checks statically discharged at
+//! binary level beyond what IR-level RCE removed.
+//!
+//! Flags: the harness family (`--jobs`, `--json PATH`, `--progress`,
+//! `--timeout-secs`, `--bench-scale`) plus `--smoke` (2 mutation seeds
+//! per scheme instead of 8 — the CI configuration).
+//!
+//! Exit codes (stable, documented in README): `0` — all workloads
+//! validate and every mutant is killed; `1` — any divergence, finding,
+//! surviving mutant or failed job; `2` — usage or I/O error.
+
+use hwst_bench::cli::BenchArgs;
+use hwst_bench::runs::{binval_results, serial_wall, BINVAL_MASTER_SEED};
+use hwst_bench::summary::{binval_summary, write_json};
+use hwst_harness::collect_ok;
+use std::time::Instant;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let smoke = args.flag("--smoke");
+    let scale = args.scale();
+    let pool = args.pool();
+    let seeds_per_scheme: u64 = if smoke { 2 } else { 8 };
+    println!(
+        "binval — binary-level translation validation{}, {} worker(s)",
+        if smoke { " [smoke]" } else { "" },
+        pool.workers
+    );
+    println!(
+        "mutation campaign: {seeds_per_scheme} seed(s)/scheme, master seed {:#x}",
+        BINVAL_MASTER_SEED
+    );
+    let start = Instant::now();
+    let results = binval_results(scale, seeds_per_scheme, &pool, args.sink().as_mut());
+    let wall = start.elapsed();
+    let (rows, failed) = collect_ok(results.clone());
+    println!(
+        "{:<10} {:<12} {:>7} {:>6} {:>9} {:>9} {:>7}",
+        "workload", "scheme", "checked", "rce-", "inbounds", "redundant", "mutants"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:<12} {:>7} {:>6} {:>9} {:>9} {:>3}/{:<3}",
+            r.name,
+            r.scheme,
+            r.checked_ops,
+            r.rce_removed,
+            r.discharged_in_bounds,
+            r.discharged_redundant,
+            r.mutants_killed,
+            r.mutants
+        );
+    }
+    for f in &failed {
+        println!("{} FAILED {}", f.label, f.error);
+    }
+    let checked: usize = rows.iter().map(|r| r.checked_ops).sum();
+    let discharged: usize = rows.iter().map(|r| r.discharged()).sum();
+    let mutants: usize = rows.iter().map(|r| r.mutants).sum();
+    println!("A9: {discharged}/{checked} checks discharged at binary level beyond IR-level RCE");
+    println!(
+        "mutation: {mutants} mutant(s), all killed: {}",
+        failed.is_empty()
+    );
+    println!(
+        "wall {:.1} ms (serial {:.1} ms) on {} worker(s)",
+        wall.as_secs_f64() * 1e3,
+        serial_wall(&results).as_secs_f64() * 1e3,
+        pool.workers
+    );
+    if let Some(path) = args.json_path() {
+        let doc = binval_summary(
+            scale,
+            pool.workers,
+            seeds_per_scheme,
+            &results,
+            wall,
+            &failed,
+        );
+        write_json(path, &doc).unwrap_or_else(|e| {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(2)
+        });
+        println!("wrote {}", path.display());
+    }
+    if !failed.is_empty() {
+        std::process::exit(1);
+    }
+}

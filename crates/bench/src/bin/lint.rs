@@ -1,0 +1,96 @@
+//! `hwst-lint` — the IR-level static safety linter as a CLI.
+//!
+//! Runs `hwst_compiler::lint` over workload modules (all of them by
+//! default, or the names given as positional arguments) and prints the
+//! structured diagnostics. `--json PATH` writes the machine-readable
+//! report via the `hwst-harness` JSON writer.
+//!
+//! Exit codes (stable, documented in README): `0` — no diagnostics;
+//! `1` — at least one diagnostic; `2` — usage error (unknown
+//! workload) or I/O error.
+
+use hwst128::compiler::lint::lint;
+use hwst128::workloads::{all, Workload};
+use hwst_bench::cli::BenchArgs;
+use hwst_bench::summary::write_json;
+use hwst_harness::Json;
+use std::path::Path;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = BenchArgs::from_vec(raw.clone());
+    let scale = args.scale();
+    // Positional (non-flag) arguments name workloads; flags with a
+    // value consume the following token.
+    let mut names = Vec::new();
+    let mut skip = false;
+    for a in &raw {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = matches!(a.as_str(), "--jobs" | "--json" | "--timeout-secs");
+            continue;
+        }
+        names.push(a.clone());
+    }
+    let targets: Vec<Workload> = if names.is_empty() {
+        all()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                Workload::by_name(n).unwrap_or_else(|| {
+                    eprintln!("error: unknown workload `{n}`");
+                    std::process::exit(2)
+                })
+            })
+            .collect()
+    };
+    let mut total = 0usize;
+    let mut rows = Vec::new();
+    for wl in &targets {
+        let diags = lint(&wl.module(scale));
+        for d in &diags {
+            println!("{}: {d}", wl.name);
+        }
+        total += diags.len();
+        rows.push(
+            Json::obj().set("name", wl.name).set(
+                "diagnostics",
+                Json::Arr(
+                    diags
+                        .iter()
+                        .map(|d| {
+                            Json::obj()
+                                .set("func", d.func.as_str())
+                                .set("block", d.block)
+                                .set("inst", d.inst)
+                                .set("severity", d.severity.to_string())
+                                .set("cwe", d.cwe)
+                                .set("message", d.message.as_str())
+                        })
+                        .collect(),
+                ),
+            ),
+        );
+    }
+    println!("{total} diagnostic(s) across {} workload(s)", targets.len());
+    if let Some(path) = args.json_path().map(Path::to_path_buf) {
+        let doc = Json::obj()
+            .set("schema", "hwst-bench/lint")
+            .set("version", hwst_bench::summary::SCHEMA_VERSION)
+            .set("scale", format!("{scale:?}"))
+            .set("total", total)
+            .set("rows", Json::Arr(rows));
+        write_json(&path, &doc).unwrap_or_else(|e| {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(2)
+        });
+        println!("wrote {}", path.display());
+    }
+    if total > 0 {
+        std::process::exit(1);
+    }
+}

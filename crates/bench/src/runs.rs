@@ -12,6 +12,7 @@ use crate::{
     try_cycles_with_keybuffer, try_fig4_row, try_fig5_row, Fig4Row, Fig5Row, ResilienceConfig,
     ResilienceRow,
 };
+use hwst128::compiler::binval;
 use hwst128::compiler::{compile, Scheme};
 use hwst128::isa::Program;
 use hwst128::juliet::{measure_case, CoverageReport};
@@ -237,6 +238,171 @@ pub fn resilience_results(
         }
     }
     Ok((rows, failed))
+}
+
+/// The schemes the binary validator gates, in report order.
+pub const BINVAL_SCHEMES: [Scheme; 4] = [
+    Scheme::Sbcets,
+    Scheme::Hwst128,
+    Scheme::Hwst128Tchk,
+    Scheme::Shore,
+];
+
+/// Master seed of the deterministic mutation campaign (EXPERIMENTS.md
+/// A9); per-mutant seeds are stretched from it with splitmix64 inside
+/// `binval::mutation_campaign`.
+pub const BINVAL_MASTER_SEED: u64 = 0xB17A_1000;
+
+/// Mutation seeds for the given campaign width.
+pub fn binval_seeds(per_scheme: u64) -> Vec<u64> {
+    (0..per_scheme).map(|i| BINVAL_MASTER_SEED + i).collect()
+}
+
+/// One cell of the binval gate: a workload validated under one scheme,
+/// with the A9 discharge counters and the mutation-campaign verdict.
+#[derive(Debug, Clone)]
+pub struct BinvalRow {
+    /// Workload name.
+    pub name: String,
+    /// Scheme label (`{:?}` of [`Scheme`]).
+    pub scheme: String,
+    /// IR-level completeness verdict.
+    pub ir_ok: bool,
+    /// Binary-level validation verdict.
+    pub bin_ok: bool,
+    /// Statically-proven program bugs (informational; zero on the
+    /// benign workload suite).
+    pub static_bugs: usize,
+    /// Checked machine accesses analysed.
+    pub checked_ops: usize,
+    /// IR-level checks removed by RCE (the A9 baseline).
+    pub rce_removed: usize,
+    /// Checks proven in-bounds at binary level.
+    pub discharged_in_bounds: usize,
+    /// Checks proven redundant at binary level.
+    pub discharged_redundant: usize,
+    /// Candidate mutation sites in the lowered image.
+    pub mutation_candidates: usize,
+    /// Mutants generated by the seeded campaign.
+    pub mutants: usize,
+    /// Mutants the validator rejected.
+    pub mutants_killed: usize,
+}
+
+impl BinvalRow {
+    /// Checks discharged at binary level beyond IR-level RCE.
+    pub fn discharged(&self) -> usize {
+        self.discharged_in_bounds + self.discharged_redundant
+    }
+}
+
+/// Validates one workload under one scheme and runs the seeded mutation
+/// campaign against it.
+///
+/// # Errors
+///
+/// Translation-validation divergence, lowering findings and surviving
+/// mutants are all *hard errors* (the gate semantics ISSUE 4 asks for),
+/// as are compile failures.
+pub fn try_binval_row(
+    wl: &Workload,
+    scale: Scale,
+    scheme: Scheme,
+    seeds: &[u64],
+) -> Result<BinvalRow, String> {
+    let module = wl.module(scale);
+    let tv = binval::translation_validate_with(&module, scheme, true)
+        .map_err(|e| format!("{} ({scheme:?}): {e}", wl.name))?;
+    if tv.diverged() {
+        return Err(format!(
+            "{} ({scheme:?}): translation validation diverged — IR verdict {}, binary \
+             verdict {} ({})",
+            wl.name,
+            tv.ir_ok,
+            tv.report.ok(),
+            tv.ir_error.clone().unwrap_or_else(|| tv
+                .report
+                .findings
+                .first()
+                .map(|f| f.to_string())
+                .unwrap_or_default()),
+        ));
+    }
+    if !tv.report.ok() {
+        let first = tv
+            .report
+            .findings
+            .iter()
+            .find(|f| f.class == binval::FindingClass::Lowering)
+            .map(|f| f.to_string())
+            .unwrap_or_default();
+        return Err(format!(
+            "{} ({scheme:?}): {} lowering finding(s), first: {first}",
+            wl.name,
+            tv.report.lowering_findings()
+        ));
+    }
+    let mc = binval::mutation_campaign(&module, scheme, seeds)
+        .map_err(|e| format!("{} ({scheme:?}): {e}", wl.name))?;
+    if !mc.all_killed() {
+        let survivor = mc
+            .outcomes
+            .iter()
+            .find(|o| !o.killed)
+            .map(|o| format!("{} seed={:#x} site={}", o.mutation, o.seed, o.site))
+            .unwrap_or_default();
+        return Err(format!(
+            "{} ({scheme:?}): {}/{} mutants survived, e.g. {survivor}",
+            wl.name,
+            mc.total() - mc.killed(),
+            mc.total()
+        ));
+    }
+    let rce = &tv.rce;
+    Ok(BinvalRow {
+        name: wl.name.to_string(),
+        scheme: format!("{scheme:?}"),
+        ir_ok: tv.ir_ok,
+        bin_ok: tv.report.ok(),
+        static_bugs: tv.report.static_bugs(),
+        checked_ops: tv.report.checked_ops(),
+        rce_removed: rce.tchk_removed
+            + rce.spatial_removed
+            + rce.temporal_removed
+            + rce.patterns_removed,
+        discharged_in_bounds: tv.report.funcs.iter().map(|f| f.discharged_in_bounds).sum(),
+        discharged_redundant: tv.report.funcs.iter().map(|f| f.discharged_redundant).sum(),
+        mutation_candidates: mc.candidates,
+        mutants: mc.total(),
+        mutants_killed: mc.killed(),
+    })
+}
+
+/// One job per (workload × scheme) binval cell, workloads outermost —
+/// the same nesting the serial gate would use.
+pub fn binval_jobs(scale: Scale, seeds_per_scheme: u64) -> Vec<Job<BinvalRow>> {
+    let seeds = binval_seeds(seeds_per_scheme);
+    let mut jobs = Vec::new();
+    for wl in all() {
+        for scheme in BINVAL_SCHEMES {
+            let seeds = seeds.clone();
+            jobs.push(Job::new(
+                format!("binval/{}/{scheme:?}", wl.name),
+                move || try_binval_row(&wl, scale, scheme, &seeds),
+            ));
+        }
+    }
+    jobs
+}
+
+/// Runs the binval gate on the pool; results in job order.
+pub fn binval_results(
+    scale: Scale,
+    seeds_per_scheme: u64,
+    cfg: &PoolConfig,
+    sink: &mut dyn Sink,
+) -> Vec<JobResult<BinvalRow>> {
+    run(binval_jobs(scale, seeds_per_scheme), cfg, sink)
 }
 
 /// Sum of per-job wall times: what the sweep would have cost serially.

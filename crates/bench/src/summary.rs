@@ -220,6 +220,74 @@ pub fn resilience_summary(
         )
 }
 
+/// The `BENCH_binval.json` document (A9 + the translation-validation
+/// gate).
+pub fn binval_summary(
+    scale: Scale,
+    workers: usize,
+    seeds_per_scheme: u64,
+    results: &[JobResult<crate::runs::BinvalRow>],
+    wall: Duration,
+    failed: &[FailedJob],
+) -> Json {
+    let rows: Vec<&crate::runs::BinvalRow> =
+        results.iter().filter_map(|r| r.outcome.ok()).collect();
+    let sum =
+        |f: fn(&crate::runs::BinvalRow) -> usize| -> u64 { rows.iter().map(|r| f(r) as u64).sum() };
+    timing(
+        header("hwst-bench/binval", scale, workers),
+        wall,
+        serial_wall(results),
+    )
+    .set(
+        "master_seed",
+        format!("{:#x}", crate::runs::BINVAL_MASTER_SEED),
+    )
+    .set("seeds_per_scheme", seeds_per_scheme)
+    .set(
+        "rows",
+        Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj()
+                        .set("name", r.name.as_str())
+                        .set("scheme", r.scheme.as_str())
+                        .set("ir_ok", r.ir_ok)
+                        .set("bin_ok", r.bin_ok)
+                        .set("static_bugs", r.static_bugs as u64)
+                        .set("checked_ops", r.checked_ops as u64)
+                        .set("rce_removed", r.rce_removed as u64)
+                        .set("discharged_in_bounds", r.discharged_in_bounds as u64)
+                        .set("discharged_redundant", r.discharged_redundant as u64)
+                        .set("mutation_candidates", r.mutation_candidates as u64)
+                        .set("mutants", r.mutants as u64)
+                        .set("mutants_killed", r.mutants_killed as u64)
+                })
+                .collect(),
+        ),
+    )
+    .set("failed", failures(failed))
+    .set(
+        "a9",
+        Json::obj()
+            .set("checked_ops", sum(|r| r.checked_ops))
+            .set("rce_removed", sum(|r| r.rce_removed))
+            .set("binval_discharged", sum(crate::runs::BinvalRow::discharged))
+            .set("binval_in_bounds", sum(|r| r.discharged_in_bounds))
+            .set("binval_redundant", sum(|r| r.discharged_redundant)),
+    )
+    .set(
+        "mutation",
+        Json::obj()
+            .set("total", sum(|r| r.mutants))
+            .set("killed", sum(|r| r.mutants_killed))
+            .set(
+                "all_killed",
+                rows.iter().all(|r| r.mutants == r.mutants_killed),
+            ),
+    )
+}
+
 /// Writes a summary document to `path` (with a trailing newline).
 ///
 /// # Errors

@@ -1,0 +1,1993 @@
+//! Binary-level translation validation for the HWST128 lowering.
+//!
+//! The static passes in [`crate::lint`], [`crate::rce`] and
+//! [`crate::verify`] all reason about the *IR*. Nothing there says
+//! anything about the artifact that actually runs: if the `-O0`
+//! back-end in `lower.rs` drops a metadata load, skews a shadow-map
+//! offset, or pairs the wrong shadow register with a checked access,
+//! every safety claim the repo makes is silently void. This module
+//! closes that gap with an abstract interpreter over the *machine
+//! code*: it decodes nothing the compiler tells it about semantics —
+//! it re-derives the instrumentation structure from the instruction
+//! stream itself (via [`hwst_isa::cfg`] CFG recovery) and uses the
+//! [`LowerPlan`] side-tables only for function extents, frame geometry
+//! and the IR-check ↔ instruction correspondence.
+//!
+//! # Abstract domain
+//!
+//! Per machine register the interpreter tracks a product of
+//!
+//! * a **numeric value** (`Num`): an exact constant, an offset from
+//!   the function's entry stack pointer, or ⊤, and
+//! * a **provenance** (`Prov`): "this value is the current content
+//!   of frame slot *s*", the machine-level image of the IR's
+//!   home-slot discipline.
+//!
+//! Alongside the GPR file it mirrors the shadow register file: for
+//! each SRF entry half it tracks *where the metadata came from*
+//! (`MetaSrc`) and, when statically known, the decompressed bounds
+//! (`Bounds`). Finally it tracks which frame-slot shadow words have
+//! been written on **every** path (a must-analysis; joins intersect).
+//!
+//! # What is proven (per function)
+//!
+//! * **(a) check/metadata correspondence** — every checked load/store
+//!   consumes an SRF entry populated by an `lbdls` from the *same*
+//!   home slot the address register was loaded from (the hardware
+//!   silently skips the check when the entry is empty or zero — see
+//!   `hwst_sim::exec::spatial_check` — so a dropped metadata load
+//!   *disables* checking without any observable trap);
+//! * **(b) shadow-map addressing** — every `sbdl`/`sbdu` targets a
+//!   valid container (an in-frame, 8-aligned slot, or a
+//!   pointer-provenanced heap/global container), stores a populated
+//!   SRF half, and same-container pairs store coherently-sourced
+//!   halves; the LMSM address itself (Eq. 1: `(addr << 2) + offset`)
+//!   is applied uniformly by the hardware, so validity reduces to
+//!   container validity plus the global layout checks;
+//! * **(c) compression-config consistency** — `bndrs`/`bndrt` operands
+//!   that are statically constant must be representable under the
+//!   active compression config, and the config must cover the layout
+//!   (base field spans the user address space, lock field spans the
+//!   lock region);
+//! * **(d) no silent pointer escape** — a pointer-provenanced value
+//!   parked into a pointer home slot requires a shadow store to that
+//!   slot somewhere in the function, and a pointer stored through a
+//!   pointer (a heap escape) requires a through-pointer shadow store.
+//!
+//! Checks (a)–(c) are flow-sensitive over the recovered machine CFG;
+//! (d) is a flow-insensitive per-function check.
+//!
+//! # What is *not* proven
+//!
+//! This is translation validation, not verification: the validator
+//! proves that the lowering *preserved the instrumentation structure*,
+//! not that the metadata values are functionally correct, and not that
+//! the program is memory-safe (that is the hardware's job at run
+//! time). Calls havoc all registers and the whole SRF; slot shadows
+//! and slot contents below the alloca region survive calls because
+//! home slots are compiler-internal and never address-taken.
+//!
+//! As a byproduct the interpreter *discharges* checks statically: a
+//! checked access whose address and bounds are both known (globals,
+//! allocas) is proven in- or out-of-bounds, and a repeated check of an
+//! unmodified slot pointer is proven redundant. These counts feed the
+//! A9 ablation (checks discharged at binary level beyond IR-level
+//! RCE); statically-proven violations are reported as
+//! [`FindingClass::StaticBug`] with a CWE class and do **not** fail
+//! validation.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use hwst_isa::cfg;
+use hwst_isa::{AluImmOp, AluOp, Instr, LoadWidth, Program, Reg, StoreWidth};
+use hwst_mem::MemoryLayout;
+use hwst_metadata::{CompressionConfig, ShadowCodec};
+
+use crate::instrument::{self, Scheme};
+use crate::ir::Module;
+use crate::lower::{lower_with_plan, CheckSite, FnPlan, LowerPlan};
+use crate::{analysis, rce, verify, CompileError};
+
+// ---------------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------------
+
+/// How a finding bears on validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingClass {
+    /// The lowering violated the instrumentation contract. Any such
+    /// finding fails validation ([`BinvalReport::ok`]).
+    Lowering,
+    /// The *program* provably violates memory safety (the lowering is
+    /// fine — the check is present and will fire). Reported with a CWE
+    /// class; does not fail validation.
+    StaticBug,
+}
+
+/// One validator diagnostic, anchored to an emitted instruction.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Lowering defect vs. statically-proven program bug.
+    pub class: FindingClass,
+    /// Stable machine-readable code (e.g. `CHECK_SRF_EMPTY`).
+    pub code: &'static str,
+    /// Containing function (or `<image>` for global findings).
+    pub func: String,
+    /// Program-wide instruction index.
+    pub at: usize,
+    /// Absolute PC of the instruction.
+    pub pc: u64,
+    /// CWE class for [`FindingClass::StaticBug`] findings.
+    pub cwe: Option<u16>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.class {
+            FindingClass::Lowering => "lowering",
+            FindingClass::StaticBug => "static-bug",
+        };
+        write!(
+            f,
+            "{kind}: [{code}] {func}+{at} (pc {pc:#x}): {msg}",
+            code = self.code,
+            func = self.func,
+            at = self.at,
+            pc = self.pc,
+            msg = self.message
+        )?;
+        if let Some(c) = self.cwe {
+            write!(f, " [CWE-{c}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-function validation statistics (the A9 ablation inputs).
+#[derive(Debug, Clone, Default)]
+pub struct FnReport {
+    /// Function name.
+    pub name: String,
+    /// Checked loads/stores encountered (reachable code).
+    pub checked_ops: usize,
+    /// `tchk` instructions encountered.
+    pub tchk_ops: usize,
+    /// `lbdls`/`lbdus` metadata loads encountered.
+    pub meta_loads: usize,
+    /// `sbdl`/`sbdu` shadow stores encountered.
+    pub shadow_stores: usize,
+    /// Checked ops proven in-bounds from statically-known address and
+    /// bounds.
+    pub discharged_in_bounds: usize,
+    /// Checked ops proven redundant with an earlier identical check of
+    /// an unmodified slot pointer.
+    pub discharged_redundant: usize,
+}
+
+impl FnReport {
+    /// Total checks statically discharged at binary level.
+    pub fn discharged(&self) -> usize {
+        self.discharged_in_bounds + self.discharged_redundant
+    }
+}
+
+/// The result of validating one lowered image.
+#[derive(Debug, Clone)]
+pub struct BinvalReport {
+    /// The scheme the image was lowered for.
+    pub scheme: Scheme,
+    /// All findings, in discovery order.
+    pub findings: Vec<Finding>,
+    /// Per-function statistics, in emission order.
+    pub funcs: Vec<FnReport>,
+}
+
+impl BinvalReport {
+    /// `true` when no [`FindingClass::Lowering`] finding was reported.
+    pub fn ok(&self) -> bool {
+        self.lowering_findings() == 0
+    }
+
+    /// Number of lowering (validation-failing) findings.
+    pub fn lowering_findings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.class == FindingClass::Lowering)
+            .count()
+    }
+
+    /// Number of statically-proven program bugs.
+    pub fn static_bugs(&self) -> usize {
+        self.findings.len() - self.lowering_findings()
+    }
+
+    /// Total checked operations across all functions.
+    pub fn checked_ops(&self) -> usize {
+        self.funcs.iter().map(|f| f.checked_ops).sum()
+    }
+
+    /// Total checks statically discharged across all functions.
+    pub fn discharged(&self) -> usize {
+        self.funcs.iter().map(|f| f.discharged()).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Abstract domain
+// ---------------------------------------------------------------------------
+
+/// Abstract numeric value: ⊤, an exact constant, or an offset from the
+/// function's *entry* stack pointer (so the post-prologue `sp` is
+/// `Sp(-frame_size)` and the address of frame slot `s` is
+/// `Sp(s - frame_size)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Num {
+    Top,
+    Const(u64),
+    Sp(i64),
+}
+
+/// Abstract provenance: is this value the current content of a frame
+/// slot? `exact` means the value equals the slot content (a plain
+/// reload yields the same value); inexact provenance survives pointer
+/// arithmetic and is enough for the correspondence check but not for
+/// redundancy discharge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Prov {
+    None,
+    Slot { off: i64, exact: bool },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AbsVal {
+    prov: Prov,
+    num: Num,
+}
+
+const TOP: AbsVal = AbsVal {
+    prov: Prov::None,
+    num: Num::Top,
+};
+
+/// Where an SRF half's metadata came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum MetaSrc {
+    /// Loaded from the shadow word of frame slot `s`.
+    Slot(i64),
+    /// Loaded from a heap or global container's shadow word.
+    Dyn,
+    /// Produced in-register by `bndrs`/`bndrt`.
+    Fresh,
+}
+
+/// Statically-known spatial bounds (half-open `[base, bound)`),
+/// either absolute or entry-`sp`-relative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bounds {
+    Const(u64, u64),
+    Sp(i64, i64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SrfHalf {
+    src: MetaSrc,
+    bounds: Option<Bounds>,
+}
+
+/// The per-program-point abstract state. All compound members are
+/// must-information: joins intersect.
+#[derive(Debug, Clone, PartialEq)]
+struct AbsState {
+    regs: [AbsVal; 32],
+    srf_l: [Option<SrfHalf>; 32],
+    srf_u: [Option<SrfHalf>; 32],
+    /// Known contents of frame slots (keyed by frame offset).
+    vals: BTreeMap<i64, Num>,
+    /// Frame-slot shadow words (lower half) written on every path,
+    /// with their content's bounds when statically known.
+    shadow_l: BTreeMap<i64, Option<Bounds>>,
+    /// Frame-slot shadow words (upper half) written on every path.
+    shadow_u: BTreeSet<i64>,
+    /// Checks already performed: (pointer slot, access offset, bytes).
+    done: BTreeSet<(i64, i64, u64)>,
+}
+
+impl AbsState {
+    fn entry() -> Self {
+        let mut regs = [TOP; 32];
+        regs[Reg::Zero.index() as usize].num = Num::Const(0);
+        regs[Reg::Sp.index() as usize].num = Num::Sp(0);
+        AbsState {
+            regs,
+            srf_l: [None; 32],
+            srf_u: [None; 32],
+            vals: BTreeMap::new(),
+            shadow_l: BTreeMap::new(),
+            shadow_u: BTreeSet::new(),
+            done: BTreeSet::new(),
+        }
+    }
+}
+
+fn join_num(a: Num, b: Num) -> Num {
+    if a == b {
+        a
+    } else {
+        Num::Top
+    }
+}
+
+fn join_prov(a: Prov, b: Prov) -> Prov {
+    match (a, b) {
+        (Prov::Slot { off: oa, exact: ea }, Prov::Slot { off: ob, exact: eb }) if oa == ob => {
+            Prov::Slot {
+                off: oa,
+                exact: ea && eb,
+            }
+        }
+        _ => Prov::None,
+    }
+}
+
+fn join_half(a: Option<SrfHalf>, b: Option<SrfHalf>) -> Option<SrfHalf> {
+    match (a, b) {
+        (Some(x), Some(y)) if x.src == y.src => Some(SrfHalf {
+            src: x.src,
+            bounds: if x.bounds == y.bounds { x.bounds } else { None },
+        }),
+        _ => None,
+    }
+}
+
+fn join(a: &AbsState, b: &AbsState) -> AbsState {
+    let mut regs = [TOP; 32];
+    let mut srf_l = [None; 32];
+    let mut srf_u = [None; 32];
+    for i in 0..32 {
+        regs[i] = AbsVal {
+            prov: join_prov(a.regs[i].prov, b.regs[i].prov),
+            num: join_num(a.regs[i].num, b.regs[i].num),
+        };
+        srf_l[i] = join_half(a.srf_l[i], b.srf_l[i]);
+        srf_u[i] = join_half(a.srf_u[i], b.srf_u[i]);
+    }
+    let vals = a
+        .vals
+        .iter()
+        .filter(|(k, v)| b.vals.get(k) == Some(v))
+        .map(|(&k, &v)| (k, v))
+        .collect();
+    let shadow_l = a
+        .shadow_l
+        .iter()
+        .filter_map(|(&k, &v)| {
+            b.shadow_l
+                .get(&k)
+                .map(|&bv| (k, if v == bv { v } else { None }))
+        })
+        .collect();
+    let shadow_u = a.shadow_u.intersection(&b.shadow_u).copied().collect();
+    let done = a.done.intersection(&b.done).copied().collect();
+    AbsState {
+        regs,
+        srf_l,
+        srf_u,
+        vals,
+        shadow_l,
+        shadow_u,
+        done,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-function interpreter
+// ---------------------------------------------------------------------------
+
+/// Where a shadow access lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Container {
+    /// A frame slot, by frame offset.
+    Slot(i64),
+    /// A statically-known absolute address (a global / `__meta` area).
+    Global(u64),
+    /// Through a pointer whose home slot is known.
+    Dyn(i64),
+    /// No idea where this lands.
+    Unknown,
+}
+
+/// Key for `sbdl`/`sbdu` pair-coherence tracking within a block:
+/// syntactic base register + offset + resolved container.
+type PairKey = (u8, i64, Container);
+
+struct FnInterp<'a> {
+    instrs: &'a [Instr],
+    base: u64,
+    plan: &'a FnPlan,
+    scheme: Scheme,
+    codec: ShadowCodec,
+    fs: i64,
+    ptr_slots: BTreeSet<i64>,
+    check_at: HashMap<usize, &'a CheckSite>,
+    /// Emit findings/stats (final pass) vs. fixpoint-only.
+    emit: bool,
+    findings: Vec<Finding>,
+    stats: FnReport,
+    // Flow-insensitive escape accounting (check d), emit pass only.
+    ptr_store_slots: BTreeSet<(usize, i64)>,
+    sbdl_slots: BTreeSet<i64>,
+    /// Reachable `sbdl` instructions targeting a dynamic (heap/global)
+    /// container — the machine image of the IR's `MetaStore` copies.
+    sbdl_dyn: usize,
+}
+
+fn num_add(n: Num, d: i64) -> Num {
+    match n {
+        Num::Top => Num::Top,
+        Num::Const(c) => Num::Const(c.wrapping_add(d as u64)),
+        Num::Sp(o) => Num::Sp(o.wrapping_add(d)),
+    }
+}
+
+fn eval_alu_imm(op: AluImmOp, n: Num, imm: i64) -> Num {
+    match (op, n) {
+        (AluImmOp::Addi, _) => num_add(n, imm),
+        (_, Num::Const(c)) => Num::Const(op.eval(c, imm)),
+        _ => Num::Top,
+    }
+}
+
+fn eval_alu(op: AluOp, a: Num, b: Num) -> Num {
+    match (op, a, b) {
+        (_, Num::Const(x), Num::Const(y)) => Num::Const(op.eval(x, y)),
+        (AluOp::Add, Num::Sp(d), Num::Const(c)) | (AluOp::Add, Num::Const(c), Num::Sp(d)) => {
+            Num::Sp(d.wrapping_add(c as i64))
+        }
+        (AluOp::Sub, Num::Sp(d), Num::Const(c)) => Num::Sp(d.wrapping_sub(c as i64)),
+        (AluOp::Sub, Num::Sp(x), Num::Sp(y)) => Num::Const(x.wrapping_sub(y) as u64),
+        _ => Num::Top,
+    }
+}
+
+/// Which GPR does `i` define, if any? (SRF-only writers like `lbdls`
+/// do not count.)
+fn gpr_def(i: &Instr) -> Option<Reg> {
+    match *i {
+        Instr::Lui { rd, .. }
+        | Instr::Auipc { rd, .. }
+        | Instr::Alu { rd, .. }
+        | Instr::AluImm { rd, .. }
+        | Instr::Load { rd, .. }
+        | Instr::Csr { rd, .. }
+        | Instr::Lbas { rd, .. }
+        | Instr::Lbnd { rd, .. }
+        | Instr::Lkey { rd, .. }
+        | Instr::Lloc { rd, .. } => Some(rd),
+        _ => None,
+    }
+}
+
+impl<'a> FnInterp<'a> {
+    fn new(
+        instrs: &'a [Instr],
+        base: u64,
+        plan: &'a FnPlan,
+        scheme: Scheme,
+        codec: ShadowCodec,
+    ) -> Self {
+        FnInterp {
+            instrs,
+            base,
+            plan,
+            scheme,
+            codec,
+            fs: plan.frame_size,
+            ptr_slots: plan.ptr_slots.iter().copied().collect(),
+            check_at: plan.checks.iter().map(|c| (c.at, c)).collect(),
+            emit: false,
+            findings: Vec::new(),
+            stats: FnReport {
+                name: plan.name.clone(),
+                ..FnReport::default()
+            },
+            ptr_store_slots: BTreeSet::new(),
+            sbdl_slots: BTreeSet::new(),
+            sbdl_dyn: 0,
+        }
+    }
+
+    fn pc(&self, at: usize) -> u64 {
+        self.base + at as u64 * 4
+    }
+
+    fn finding(&mut self, class: FindingClass, code: &'static str, at: usize, message: String) {
+        self.finding_cwe(class, code, at, None, message);
+    }
+
+    fn finding_cwe(
+        &mut self,
+        class: FindingClass,
+        code: &'static str,
+        at: usize,
+        cwe: Option<u16>,
+        message: String,
+    ) {
+        if self.emit {
+            self.findings.push(Finding {
+                class,
+                code,
+                func: self.plan.name.clone(),
+                at,
+                pc: self.pc(at),
+                cwe,
+                message,
+            });
+        }
+    }
+
+    /// Is `s` a plausible frame-slot container for shadow traffic?
+    /// Slot 0 is the return-address slot and never carries metadata.
+    fn valid_slot(&self, s: i64) -> bool {
+        s >= 8 && s < self.fs && s % 8 == 0
+    }
+
+    fn set_reg(&self, st: &mut AbsState, rd: Reg, v: AbsVal) {
+        if !rd.is_zero() {
+            st.regs[rd.index() as usize] = v;
+        }
+    }
+
+    fn srf_clear(&self, st: &mut AbsState, rd: Reg) {
+        let r = rd.index() as usize;
+        st.srf_l[r] = None;
+        st.srf_u[r] = None;
+    }
+
+    /// Mirrors `Srf::propagate`: copy the first source whose entry is
+    /// (known) valid; otherwise invalidate.
+    fn srf_propagate(&self, st: &mut AbsState, rd: Reg, rs1: Reg, rs2: Option<Reg>) {
+        if rd.is_zero() {
+            return;
+        }
+        let valid = |st: &AbsState, r: Reg| {
+            let i = r.index() as usize;
+            st.srf_l[i].is_some() || st.srf_u[i].is_some()
+        };
+        let src = if valid(st, rs1) {
+            Some(rs1)
+        } else {
+            rs2.filter(|&r| valid(st, r))
+        };
+        let d = rd.index() as usize;
+        match src {
+            Some(r) => {
+                let s = r.index() as usize;
+                st.srf_l[d] = st.srf_l[s];
+                st.srf_u[d] = st.srf_u[s];
+            }
+            None => {
+                st.srf_l[d] = None;
+                st.srf_u[d] = None;
+            }
+        }
+    }
+
+    /// Value changed at frame offset `s`: provenance into that slot is
+    /// stale, prior checks of the pointer it held no longer discharge
+    /// later ones, and any statically-known shadow *content* for it is
+    /// no longer trustworthy (the shadow word itself stays written).
+    fn kill_slot(&self, st: &mut AbsState, s: i64) {
+        for r in st.regs.iter_mut() {
+            if matches!(r.prov, Prov::Slot { off, .. } if off == s) {
+                r.prov = Prov::None;
+            }
+        }
+        st.done.retain(|&(sl, _, _)| sl != s);
+        if let Some(b) = st.shadow_l.get_mut(&s) {
+            *b = None;
+        }
+    }
+
+    fn call_havoc(&self, st: &mut AbsState) {
+        let sp = Reg::Sp.index() as usize;
+        let zero = Reg::Zero.index() as usize;
+        for (i, r) in st.regs.iter_mut().enumerate() {
+            if i != sp && i != zero {
+                *r = TOP;
+            }
+        }
+        st.srf_l = [None; 32];
+        st.srf_u = [None; 32];
+        // The callee can reach our alloca areas through escaped
+        // pointers, but never our home slots or spill locals (they are
+        // compiler-internal and not address-taken). Shadow words of
+        // home slots survive for the same reason.
+        let ab = self.plan.alloca_base;
+        st.vals.retain(|&k, _| k < ab);
+    }
+
+    fn container_of(&self, st: &AbsState, rs1: Reg, offset: i64) -> Container {
+        let v = st.regs[rs1.index() as usize];
+        match num_add(v.num, offset) {
+            Num::Sp(d) => Container::Slot(d.wrapping_add(self.fs)),
+            Num::Const(c) => Container::Global(c),
+            Num::Top => match v.prov {
+                Prov::Slot { off, .. } => Container::Dyn(off),
+                Prov::None => Container::Unknown,
+            },
+        }
+    }
+
+    /// Check (a) at a checked load/store, plus the A9 discharge
+    /// accounting and static bounds evaluation.
+    #[allow(clippy::too_many_arguments)]
+    fn check_access(
+        &mut self,
+        st: &mut AbsState,
+        at: usize,
+        rs1: Reg,
+        offset: i64,
+        bytes: u64,
+        is_store: bool,
+    ) {
+        if self.emit {
+            self.stats.checked_ops += 1;
+        }
+        let rv = st.regs[rs1.index() as usize];
+        let slot = match rv.prov {
+            Prov::Slot { off, .. } if self.ptr_slots.contains(&off) => off,
+            _ => {
+                self.finding(
+                    FindingClass::Lowering,
+                    "CHECK_ADDR_UNKNOWN",
+                    at,
+                    format!(
+                        "checked {} consumes an address of unknown pointer provenance",
+                        if is_store { "store" } else { "load" }
+                    ),
+                );
+                return;
+            }
+        };
+        let half = st.srf_l[rs1.index() as usize];
+        let half = match half {
+            None => {
+                self.finding(
+                    FindingClass::Lowering,
+                    "CHECK_SRF_EMPTY",
+                    at,
+                    format!(
+                        "checked {} consumes SRF[{rs1}] which is not populated on every \
+                         path — the hardware silently skips the bounds check",
+                        if is_store { "store" } else { "load" }
+                    ),
+                );
+                return;
+            }
+            Some(h) => h,
+        };
+        match half.src {
+            MetaSrc::Slot(ms) if ms == slot => {}
+            MetaSrc::Fresh => {} // bounds bound in-register: still checked
+            other => {
+                self.finding(
+                    FindingClass::Lowering,
+                    "CHECK_SRF_MISMATCH",
+                    at,
+                    format!(
+                        "checked access address comes from slot {slot} but SRF[{rs1}] \
+                         was populated from {other:?} — the check guards the wrong metadata"
+                    ),
+                );
+                return;
+            }
+        }
+        // Lowering plan cross-check: the IR side-table must know this
+        // site and agree on the slot.
+        match self.check_at.get(&at) {
+            None => self.finding(
+                FindingClass::Lowering,
+                "PLAN_MISSING",
+                at,
+                "checked instruction not recorded as an IR check site".to_string(),
+            ),
+            Some(site) if site.slot != slot => self.finding(
+                FindingClass::Lowering,
+                "PLAN_MISMATCH",
+                at,
+                format!(
+                    "lowering plan maps this check to slot {}, machine state says {slot}",
+                    site.slot
+                ),
+            ),
+            Some(_) => {}
+        }
+        // Static discharge / static bug detection.
+        let addr = num_add(rv.num, offset);
+        let verdict = match (half.bounds, addr) {
+            (Some(Bounds::Const(lo, hi)), Num::Const(a)) => {
+                Some((a < lo, a.wrapping_add(bytes) > hi, a == 0, false))
+            }
+            (Some(Bounds::Sp(lo, hi)), Num::Sp(a)) => {
+                Some((a < lo, a.wrapping_add(bytes as i64) > hi, false, true))
+            }
+            _ => None,
+        };
+        let mut discharged = false;
+        if let Some((under, over, null, stack)) = verdict {
+            if under || over {
+                let cwe = if null {
+                    476
+                } else {
+                    match (is_store, under) {
+                        (true, true) => 124,
+                        (true, false) => {
+                            if stack {
+                                121
+                            } else {
+                                122
+                            }
+                        }
+                        (false, true) => 127,
+                        (false, false) => 126,
+                    }
+                };
+                self.finding_cwe(
+                    FindingClass::StaticBug,
+                    "STATIC_OOB",
+                    at,
+                    Some(cwe),
+                    format!(
+                        "access provably out of bounds: {bytes}-byte {} at statically-known \
+                         address outside the bound metadata",
+                        if is_store { "store" } else { "load" }
+                    ),
+                );
+            } else {
+                discharged = true;
+                if self.emit {
+                    self.stats.discharged_in_bounds += 1;
+                }
+            }
+        }
+        if let Prov::Slot { exact: true, .. } = rv.prov {
+            let key = (slot, offset, bytes);
+            if st.done.contains(&key) {
+                if !discharged && self.emit {
+                    self.stats.discharged_redundant += 1;
+                }
+            } else {
+                st.done.insert(key);
+            }
+        }
+    }
+
+    fn transfer(
+        &mut self,
+        st: &mut AbsState,
+        at: usize,
+        pairs: &mut HashMap<PairKey, Option<MetaSrc>>,
+    ) {
+        let i = self.instrs[at];
+        if !self.scheme.uses_hardware() {
+            let hw = matches!(
+                i,
+                Instr::Bndrs { .. }
+                    | Instr::Bndrt { .. }
+                    | Instr::Sbdl { .. }
+                    | Instr::Sbdu { .. }
+                    | Instr::Lbdls { .. }
+                    | Instr::Lbdus { .. }
+                    | Instr::Lbas { .. }
+                    | Instr::Lbnd { .. }
+                    | Instr::Lkey { .. }
+                    | Instr::Lloc { .. }
+                    | Instr::Tchk { .. }
+                    | Instr::SrfMv { .. }
+                    | Instr::SrfClr { .. }
+                    | Instr::Load { checked: true, .. }
+                    | Instr::Store { checked: true, .. }
+            );
+            if hw {
+                self.finding(
+                    FindingClass::Lowering,
+                    "SCHEME_VIOLATION",
+                    at,
+                    format!("HWST128 instruction emitted under scheme {:?}", self.scheme),
+                );
+            }
+        }
+        match i {
+            Instr::Lui { rd, imm } => {
+                self.set_reg(
+                    st,
+                    rd,
+                    AbsVal {
+                        prov: Prov::None,
+                        num: Num::Const(imm as u64),
+                    },
+                );
+                self.srf_clear(st, rd);
+            }
+            Instr::Auipc { rd, imm } => {
+                self.set_reg(
+                    st,
+                    rd,
+                    AbsVal {
+                        prov: Prov::None,
+                        num: Num::Const(self.pc(at).wrapping_add(imm as u64)),
+                    },
+                );
+                self.srf_clear(st, rd);
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                let src = st.regs[rs1.index() as usize];
+                let num = eval_alu_imm(op, src.num, imm);
+                let prov = match src.prov {
+                    Prov::Slot { off, exact } => Prov::Slot {
+                        off,
+                        exact: exact && op == AluImmOp::Addi && imm == 0,
+                    },
+                    Prov::None => Prov::None,
+                };
+                self.set_reg(st, rd, AbsVal { prov, num });
+                self.srf_propagate(st, rd, rs1, None);
+            }
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let a = st.regs[rs1.index() as usize];
+                let b = st.regs[rs2.index() as usize];
+                let num = eval_alu(op, a.num, b.num);
+                // Pointer arithmetic keeps (inexact) provenance when
+                // exactly one operand is pointer-provenanced.
+                let prov = match (a.prov, b.prov) {
+                    (Prov::Slot { off, .. }, Prov::None) | (Prov::None, Prov::Slot { off, .. }) => {
+                        Prov::Slot { off, exact: false }
+                    }
+                    _ => Prov::None,
+                };
+                self.set_reg(st, rd, AbsVal { prov, num });
+                self.srf_propagate(st, rd, rs1, Some(rs2));
+            }
+            Instr::Load {
+                width,
+                rd,
+                rs1,
+                offset,
+                checked,
+            } => {
+                if checked {
+                    self.check_access(st, at, rs1, offset, width.bytes(), false);
+                }
+                let addr = num_add(st.regs[rs1.index() as usize].num, offset);
+                let v = if let Num::Sp(d) = addr {
+                    let s = d.wrapping_add(self.fs);
+                    let num = if width == LoadWidth::D {
+                        st.vals.get(&s).copied().unwrap_or(Num::Top)
+                    } else {
+                        Num::Top
+                    };
+                    AbsVal {
+                        prov: Prov::Slot {
+                            off: s,
+                            exact: true,
+                        },
+                        num,
+                    }
+                } else {
+                    TOP
+                };
+                self.set_reg(st, rd, v);
+                self.srf_clear(st, rd);
+            }
+            Instr::Store {
+                width,
+                rs1,
+                rs2,
+                offset,
+                checked,
+            } => {
+                if checked {
+                    self.check_access(st, at, rs1, offset, width.bytes(), true);
+                }
+                let addr = num_add(st.regs[rs1.index() as usize].num, offset);
+                let val = st.regs[rs2.index() as usize];
+                match addr {
+                    Num::Sp(d) => {
+                        let s = d.wrapping_add(self.fs);
+                        self.kill_slot(st, s);
+                        if width == StoreWidth::D && val.num != Num::Top {
+                            st.vals.insert(s, val.num);
+                        } else {
+                            st.vals.remove(&s);
+                        }
+                        if self.emit {
+                            if let Prov::Slot { off: p, .. } = val.prov {
+                                if self.ptr_slots.contains(&p) && self.ptr_slots.contains(&s) {
+                                    self.ptr_store_slots.insert((at, s));
+                                }
+                            }
+                        }
+                    }
+                    Num::Const(_) | Num::Top => {
+                        if addr == Num::Top {
+                            // An unknown-target store may alias our
+                            // alloca areas (never home slots/locals).
+                            let ab = self.plan.alloca_base;
+                            st.vals.retain(|&k, _| k < ab);
+                        }
+                    }
+                }
+            }
+            Instr::Jal { rd, .. } => {
+                if !rd.is_zero() {
+                    self.call_havoc(st);
+                }
+            }
+            Instr::Jalr { .. } | Instr::Branch { .. } | Instr::Fence | Instr::Ebreak => {}
+            Instr::Csr { rd, .. } => {
+                self.set_reg(st, rd, TOP);
+                self.srf_clear(st, rd);
+            }
+            Instr::Ecall => {
+                // Syscalls return in a0/a1 and clobber nothing else we
+                // track; be conservative about the whole a-file.
+                for r in [
+                    Reg::A0,
+                    Reg::A1,
+                    Reg::A2,
+                    Reg::A3,
+                    Reg::A4,
+                    Reg::A5,
+                    Reg::A6,
+                    Reg::A7,
+                ] {
+                    self.set_reg(st, r, TOP);
+                    self.srf_clear(st, r);
+                }
+            }
+            Instr::Bndrs { rd, rs1, rs2 } => {
+                let a = st.regs[rs1.index() as usize].num;
+                let b = st.regs[rs2.index() as usize].num;
+                let bounds = match (a, b) {
+                    (Num::Const(lo), Num::Const(hi)) => {
+                        if let Err(e) = self.codec.compress_spatial(lo, hi) {
+                            self.finding(
+                                FindingClass::Lowering,
+                                "COMPRESS_UNREPRESENTABLE",
+                                at,
+                                format!(
+                                    "bndrs operands ({lo:#x}, {hi:#x}) not representable \
+                                     under the active compression config: {e}"
+                                ),
+                            );
+                        }
+                        Some(Bounds::Const(lo, hi))
+                    }
+                    (Num::Sp(lo), Num::Sp(hi)) => Some(Bounds::Sp(lo, hi)),
+                    _ => None,
+                };
+                if !rd.is_zero() {
+                    st.srf_l[rd.index() as usize] = Some(SrfHalf {
+                        src: MetaSrc::Fresh,
+                        bounds,
+                    });
+                }
+            }
+            Instr::Bndrt { rd, rs1, rs2 } => {
+                let k = st.regs[rs1.index() as usize].num;
+                let l = st.regs[rs2.index() as usize].num;
+                if let (Num::Const(key), Num::Const(lock)) = (k, l) {
+                    if let Err(e) = self.codec.compress_temporal(key, lock) {
+                        self.finding(
+                            FindingClass::Lowering,
+                            "COMPRESS_UNREPRESENTABLE",
+                            at,
+                            format!(
+                                "bndrt operands ({key:#x}, {lock:#x}) not representable \
+                                 under the active compression config: {e}"
+                            ),
+                        );
+                    }
+                }
+                if !rd.is_zero() {
+                    st.srf_u[rd.index() as usize] = Some(SrfHalf {
+                        src: MetaSrc::Fresh,
+                        bounds: None,
+                    });
+                }
+            }
+            Instr::Lbdls { rd, rs1, offset } => {
+                if self.emit {
+                    self.stats.meta_loads += 1;
+                }
+                let c = self.container_of(st, rs1, offset);
+                let half = match c {
+                    Container::Slot(s) => {
+                        if !self.valid_slot(s) {
+                            self.finding(
+                                FindingClass::Lowering,
+                                "BAD_CONTAINER",
+                                at,
+                                format!(
+                                    "lbdls reads the shadow of frame offset {s}, which is \
+                                     not a metadata-bearing slot"
+                                ),
+                            );
+                            SrfHalf {
+                                src: MetaSrc::Dyn,
+                                bounds: None,
+                            }
+                        } else if let Some(&b) = st.shadow_l.get(&s) {
+                            SrfHalf {
+                                src: MetaSrc::Slot(s),
+                                bounds: b,
+                            }
+                        } else {
+                            self.finding(
+                                FindingClass::Lowering,
+                                "SHADOW_UNWRITTEN",
+                                at,
+                                format!(
+                                    "lbdls reads slot {s}'s shadow word, but no sbdl wrote \
+                                     it on every path to here — the loaded metadata is \
+                                     unbound (reads as zero ⇒ checks silently pass)"
+                                ),
+                            );
+                            SrfHalf {
+                                src: MetaSrc::Slot(s),
+                                bounds: None,
+                            }
+                        }
+                    }
+                    Container::Global(_) | Container::Dyn(_) => SrfHalf {
+                        src: MetaSrc::Dyn,
+                        bounds: None,
+                    },
+                    Container::Unknown => {
+                        self.finding(
+                            FindingClass::Lowering,
+                            "BAD_CONTAINER",
+                            at,
+                            "lbdls container address has unknown provenance".to_string(),
+                        );
+                        SrfHalf {
+                            src: MetaSrc::Dyn,
+                            bounds: None,
+                        }
+                    }
+                };
+                if !rd.is_zero() {
+                    st.srf_l[rd.index() as usize] = Some(half);
+                }
+            }
+            Instr::Lbdus { rd, rs1, offset } => {
+                if self.emit {
+                    self.stats.meta_loads += 1;
+                }
+                // An unwritten upper shadow word reads as zero, which
+                // decompresses to lock 0 = "no temporal metadata" and
+                // is benign — so no must-written check here.
+                let src = match self.container_of(st, rs1, offset) {
+                    Container::Slot(s) if self.valid_slot(s) => MetaSrc::Slot(s),
+                    Container::Unknown => {
+                        self.finding(
+                            FindingClass::Lowering,
+                            "BAD_CONTAINER",
+                            at,
+                            "lbdus container address has unknown provenance".to_string(),
+                        );
+                        MetaSrc::Dyn
+                    }
+                    _ => MetaSrc::Dyn,
+                };
+                if !rd.is_zero() {
+                    st.srf_u[rd.index() as usize] = Some(SrfHalf { src, bounds: None });
+                }
+            }
+            Instr::Sbdl { rs1, rs2, offset } => {
+                if self.emit {
+                    self.stats.shadow_stores += 1;
+                }
+                let src = st.srf_l[rs2.index() as usize];
+                if src.is_none() {
+                    self.finding(
+                        FindingClass::Lowering,
+                        "SBD_UNPOPULATED",
+                        at,
+                        format!(
+                            "sbdl stores SRF[{rs2}].lower which is not populated on every \
+                             path — it would write zero bounds (checks silently pass)"
+                        ),
+                    );
+                }
+                let c = self.container_of(st, rs1, offset);
+                match c {
+                    Container::Slot(s) => {
+                        if !self.valid_slot(s) {
+                            self.finding(
+                                FindingClass::Lowering,
+                                "BAD_CONTAINER",
+                                at,
+                                format!(
+                                    "sbdl writes the shadow of frame offset {s}, which is \
+                                     not a metadata-bearing slot"
+                                ),
+                            );
+                        } else {
+                            st.shadow_l.insert(s, src.and_then(|h| h.bounds));
+                            st.done.retain(|&(sl, _, _)| sl != s);
+                            for (r, h) in st.srf_l.iter_mut().enumerate() {
+                                if r != rs2.index() as usize
+                                    && matches!(h, Some(x) if x.src == MetaSrc::Slot(s))
+                                {
+                                    *h = None;
+                                }
+                            }
+                            if self.emit {
+                                self.sbdl_slots.insert(s);
+                            }
+                        }
+                    }
+                    Container::Global(_) | Container::Dyn(_) => {
+                        if self.emit {
+                            self.sbdl_dyn += 1;
+                        }
+                    }
+                    Container::Unknown => {
+                        self.finding(
+                            FindingClass::Lowering,
+                            "BAD_CONTAINER",
+                            at,
+                            "sbdl container address has unknown provenance".to_string(),
+                        );
+                    }
+                }
+                pairs.insert((rs1.index(), offset, c), src.map(|h| h.src));
+            }
+            Instr::Sbdu { rs1, rs2, offset } => {
+                if self.emit {
+                    self.stats.shadow_stores += 1;
+                }
+                let src = st.srf_u[rs2.index() as usize];
+                if src.is_none() {
+                    self.finding(
+                        FindingClass::Lowering,
+                        "SBD_UNPOPULATED",
+                        at,
+                        format!(
+                            "sbdu stores SRF[{rs2}].upper which is not populated on every \
+                             path — it would write a zero temporal half"
+                        ),
+                    );
+                }
+                let c = self.container_of(st, rs1, offset);
+                match c {
+                    Container::Slot(s) => {
+                        if !self.valid_slot(s) {
+                            self.finding(
+                                FindingClass::Lowering,
+                                "BAD_CONTAINER",
+                                at,
+                                format!(
+                                    "sbdu writes the shadow of frame offset {s}, which is \
+                                     not a metadata-bearing slot"
+                                ),
+                            );
+                        } else {
+                            st.shadow_u.insert(s);
+                            for (r, h) in st.srf_u.iter_mut().enumerate() {
+                                if r != rs2.index() as usize
+                                    && matches!(h, Some(x) if x.src == MetaSrc::Slot(s))
+                                {
+                                    *h = None;
+                                }
+                            }
+                        }
+                    }
+                    Container::Global(_) | Container::Dyn(_) => {}
+                    Container::Unknown => {
+                        self.finding(
+                            FindingClass::Lowering,
+                            "BAD_CONTAINER",
+                            at,
+                            "sbdu container address has unknown provenance".to_string(),
+                        );
+                    }
+                }
+                // Pair coherence: an sbdu against the same container as
+                // a preceding sbdl in this block must store a half
+                // sourced from the same place — catching "lower from
+                // slot A, upper from slot B" register mix-ups.
+                if let Some(&Some(lsrc)) = pairs.get(&(rs1.index(), offset, c)) {
+                    if let Some(h) = src {
+                        if h.src != lsrc {
+                            self.finding(
+                                FindingClass::Lowering,
+                                "SBD_PAIR_INCOHERENT",
+                                at,
+                                format!(
+                                    "sbdl/sbdu pair stores halves from different sources \
+                                     ({lsrc:?} vs {:?}) to the same container",
+                                    h.src
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Instr::Lbas { rd, .. }
+            | Instr::Lbnd { rd, .. }
+            | Instr::Lkey { rd, .. }
+            | Instr::Lloc { rd, .. } => {
+                self.set_reg(st, rd, TOP);
+                self.srf_clear(st, rd);
+            }
+            Instr::Tchk { rs1 } => {
+                if self.emit {
+                    self.stats.tchk_ops += 1;
+                }
+                let rv = st.regs[rs1.index() as usize];
+                let slot = match rv.prov {
+                    Prov::Slot { off, .. } if self.ptr_slots.contains(&off) => off,
+                    _ => {
+                        self.finding(
+                            FindingClass::Lowering,
+                            "TCHK_ADDR_UNKNOWN",
+                            at,
+                            "tchk consumes a pointer of unknown provenance".to_string(),
+                        );
+                        return;
+                    }
+                };
+                match st.srf_u[rs1.index() as usize] {
+                    None => self.finding(
+                        FindingClass::Lowering,
+                        "TCHK_SRF_EMPTY",
+                        at,
+                        format!(
+                            "tchk consumes SRF[{rs1}].upper which is not populated on \
+                             every path — the temporal check is silently skipped"
+                        ),
+                    ),
+                    Some(h) => match h.src {
+                        MetaSrc::Slot(ms) if ms == slot => {}
+                        MetaSrc::Fresh => {}
+                        other => self.finding(
+                            FindingClass::Lowering,
+                            "TCHK_SRF_MISMATCH",
+                            at,
+                            format!(
+                                "tchk pointer comes from slot {slot} but SRF[{rs1}].upper \
+                                 was populated from {other:?}"
+                            ),
+                        ),
+                    },
+                }
+            }
+            Instr::SrfMv { rd, rs1 } => {
+                if !rd.is_zero() {
+                    let s = rs1.index() as usize;
+                    let d = rd.index() as usize;
+                    st.srf_l[d] = st.srf_l[s];
+                    st.srf_u[d] = st.srf_u[s];
+                }
+            }
+            Instr::SrfClr { rd } => self.srf_clear(st, rd),
+        }
+    }
+
+    /// Fixpoint + findings pass over the recovered machine CFG.
+    fn run(&mut self) -> (Vec<Finding>, FnReport) {
+        let range = self.plan.start..self.plan.start + self.plan.len;
+        let g = cfg::recover(self.instrs, range);
+        let n = g.blocks.len();
+        if n == 0 {
+            return (std::mem::take(&mut self.findings), self.stats.clone());
+        }
+        let mut inputs: Vec<Option<AbsState>> = vec![None; n];
+        inputs[0] = Some(AbsState::entry());
+        let mut work = vec![0usize];
+        // Monotone joins on a finite-height domain terminate; the guard
+        // only protects against an analysis bug, never fires on real
+        // input, and degrades to fewer facts (never a panic).
+        let mut fuel = 64usize.saturating_mul(n).saturating_add(256);
+        while let Some(b) = work.pop() {
+            if fuel == 0 {
+                break;
+            }
+            fuel -= 1;
+            let Some(mut st) = inputs[b].clone() else {
+                continue;
+            };
+            let mut pairs = HashMap::new();
+            for at in g.blocks[b].start..g.blocks[b].end {
+                self.transfer(&mut st, at, &mut pairs);
+            }
+            for &s in &g.blocks[b].succs {
+                let joined = match &inputs[s] {
+                    None => st.clone(),
+                    Some(prev) => join(prev, &st),
+                };
+                if inputs[s].as_ref() != Some(&joined) {
+                    inputs[s] = Some(joined);
+                    work.push(s);
+                }
+            }
+        }
+        // Findings pass: each reachable block exactly once, from its
+        // fixed in-state.
+        self.emit = true;
+        for (b, input) in inputs.iter().enumerate() {
+            let Some(start_state) = input else { continue };
+            let mut st = start_state.clone();
+            let mut pairs = HashMap::new();
+            for at in g.blocks[b].start..g.blocks[b].end {
+                self.transfer(&mut st, at, &mut pairs);
+            }
+        }
+        self.emit = false;
+        // Check (d): flow-insensitive escape coverage. Only meaningful
+        // for schemes that carry hardware metadata — software-only
+        // instrumentation has no shadow stores by design.
+        if !self.scheme.uses_hardware() {
+            return (std::mem::take(&mut self.findings), self.stats.clone());
+        }
+        let missing: Vec<(usize, i64)> = self
+            .ptr_store_slots
+            .iter()
+            .filter(|(_, s)| !self.sbdl_slots.contains(s))
+            .copied()
+            .collect();
+        self.emit = true;
+        for (at, s) in missing {
+            self.finding(
+                FindingClass::Lowering,
+                "PTR_ESCAPE",
+                at,
+                format!(
+                    "a tracked pointer is parked into pointer slot {s}, but no sbdl \
+                     anywhere in the function writes that slot's shadow"
+                ),
+            );
+        }
+        // The IR promised `meta_stores` through-pointer metadata
+        // copies; each lowers to exactly one dynamic-container `sbdl`.
+        // A binary with none of them lost every escape's metadata.
+        // (Laundered escapes — plain stores of pointer-valued data —
+        // are the *program's* choice and are intentionally exempt.)
+        if self.plan.meta_stores > 0 && self.sbdl_dyn == 0 {
+            self.finding(
+                FindingClass::Lowering,
+                "PTR_ESCAPE",
+                self.plan.start,
+                format!(
+                    "the IR performs {} through-pointer metadata cop{}, but the lowered \
+                     code contains no reachable sbdl targeting a heap or global container",
+                    self.plan.meta_stores,
+                    if self.plan.meta_stores == 1 {
+                        "y"
+                    } else {
+                        "ies"
+                    }
+                ),
+            );
+        }
+        self.emit = false;
+        (std::mem::take(&mut self.findings), self.stats.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Image-level validation
+// ---------------------------------------------------------------------------
+
+/// Validates a lowered image against its [`LowerPlan`] under the given
+/// compression config and memory layout.
+pub fn validate(
+    program: &Program,
+    plan: &LowerPlan,
+    compression: CompressionConfig,
+    layout: MemoryLayout,
+) -> BinvalReport {
+    let mut findings = Vec::new();
+    let mut funcs = Vec::new();
+    // Check (c), global part: the 24-bit CSR config must cover the
+    // layout the image is linked against.
+    if plan.scheme.uses_hardware() {
+        if let Err(e) = layout.validate() {
+            findings.push(global_finding(
+                program,
+                "CONFIG_LAYOUT",
+                format!("memory layout is inconsistent: {e}"),
+            ));
+        }
+        if layout.user_end() > compression.max_base() {
+            findings.push(global_finding(
+                program,
+                "CONFIG_BASE_RANGE",
+                format!(
+                    "user address space ends at {:#x} but the compressed base field \
+                     only reaches {:#x}",
+                    layout.user_end(),
+                    compression.max_base()
+                ),
+            ));
+        }
+        if layout.lock_slots > compression.lock_entries() {
+            findings.push(global_finding(
+                program,
+                "CONFIG_LOCK_RANGE",
+                format!(
+                    "{} lock slots exceed the {}-entry compressed lock field",
+                    layout.lock_slots,
+                    compression.lock_entries()
+                ),
+            ));
+        }
+    }
+    let codec = ShadowCodec::new(compression, layout.lock_region_base);
+    for fp in &plan.funcs {
+        // Plan sanity: every recorded IR check site must map onto a
+        // checked machine access (catches instruction deletion).
+        for site in &fp.checks {
+            let ok = match program.instrs().get(site.at) {
+                Some(Instr::Load { checked, .. }) => *checked && !site.is_store,
+                Some(Instr::Store { checked, .. }) => *checked && site.is_store,
+                _ => false,
+            };
+            if !ok {
+                findings.push(Finding {
+                    class: FindingClass::Lowering,
+                    code: "PLAN_DANGLING",
+                    func: fp.name.clone(),
+                    at: site.at,
+                    pc: program.base() + site.at as u64 * 4,
+                    cwe: None,
+                    message: format!(
+                        "IR check site (block {}, inst {}) does not map to a checked \
+                         machine access",
+                        site.block, site.inst
+                    ),
+                });
+            }
+        }
+        let mut interp = FnInterp::new(program.instrs(), program.base(), fp, plan.scheme, codec);
+        let (mut fnd, stats) = interp.run();
+        findings.append(&mut fnd);
+        funcs.push(stats);
+    }
+    BinvalReport {
+        scheme: plan.scheme,
+        findings,
+        funcs,
+    }
+}
+
+fn global_finding(program: &Program, code: &'static str, message: String) -> Finding {
+    Finding {
+        class: FindingClass::Lowering,
+        code,
+        func: "<image>".to_string(),
+        at: 0,
+        pc: program.base(),
+        cwe: None,
+        message,
+    }
+}
+
+/// Instruments, lowers and validates `module` for `scheme` with the
+/// default layout and spec compression config.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] when the module fails analysis or
+/// lowering (validation itself never errors — it reports findings).
+pub fn validate_module(module: &Module, scheme: Scheme) -> Result<BinvalReport, CompileError> {
+    let info = analysis::analyze(module)?;
+    let instrumented = instrument::instrument(module, &info, scheme);
+    let (program, plan) = lower_with_plan(&instrumented, scheme)?;
+    Ok(validate(
+        &program,
+        &plan,
+        CompressionConfig::SPEC_DEFAULT,
+        MemoryLayout::default(),
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Translation validation
+// ---------------------------------------------------------------------------
+
+/// The paired IR-level and binary-level verdicts for one workload.
+#[derive(Debug)]
+pub struct TvOutcome {
+    /// Did the IR-level completeness verifier accept the instrumented
+    /// module?
+    pub ir_ok: bool,
+    /// IR-level error, when `!ir_ok`.
+    pub ir_error: Option<String>,
+    /// IR-level RCE counters (all zero when RCE was not requested) —
+    /// the A9 baseline that binary-level discharge is compared against.
+    pub rce: rce::RceStats,
+    /// The binary-level validation report.
+    pub report: BinvalReport,
+}
+
+impl TvOutcome {
+    /// Translation validation fails when the two levels disagree: the
+    /// IR verifier accepted what the binary validator rejects, or vice
+    /// versa. Either direction means a pass is wrong.
+    pub fn diverged(&self) -> bool {
+        self.ir_ok != self.report.ok()
+    }
+
+    /// Both levels accepted.
+    pub fn ok(&self) -> bool {
+        self.ir_ok && self.report.ok()
+    }
+}
+
+/// Runs IR-level verification and binary-level validation over the same
+/// instrumented module and pairs the verdicts.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for analysis/lowering failures (not for
+/// verification findings, which are part of the outcome).
+pub fn translation_validate(module: &Module, scheme: Scheme) -> Result<TvOutcome, CompileError> {
+    translation_validate_with(module, scheme, false)
+}
+
+/// [`translation_validate`] with optional IR-level redundant-check
+/// elimination first — the A9 ablation compares binary-level discharge
+/// against what RCE already removed.
+///
+/// # Errors
+///
+/// Same as [`translation_validate`].
+pub fn translation_validate_with(
+    module: &Module,
+    scheme: Scheme,
+    run_rce: bool,
+) -> Result<TvOutcome, CompileError> {
+    let info = analysis::analyze(module)?;
+    let mut instrumented = instrument::instrument(module, &info, scheme);
+    let stats = if run_rce {
+        rce::eliminate(&mut instrumented)
+    } else {
+        rce::RceStats::default()
+    };
+    let ir = verify::verify(&instrumented, scheme);
+    let (program, plan) = lower_with_plan(&instrumented, scheme)?;
+    let report = validate(
+        &program,
+        &plan,
+        CompressionConfig::SPEC_DEFAULT,
+        MemoryLayout::default(),
+    );
+    Ok(TvOutcome {
+        ir_ok: ir.is_ok(),
+        ir_error: ir.err().map(|e| e.to_string()),
+        rce: stats,
+        report,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Mutation-based self-test
+// ---------------------------------------------------------------------------
+
+/// A seeded corruption of a lowered image. Every mutation targets a
+/// *candidate site*: an `lbdls` that feeds a checked access in
+/// straight-line code (see [`mutation_sites`]), which guarantees the
+/// mutant is non-equivalent — the corrupted metadata path is consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Replace the metadata load with a `nop` — the checked access
+    /// consumes an invalid SRF entry and the hardware silently skips
+    /// the check.
+    DropMetaLoad,
+    /// Skew the shadow-map offset by one slot — the check consumes a
+    /// neighbouring slot's metadata.
+    SkewShadowOffset,
+    /// Redirect the metadata load into a different shadow register —
+    /// the checked access consumes a stale entry.
+    SwapShadowReg,
+}
+
+impl Mutation {
+    /// All mutation operators.
+    pub const ALL: [Mutation; 3] = [
+        Mutation::DropMetaLoad,
+        Mutation::SkewShadowOffset,
+        Mutation::SwapShadowReg,
+    ];
+
+    /// Stable name for reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Mutation::DropMetaLoad => "drop-meta-load",
+            Mutation::SkewShadowOffset => "skew-shadow-offset",
+            Mutation::SwapShadowReg => "swap-shadow-reg",
+        }
+    }
+}
+
+/// One mutant's fate.
+#[derive(Debug, Clone)]
+pub struct MutantOutcome {
+    /// Mutation operator name.
+    pub mutation: &'static str,
+    /// The seed that selected the site.
+    pub seed: u64,
+    /// Instruction index that was corrupted.
+    pub site: usize,
+    /// Did the validator reject the mutant?
+    pub killed: bool,
+    /// Findings the validator reported.
+    pub findings: usize,
+}
+
+/// The result of a deterministic mutation campaign.
+#[derive(Debug, Clone, Default)]
+pub struct MutationReport {
+    /// Number of candidate sites in the image.
+    pub candidates: usize,
+    /// One entry per (seed × operator) mutant.
+    pub outcomes: Vec<MutantOutcome>,
+}
+
+impl MutationReport {
+    /// Mutants the validator rejected.
+    pub fn killed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.killed).count()
+    }
+
+    /// Total mutants generated.
+    pub fn total(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// 100% kill rate (vacuously true with no candidates).
+    pub fn all_killed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.killed)
+    }
+}
+
+/// `splitmix64` — the same deterministic seed-stretching the fault-
+/// injection campaigns use; no global RNG state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Enumerates candidate mutation sites: `lbdls` instructions whose SRF
+/// destination feeds a checked load/store in straight-line code with no
+/// intervening redefinition. Restricting candidates this way makes
+/// every mutant observably non-equivalent, so a sound validator must
+/// kill 100% of them.
+pub fn mutation_sites(program: &Program) -> Vec<usize> {
+    let instrs = program.instrs();
+    let mut out = Vec::new();
+    'sites: for (i, ins) in instrs.iter().enumerate() {
+        let Instr::Lbdls { rd, .. } = *ins else {
+            continue;
+        };
+        // T2 is the metadata shuttle for shadow-to-shadow copies; its
+        // loads feed sbdl/sbdu, not checks, and are judged by the
+        // pair-coherence rule instead.
+        if rd == Reg::T2 || rd.is_zero() {
+            continue;
+        }
+        for later in &instrs[i + 1..] {
+            match *later {
+                Instr::Load {
+                    rs1, checked: true, ..
+                } if rs1 == rd => {
+                    out.push(i);
+                    continue 'sites;
+                }
+                Instr::Store {
+                    rs1, checked: true, ..
+                } if rs1 == rd => {
+                    out.push(i);
+                    continue 'sites;
+                }
+                // Control flow, calls or a tchk consumer: give up on
+                // this site (tchk consumes the *upper* half, so a
+                // lower-half mutation could be equivalent).
+                Instr::Jal { .. }
+                | Instr::Jalr { .. }
+                | Instr::Branch { .. }
+                | Instr::Ecall
+                | Instr::Ebreak
+                | Instr::Tchk { .. } => continue 'sites,
+                // Re-population or SRF clobber of the same entry masks
+                // the mutation.
+                Instr::Lbdls { rd: r2, .. } | Instr::SrfMv { rd: r2, .. } if r2 == rd => {
+                    continue 'sites
+                }
+                Instr::SrfClr { rd: r2 } if r2 == rd => continue 'sites,
+                _ => {
+                    if gpr_def(later) == Some(rd) {
+                        continue 'sites;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Applies `m` at `site` (an index from [`mutation_sites`]) and returns
+/// the corrupted program. A site that is not an `lbdls` is returned
+/// unchanged — the campaign never panics on a stale site list.
+pub fn mutate(program: &Program, site: usize, m: Mutation) -> Program {
+    let mut instrs = program.instrs().to_vec();
+    if let Some(Instr::Lbdls { rd, rs1, offset }) = instrs.get(site).copied() {
+        instrs[site] = match m {
+            Mutation::DropMetaLoad => Instr::AluImm {
+                op: AluImmOp::Addi,
+                rd: Reg::Zero,
+                rs1: Reg::Zero,
+                imm: 0,
+            },
+            Mutation::SkewShadowOffset => Instr::Lbdls {
+                rd,
+                rs1,
+                offset: offset + 8,
+            },
+            Mutation::SwapShadowReg => Instr::Lbdls {
+                rd: Reg::T2,
+                rs1,
+                offset,
+            },
+        };
+    }
+    Program::from_instrs(program.base(), instrs)
+}
+
+/// Runs the deterministic mutation campaign for `module` × `scheme`:
+/// for every seed and every operator, one site is chosen by
+/// `splitmix64`, mutated, and re-validated against the unchanged plan.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for analysis/lowering failures.
+pub fn mutation_campaign(
+    module: &Module,
+    scheme: Scheme,
+    seeds: &[u64],
+) -> Result<MutationReport, CompileError> {
+    let info = analysis::analyze(module)?;
+    let instrumented = instrument::instrument(module, &info, scheme);
+    let (program, plan) = lower_with_plan(&instrumented, scheme)?;
+    let sites = mutation_sites(&program);
+    let mut report = MutationReport {
+        candidates: sites.len(),
+        outcomes: Vec::new(),
+    };
+    if sites.is_empty() {
+        return Ok(report);
+    }
+    for &seed in seeds {
+        for (mi, &m) in Mutation::ALL.iter().enumerate() {
+            let pick = splitmix64(seed ^ (mi as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+            let site = sites[(pick % sites.len() as u64) as usize];
+            let mutant = mutate(&program, site, m);
+            let r = validate(
+                &mutant,
+                &plan,
+                CompressionConfig::SPEC_DEFAULT,
+                MemoryLayout::default(),
+            );
+            report.outcomes.push(MutantOutcome {
+                mutation: m.name(),
+                seed,
+                site,
+                killed: !r.ok(),
+                findings: r.findings.len(),
+            });
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Width;
+    use crate::ModuleBuilder;
+
+    /// Heap, stack, global and cross-function pointer traffic — enough
+    /// to exercise every lowering arm the validator models.
+    fn sample_module() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("table", 32);
+        let mut f = mb.func("sink");
+        let q = f.param(true);
+        let v = f.konst(1);
+        f.store(v, q, 0, Width::U8);
+        f.ret(None);
+        f.finish();
+        let mut f = mb.func("main");
+        let p = f.malloc_bytes(64);
+        let v = f.konst(5);
+        f.store(v, p, 0, Width::U64);
+        let _ = f.load(p, 8, Width::U32);
+        let s = f.stack_alloc(16);
+        let ga = f.addr_of_global(g);
+        f.store(v, s, 8, Width::U64);
+        f.store(v, ga, 0, Width::U64);
+        f.call_void("sink", &[s]);
+        let cell = f.malloc_bytes(8);
+        f.store_ptr(s, cell, 0);
+        let r = f.load_ptr(cell, 0);
+        let _ = f.load(r, 0, Width::U8);
+        f.free(p);
+        f.free(cell);
+        f.ret(None);
+        f.finish();
+        mb.finish()
+    }
+
+    fn lower(scheme: Scheme) -> (Program, LowerPlan) {
+        let m = sample_module();
+        let info = analysis::analyze(&m).unwrap();
+        let inst = instrument::instrument(&m, &info, scheme);
+        lower_with_plan(&inst, scheme).unwrap()
+    }
+
+    #[test]
+    fn clean_lowering_validates_under_every_scheme() {
+        for scheme in Scheme::ALL {
+            let m = sample_module();
+            let r = validate_module(&m, scheme).unwrap();
+            assert!(
+                r.ok(),
+                "{scheme:?}: {:?}",
+                r.findings.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn translation_validation_agrees_on_clean_input() {
+        for scheme in Scheme::ALL {
+            let m = sample_module();
+            for rce in [false, true] {
+                let tv = translation_validate_with(&m, scheme, rce).unwrap();
+                assert!(!tv.diverged(), "{scheme:?} rce={rce}: {:?}", tv.ir_error);
+                assert!(tv.ok());
+            }
+        }
+    }
+
+    #[test]
+    fn hardware_schemes_have_mutation_candidates() {
+        for scheme in [Scheme::Hwst128, Scheme::Hwst128Tchk, Scheme::Shore] {
+            let (program, _) = lower(scheme);
+            assert!(
+                !mutation_sites(&program).is_empty(),
+                "{scheme:?}: no candidate sites"
+            );
+        }
+        let (program, _) = lower(Scheme::Sbcets);
+        assert!(mutation_sites(&program).is_empty());
+    }
+
+    #[test]
+    fn every_mutation_operator_is_killed() {
+        let (program, plan) = lower(Scheme::Hwst128Tchk);
+        for &site in &mutation_sites(&program) {
+            for m in Mutation::ALL {
+                let mutant = mutate(&program, site, m);
+                let r = validate(
+                    &mutant,
+                    &plan,
+                    CompressionConfig::SPEC_DEFAULT,
+                    MemoryLayout::default(),
+                );
+                assert!(!r.ok(), "{} at site {site} survived validation", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_meta_load_is_an_srf_emptiness_finding() {
+        let (program, plan) = lower(Scheme::Hwst128);
+        let sites = mutation_sites(&program);
+        let mutant = mutate(&program, sites[0], Mutation::DropMetaLoad);
+        let r = validate(
+            &mutant,
+            &plan,
+            CompressionConfig::SPEC_DEFAULT,
+            MemoryLayout::default(),
+        );
+        assert!(
+            r.findings.iter().any(|f| f.code == "CHECK_SRF_EMPTY"),
+            "{:?}",
+            r.findings.iter().map(|f| f.code).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unchecking_a_planned_access_is_flagged() {
+        let (program, plan) = lower(Scheme::Hwst128);
+        let at = plan.funcs.iter().flat_map(|f| &f.checks).next().unwrap().at;
+        let mut instrs = program.instrs().to_vec();
+        match &mut instrs[at] {
+            Instr::Load { checked, .. } | Instr::Store { checked, .. } => *checked = false,
+            other => panic!("plan site is not an access: {other:?}"),
+        }
+        let stripped = Program::from_instrs(program.base(), instrs);
+        let r = validate(
+            &stripped,
+            &plan,
+            CompressionConfig::SPEC_DEFAULT,
+            MemoryLayout::default(),
+        );
+        assert!(r.findings.iter().any(|f| f.code == "PLAN_DANGLING"));
+    }
+
+    #[test]
+    fn undersized_lock_field_is_a_config_finding() {
+        // EMBEDDED has a 16-bit lock field; the default layout carries
+        // 2^20 lock slots.
+        let (program, plan) = lower(Scheme::Hwst128Tchk);
+        let r = validate(
+            &program,
+            &plan,
+            CompressionConfig::EMBEDDED,
+            MemoryLayout::default(),
+        );
+        assert!(r.findings.iter().any(|f| f.code == "CONFIG_LOCK_RANGE"));
+    }
+
+    #[test]
+    fn hardware_instructions_under_software_scheme_are_flagged() {
+        let (program, mut plan) = lower(Scheme::Hwst128);
+        plan.scheme = Scheme::Sbcets;
+        let r = validate(
+            &program,
+            &plan,
+            CompressionConfig::SPEC_DEFAULT,
+            MemoryLayout::default(),
+        );
+        assert!(r.findings.iter().any(|f| f.code == "SCHEME_VIOLATION"));
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let m = sample_module();
+        let a = mutation_campaign(&m, Scheme::Hwst128, &[7, 11]).unwrap();
+        let b = mutation_campaign(&m, Scheme::Hwst128, &[7, 11]).unwrap();
+        assert_eq!(a.total(), b.total());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!((x.site, x.killed, x.seed), (y.site, y.killed, y.seed));
+        }
+        assert!(a.all_killed());
+    }
+
+    #[test]
+    fn finding_display_is_stable() {
+        let f = Finding {
+            class: FindingClass::Lowering,
+            code: "CHECK_SRF_EMPTY",
+            func: "main".into(),
+            at: 3,
+            pc: 0x1000c,
+            cwe: None,
+            message: "x".into(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "lowering: [CHECK_SRF_EMPTY] main+3 (pc 0x1000c): x"
+        );
+    }
+}

@@ -317,19 +317,19 @@ impl FuncBuilder<'_> {
     ///
     /// Panics if any block lacks a terminator.
     pub fn finish(mut self) {
-        for (i, b) in self.blocks.iter().enumerate() {
-            assert!(
-                b.term.is_some(),
-                "function {}: block b{i} lacks a terminator",
-                self.func.name
-            );
-        }
+        let name = self.func.name.clone();
         self.func.blocks = self
             .blocks
             .drain(..)
-            .map(|b| Block {
-                insts: b.insts,
-                term: b.term.expect("checked"),
+            .enumerate()
+            .map(|(i, b)| {
+                let Some(term) = b.term else {
+                    panic!("function {name}: block b{i} lacks a terminator");
+                };
+                Block {
+                    insts: b.insts,
+                    term,
+                }
             })
             .collect();
         self.mb.module.funcs.push(self.func);

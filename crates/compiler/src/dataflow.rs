@@ -62,9 +62,10 @@ impl Cfg {
             // counter so deep CFGs cannot overflow the stack.
             let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
             seen[0] = true;
-            while let Some(&(b, next)) = stack.last() {
+            while let Some(top) = stack.last_mut() {
+                let (b, next) = *top;
                 if next < succs[b].len() {
-                    stack.last_mut().expect("nonempty").1 += 1;
+                    top.1 += 1;
                     let s = succs[b][next];
                     if !seen[s] {
                         seen[s] = true;
@@ -123,12 +124,19 @@ impl Dominators {
 
         let intersect = |idom: &[Option<usize>], mut a: usize, mut b: usize| {
             // Walk both fingers up the tree, ordering by RPO position.
+            // Both fingers are reachable, already-processed blocks, so
+            // the lookups cannot fail; if that invariant were ever
+            // broken, degrade to one finger rather than panic.
             while a != b {
-                let (pa, pb) = (cfg.rpo_pos[a].unwrap(), cfg.rpo_pos[b].unwrap());
+                let (Some(pa), Some(pb)) = (cfg.rpo_pos[a], cfg.rpo_pos[b]) else {
+                    return a.min(b);
+                };
                 if pa > pb {
-                    a = idom[a].expect("processed");
+                    let Some(up) = idom[a] else { return b };
+                    a = up;
                 } else {
-                    b = idom[b].expect("processed");
+                    let Some(up) = idom[b] else { return a };
+                    b = up;
                 }
             }
             a

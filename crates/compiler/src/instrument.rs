@@ -813,7 +813,13 @@ impl<'a> Rewriter<'a> {
             blocks: self
                 .blocks
                 .drain(..)
-                .map(|b| b.expect("all blocks sealed"))
+                .enumerate()
+                .map(|(i, b)| {
+                    let Some(b) = b else {
+                        panic!("block b{i} not sealed");
+                    };
+                    b
+                })
                 .collect(),
         }
     }
@@ -1302,7 +1308,14 @@ impl<'a> Rewriter<'a> {
 
             // ---- calls: transfer pointer-argument metadata ----
             Inst::Call { dst, func, args } => {
-                let callee = self.module.func(&func).expect("validated by analysis");
+                let Some(callee) = self.module.func(&func) else {
+                    // Unknown callee: the analysis pass validates every
+                    // call target, so this cannot happen on accepted
+                    // modules — pass the call through without metadata
+                    // transfer rather than panic.
+                    self.emit(Inst::Call { dst, func, args });
+                    return;
+                };
                 let callee_ret_ptr = self.info.func(&func).is_some_and(|fi| fi.returns_ptr);
                 for (i, &a) in args.iter().enumerate() {
                     if *callee.param_is_ptr.get(i).unwrap_or(&false) && self.is_ptr(a) {

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod binval;
 mod builder;
 pub mod dataflow;
 mod error;
@@ -63,6 +64,7 @@ pub mod verify;
 pub use builder::{FuncBuilder, ModuleBuilder};
 pub use error::CompileError;
 pub use instrument::Scheme;
+pub use lower::{lower_with_plan, CheckSite, FnPlan, LowerPlan};
 pub use printer::function_with_cfg;
 
 use hwst_isa::Program;

@@ -22,7 +22,7 @@ use std::collections::{HashMap, HashSet};
 
 /// Lowers an (already instrumented) module to machine code.
 pub fn lower(module: &Module, scheme: Scheme) -> Result<Program, CompileError> {
-    lower_with_sizes(module, scheme).map(|(p, _)| p)
+    lower_with_plan(module, scheme).map(|(p, _)| p)
 }
 
 /// Lowers and reports `(program, per-function static instruction counts)`.
@@ -30,6 +30,80 @@ pub fn lower_with_sizes(
     module: &Module,
     scheme: Scheme,
 ) -> Result<(Program, Vec<(String, usize)>), CompileError> {
+    let (program, plan) = lower_with_plan(module, scheme)?;
+    let sizes = plan.funcs.iter().map(|f| (f.name.clone(), f.len)).collect();
+    Ok((program, sizes))
+}
+
+/// Side-tables produced by lowering: enough structure to map IR-level
+/// safety decisions onto the emitted machine code. This is what the
+/// binary-level translation validator ([`crate::binval`]) consumes —
+/// the validator re-derives everything *semantic* from the instruction
+/// stream itself and uses the plan only for function extents, frame
+/// geometry and the IR-check ↔ instruction correspondence.
+#[derive(Debug, Clone)]
+pub struct LowerPlan {
+    /// The scheme the module was lowered for.
+    pub scheme: Scheme,
+    /// Per-function tables, in emission order.
+    pub funcs: Vec<FnPlan>,
+}
+
+/// Per-function lowering side-table.
+#[derive(Debug, Clone)]
+pub struct FnPlan {
+    /// Function name.
+    pub name: String,
+    /// Program-wide index of the first emitted instruction (prologue).
+    pub start: usize,
+    /// Emitted instruction count.
+    pub len: usize,
+    /// Frame size in bytes (16-aligned; slot offsets are relative to
+    /// the post-prologue stack pointer).
+    pub frame_size: i64,
+    /// Frame offset of the first alloca area. Offsets below this are
+    /// home slots and spill locals, which are compiler-internal and
+    /// never address-taken; offsets at or above it belong to
+    /// `StackAlloc` areas whose addresses may escape.
+    pub alloca_base: i64,
+    /// Frame offsets of the home slots of pointer-classified variables
+    /// (ascending). These are exactly the slots whose shadow words
+    /// carry metadata.
+    pub ptr_slots: Vec<i64>,
+    /// Number of IR `MetaStore` instructions lowered — the
+    /// through-pointer metadata copies the binary must contain (each
+    /// emits one dynamic-container `sbdl`/`sbdu` pair).
+    pub meta_stores: usize,
+    /// IR checked-dereference sites mapped to emitted instructions.
+    pub checks: Vec<CheckSite>,
+}
+
+/// One IR-level checked dereference and the machine instruction that
+/// implements it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckSite {
+    /// IR block index.
+    pub block: u32,
+    /// IR instruction index within the block.
+    pub inst: u32,
+    /// Program-wide index of the emitted checked load/store.
+    pub at: usize,
+    /// Home-slot offset of the pointer variable the check consumes.
+    pub slot: i64,
+    /// Whether the site is a store (write) access.
+    pub is_store: bool,
+}
+
+/// Lowers and returns the [`LowerPlan`] side-tables alongside the
+/// program.
+///
+/// # Errors
+///
+/// Same as the plain `lower` path.
+pub fn lower_with_plan(
+    module: &Module,
+    scheme: Scheme,
+) -> Result<(Program, LowerPlan), CompileError> {
     if module.func("main").is_none() {
         return Err(CompileError::MissingMain);
     }
@@ -63,16 +137,20 @@ pub fn lower_with_sizes(
     asm.push(Instr::Ecall);
 
     // Functions.
-    let mut sizes = Vec::new();
+    let mut funcs = Vec::new();
     for f in &module.funcs {
         let start = asm.instrs.len();
         asm.begin_func(&f.name);
-        FnLower::new(&mut asm, f, module, scheme, &global_addrs).run()?;
-        sizes.push((f.name.clone(), asm.instrs.len() - start));
+        let mut fp = FnLower::new(&mut asm, f, module, scheme, &global_addrs).run()?;
+        fp.len = asm.instrs.len() - start;
+        funcs.push(fp);
     }
 
     asm.resolve()?;
-    Ok((Program::from_instrs(layout.text_base, asm.instrs), sizes))
+    Ok((
+        Program::from_instrs(layout.text_base, asm.instrs),
+        LowerPlan { scheme, funcs },
+    ))
 }
 
 /// A pending control-flow patch.
@@ -216,9 +294,23 @@ struct FnLower<'a> {
     func_start: usize,
     locals_base: i64,
     pointer_vars: HashSet<VarId>,
+    checks: Vec<CheckSite>,
+    meta_stores: usize,
 }
 
 const RA_SLOT: i64 = 0;
+
+/// Argument registers in ABI order (`a0..a7`).
+const ARG_REGS: [Reg; 8] = [
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+    Reg::A3,
+    Reg::A4,
+    Reg::A5,
+    Reg::A6,
+    Reg::A7,
+];
 
 impl<'a> FnLower<'a> {
     fn new(
@@ -257,6 +349,8 @@ impl<'a> FnLower<'a> {
             func_start,
             locals_base,
             pointer_vars: pointerish(f),
+            checks: Vec::new(),
+            meta_stores: 0,
         }
     }
 
@@ -351,7 +445,19 @@ impl<'a> FnLower<'a> {
         }
     }
 
-    fn run(mut self) -> Result<(), CompileError> {
+    /// Records the checked load/store about to be emitted at the
+    /// current instruction index.
+    fn note_check(&mut self, bi: usize, ii: usize, addr: VarId, is_store: bool) {
+        self.checks.push(CheckSite {
+            block: bi as u32,
+            inst: ii as u32,
+            at: self.asm.instrs.len(),
+            slot: self.slot(addr),
+            is_store,
+        });
+    }
+
+    fn run(mut self) -> Result<FnPlan, CompileError> {
         // Prologue.
         let fs = self.frame_size;
         if fs <= 2047 {
@@ -379,9 +485,15 @@ impl<'a> FnLower<'a> {
         });
         // Park parameters in their home slots.
         let params = self.f.params.clone();
-        for (i, p) in params.iter().enumerate() {
-            let a = Reg::from_index(10 + i as u8).expect("<=8 args");
-            self.store_var(a, *p);
+        if params.len() > ARG_REGS.len() {
+            return Err(CompileError::TooManyArgs {
+                caller: self.f.name.clone(),
+                callee: self.f.name.clone(),
+                count: params.len(),
+            });
+        }
+        for (&p, &a) in params.iter().zip(ARG_REGS.iter()) {
+            self.store_var(a, p);
         }
 
         // Blocks.
@@ -394,7 +506,19 @@ impl<'a> FnLower<'a> {
             self.lower_term(&block.term);
         }
         self.asm.block_tables.insert(self.func_start, table);
-        Ok(())
+
+        let mut ptr_slots: Vec<i64> = self.pointer_vars.iter().map(|&v| self.slot(v)).collect();
+        ptr_slots.sort_unstable();
+        Ok(FnPlan {
+            name: self.f.name.clone(),
+            start: self.func_start,
+            len: 0, // patched by the caller once emission is complete
+            frame_size: self.frame_size,
+            alloca_base: self.locals_base + self.f.num_locals as i64 * 8,
+            ptr_slots,
+            meta_stores: self.meta_stores,
+            checks: std::mem::take(&mut self.checks),
+        })
     }
 
     fn epilogue(&mut self) {
@@ -487,6 +611,9 @@ impl<'a> FnLower<'a> {
                 let checked = hw && self.pointer_vars.contains(&addr);
                 self.load_ptr_with_meta(Reg::T0, addr, false);
                 let off = self.fold_offset(Reg::T0, offset);
+                if checked {
+                    self.note_check(bi, ii, addr, false);
+                }
                 self.asm.push(Instr::Load {
                     width: machine_load_width(width),
                     rd: Reg::T2,
@@ -506,6 +633,9 @@ impl<'a> FnLower<'a> {
                 self.load_ptr_with_meta(Reg::T0, addr, false);
                 let off = self.fold_offset(Reg::T0, offset);
                 self.load_var(Reg::T2, src);
+                if checked {
+                    self.note_check(bi, ii, addr, true);
+                }
                 self.asm.push(Instr::Store {
                     width: machine_store_width(width),
                     rs1: Reg::T0,
@@ -518,6 +648,9 @@ impl<'a> FnLower<'a> {
                 let checked = hw && self.pointer_vars.contains(&addr);
                 self.load_ptr_with_meta(Reg::T0, addr, false);
                 let off = self.fold_offset(Reg::T0, offset);
+                if checked {
+                    self.note_check(bi, ii, addr, false);
+                }
                 self.asm.push(Instr::Load {
                     width: LoadWidth::D,
                     rd: Reg::T2,
@@ -532,6 +665,9 @@ impl<'a> FnLower<'a> {
                 self.load_ptr_with_meta(Reg::T0, addr, false);
                 let off = self.fold_offset(Reg::T0, offset);
                 self.load_var(Reg::T2, src);
+                if checked {
+                    self.note_check(bi, ii, addr, true);
+                }
                 self.asm.push(Instr::Store {
                     width: StoreWidth::D,
                     rs1: Reg::T0,
@@ -645,8 +781,7 @@ impl<'a> FnLower<'a> {
                         callee: func,
                     });
                 }
-                for (i, &a) in args.iter().enumerate() {
-                    let r = Reg::from_index(10 + i as u8).expect("<=8");
+                for (&a, &r) in args.iter().zip(ARG_REGS.iter()) {
                     self.load_var(r, a);
                 }
                 self.asm.call_fixup(&func);
@@ -697,6 +832,7 @@ impl<'a> FnLower<'a> {
                 container,
                 offset,
             } => {
+                self.meta_stores += 1;
                 // ptr's home shadow → SRF[t2] → container's shadow.
                 self.frame_addr(Reg::T1, self.slot(ptr));
                 self.asm.push(Instr::Lbdls {

@@ -1,0 +1,318 @@
+//! Machine-level control-flow-graph recovery.
+//!
+//! Rebuilds basic blocks and successor edges from a decoded instruction
+//! stream — the first stage of any binary-level analysis (the
+//! translation validator in `hwst-compiler::binval` is the in-tree
+//! consumer). Recovery is purely structural: it needs no symbol
+//! information beyond the half-open instruction-index range of the
+//! region to analyse (one function, or a whole image).
+//!
+//! Conventions (matching the `-O0` back-end and standard RISC-V
+//! lowering):
+//!
+//! * `jal` with a non-zero link register is a **call**: control falls
+//!   through to the next instruction from the analysis' point of view.
+//! * `jal zero` is an unconditional jump and ends its block.
+//! * `jalr` ends its block; with `rd = zero` it is a return (no
+//!   in-range successors). Indirect in-range targets are unknown, so a
+//!   `jalr` never contributes an edge.
+//! * A conditional branch has two successors: the fall-through block
+//!   and the (in-range) target.
+//! * Branch/jump targets outside the analysed range are dropped rather
+//!   than followed — a corrupted image degrades to fewer edges, never
+//!   to a panic.
+//!
+//! # Example
+//!
+//! ```
+//! use hwst_isa::{cfg, Instr, Reg, BranchCond};
+//!
+//! let code = [
+//!     Instr::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::Zero, offset: 8 },
+//!     Instr::Jal { rd: Reg::Zero, offset: 8 },
+//!     Instr::AluImm { op: hwst_isa::AluImmOp::Addi, rd: Reg::A0, rs1: Reg::Zero, imm: 1 },
+//!     Instr::Jalr { rd: Reg::Zero, rs1: Reg::Ra, offset: 0 },
+//! ];
+//! let g = cfg::recover(&code, 0..code.len());
+//! assert_eq!(g.blocks.len(), 4);
+//! assert_eq!(g.blocks[0].succs, vec![1, 2]); // fall-through + branch target
+//! ```
+
+use crate::Instr;
+use crate::Reg;
+use std::ops::Range;
+
+/// One recovered basic block: the half-open instruction-index range
+/// `[start, end)` plus successor *block* indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Index of the first instruction (into the analysed slice's
+    /// coordinate system, i.e. absolute indices).
+    pub start: usize,
+    /// One past the last instruction.
+    pub end: usize,
+    /// Successor block indices (within [`MachineCfg::blocks`]).
+    pub succs: Vec<usize>,
+}
+
+/// A recovered machine CFG over an instruction range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineCfg {
+    /// The analysed instruction-index range.
+    pub range: Range<usize>,
+    /// Basic blocks in ascending address order; block 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl MachineCfg {
+    /// The block containing instruction index `at`, if any.
+    pub fn block_of(&self, at: usize) -> Option<usize> {
+        self.blocks.iter().position(|b| b.start <= at && at < b.end)
+    }
+}
+
+/// Is `i` a block terminator for CFG-recovery purposes? Calls
+/// (`jal` with a link register) are *not* terminators.
+fn is_terminator(i: &Instr) -> bool {
+    match *i {
+        Instr::Jal { rd, .. } => rd == Reg::Zero,
+        Instr::Jalr { .. } | Instr::Branch { .. } => true,
+        _ => false,
+    }
+}
+
+/// The in-range instruction-index target of a PC-relative transfer at
+/// `at`, if the instruction has one.
+fn target_of(i: &Instr, at: usize, range: &Range<usize>) -> Option<usize> {
+    let offset = match *i {
+        Instr::Jal {
+            rd: Reg::Zero,
+            offset,
+        } => offset,
+        Instr::Branch { offset, .. } => offset,
+        _ => return None,
+    };
+    // Instructions are 4 bytes; misaligned offsets cannot land on an
+    // instruction boundary and are treated as out of range.
+    if offset % 4 != 0 {
+        return None;
+    }
+    let t = at as i64 + offset / 4;
+    if t >= 0 && range.contains(&(t as usize)) {
+        Some(t as usize)
+    } else {
+        None
+    }
+}
+
+/// Recovers basic blocks and successor edges for `instrs[range]`.
+///
+/// Indices in the result are absolute (into `instrs`), so callers can
+/// analyse one function of a larger image without re-basing. An empty
+/// range yields an empty CFG.
+pub fn recover(instrs: &[Instr], range: Range<usize>) -> MachineCfg {
+    let range = range.start.min(instrs.len())..range.end.min(instrs.len());
+    if range.is_empty() {
+        return MachineCfg {
+            range,
+            blocks: Vec::new(),
+        };
+    }
+    // Pass 1: leaders.
+    let mut leader = vec![false; range.end - range.start];
+    leader[0] = true;
+    for at in range.clone() {
+        let i = &instrs[at];
+        if let Some(t) = target_of(i, at, &range) {
+            leader[t - range.start] = true;
+        }
+        if is_terminator(i) && at + 1 < range.end {
+            leader[at + 1 - range.start] = true;
+        }
+    }
+    // Pass 2: block spans.
+    let starts: Vec<usize> = leader
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l)
+        .map(|(i, _)| range.start + i)
+        .collect();
+    let mut blocks: Vec<BasicBlock> = starts
+        .iter()
+        .enumerate()
+        .map(|(bi, &s)| BasicBlock {
+            start: s,
+            end: starts.get(bi + 1).copied().unwrap_or(range.end),
+            succs: Vec::new(),
+        })
+        .collect();
+    // Pass 3: edges.
+    let block_at = |at: usize| starts.partition_point(|&s| s <= at) - 1;
+    for bi in 0..blocks.len() {
+        let last = blocks[bi].end - 1;
+        let i = &instrs[last];
+        let mut succs = Vec::new();
+        match *i {
+            Instr::Jal { rd: Reg::Zero, .. } => {
+                if let Some(t) = target_of(i, last, &range) {
+                    succs.push(block_at(t));
+                }
+            }
+            Instr::Jalr { .. } => {} // return / indirect: no known edges
+            Instr::Branch { .. } => {
+                if bi + 1 < blocks.len() {
+                    succs.push(bi + 1);
+                }
+                if let Some(t) = target_of(i, last, &range) {
+                    let tb = block_at(t);
+                    if !succs.contains(&tb) {
+                        succs.push(tb);
+                    }
+                }
+            }
+            _ => {
+                if bi + 1 < blocks.len() {
+                    succs.push(bi + 1);
+                }
+            }
+        }
+        blocks[bi].succs = succs;
+    }
+    MachineCfg { range, blocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluImmOp, BranchCond};
+
+    fn nop() -> Instr {
+        Instr::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::Zero,
+            rs1: Reg::Zero,
+            imm: 0,
+        }
+    }
+
+    #[test]
+    fn empty_range_is_empty_cfg() {
+        let g = recover(&[], 0..0);
+        assert!(g.blocks.is_empty());
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let code = vec![nop(); 5];
+        let g = recover(&code, 0..5);
+        assert_eq!(g.blocks.len(), 1);
+        assert_eq!(g.blocks[0].start, 0);
+        assert_eq!(g.blocks[0].end, 5);
+        assert!(g.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn call_does_not_split_blocks() {
+        let code = [
+            nop(),
+            Instr::Jal {
+                rd: Reg::Ra,
+                offset: 400,
+            },
+            nop(),
+        ];
+        let g = recover(&code, 0..3);
+        assert_eq!(g.blocks.len(), 1);
+    }
+
+    #[test]
+    fn diamond_has_expected_edges() {
+        // 0: beq -> +8 (idx 2)
+        // 1: jal zero +8 (idx 3)
+        // 2: nop        (then-side target of the branch)
+        // 3: jalr ret
+        let code = [
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::T0,
+                rs2: Reg::Zero,
+                offset: 8,
+            },
+            Instr::Jal {
+                rd: Reg::Zero,
+                offset: 8,
+            },
+            nop(),
+            Instr::Jalr {
+                rd: Reg::Zero,
+                rs1: Reg::Ra,
+                offset: 0,
+            },
+        ];
+        let g = recover(&code, 0..4);
+        assert_eq!(g.blocks.len(), 4);
+        assert_eq!(g.blocks[0].succs, vec![1, 2]);
+        assert_eq!(g.blocks[1].succs, vec![3]);
+        assert_eq!(g.blocks[2].succs, vec![3]);
+        assert!(g.blocks[3].succs.is_empty());
+    }
+
+    #[test]
+    fn backward_branch_forms_a_loop() {
+        let code = [
+            nop(),
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::T0,
+                rs2: Reg::Zero,
+                offset: -4,
+            },
+            Instr::Jalr {
+                rd: Reg::Zero,
+                rs1: Reg::Ra,
+                offset: 0,
+            },
+        ];
+        let g = recover(&code, 0..3);
+        // Branch at idx 1, offset -4 → target idx 0 (the entry leader).
+        // Leaders: 0 (entry + target), 2 (after the branch terminator).
+        assert_eq!(g.blocks.len(), 2);
+        assert_eq!(g.blocks[0].succs, vec![1, 0]);
+    }
+
+    #[test]
+    fn out_of_range_targets_are_dropped() {
+        let code = [Instr::Jal {
+            rd: Reg::Zero,
+            offset: 4000,
+        }];
+        let g = recover(&code, 0..1);
+        assert_eq!(g.blocks.len(), 1);
+        assert!(g.blocks[0].succs.is_empty());
+    }
+
+    #[test]
+    fn sub_range_keeps_absolute_indices() {
+        let code = [nop(), nop(), nop(), nop()];
+        let g = recover(&code, 2..4);
+        assert_eq!(g.blocks.len(), 1);
+        assert_eq!(g.blocks[0].start, 2);
+        assert_eq!(g.blocks[0].end, 4);
+    }
+
+    #[test]
+    fn block_of_finds_containing_block() {
+        let code = [
+            Instr::Jal {
+                rd: Reg::Zero,
+                offset: 8,
+            },
+            nop(),
+            nop(),
+        ];
+        let g = recover(&code, 0..3);
+        assert_eq!(g.block_of(0), Some(0));
+        assert_eq!(g.block_of(2), g.block_of(2)); // stable
+        assert_eq!(g.block_of(99), None);
+    }
+}

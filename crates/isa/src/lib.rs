@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod cfg;
 pub mod csr;
 mod decode;
 mod disasm;

@@ -91,7 +91,7 @@ fn i_imm() -> impl Strategy<Value = i64> {
 
 prop_compose! {
     fn any_instr()(
-        pick in 0u8..24,
+        pick in 0u8..34,
         rd in any_reg(),
         rs1 in any_reg(),
         rs2 in any_reg(),
@@ -133,7 +133,17 @@ prop_compose! {
             20 => Instr::Lbdls { rd, rs1, offset: imm },
             21 => Instr::Lbas { rd, rs1, offset: imm },
             22 => Instr::Tchk { rs1 },
-            _ => Instr::SrfMv { rd, rs1 },
+            23 => Instr::SrfMv { rd, rs1 },
+            24 => Instr::Lbdus { rd, rs1, offset: imm },
+            25 => Instr::Lbnd { rd, rs1, offset: imm },
+            26 => Instr::Lkey { rd, rs1, offset: imm },
+            27 => Instr::Lloc { rd, rs1, offset: imm },
+            28 => Instr::SrfClr { rd },
+            29 => Instr::Csr { op: CsrOp::Rs, rd, rs1, csr: csr_addr },
+            30 => Instr::Csr { op: CsrOp::Rc, rd, rs1, csr: csr_addr },
+            31 => Instr::Ecall,
+            32 => Instr::Ebreak,
+            _ => Instr::Fence,
         }
     }
 }

@@ -13,7 +13,9 @@
 //! must-style and never flags code that could be correct.
 
 use crate::{build_program, suite, Case, Cwe};
+use hwst_compiler::binval;
 use hwst_compiler::lint::lint;
+use hwst_compiler::Scheme;
 
 /// Whether `hwst-lint` statically detects a case: some diagnostic on
 /// the case's program carries the case's own CWE code.
@@ -23,42 +25,79 @@ pub fn static_detects(case: &Case) -> bool {
         .any(|d| d.cwe == case.cwe.code())
 }
 
+/// Whether the binary-level validator statically detects a case: the
+/// lowered HWST128_tchk image carries a proven-out-of-bounds finding
+/// ([`binval::FindingClass::StaticBug`]) with the case's own CWE code.
+///
+/// This column is strictly more conservative than `hwst-lint`: it only
+/// fires when the machine-level abstract interpreter can evaluate both
+/// the access address *and* the bound metadata (globals and stack
+/// allocations with constant offsets), whereas the IR linter reasons
+/// symbolically over regions.
+pub fn binval_detects(case: &Case) -> bool {
+    match binval::validate_module(&build_program(case), Scheme::Hwst128Tchk) {
+        Ok(report) => report.findings.iter().any(|f| {
+            f.class == binval::FindingClass::StaticBug && f.cwe == Some(case.cwe.code() as u16)
+        }),
+        Err(_) => false,
+    }
+}
+
 /// One row of the static-detection table.
 #[derive(Debug, Clone, Copy)]
 pub struct StaticRow {
     /// Category.
     pub cwe: Cwe,
-    /// Cases the linter flags with the matching CWE.
+    /// Cases the IR linter flags with the matching CWE.
     pub detected: u32,
+    /// Cases the binary-level validator flags with the matching CWE.
+    pub binval_detected: u32,
     /// Cases in the category.
     pub total: u32,
 }
 
 impl StaticRow {
-    /// Detection rate in percent.
+    /// IR-lint detection rate in percent.
     pub fn rate(&self) -> f64 {
         100.0 * self.detected as f64 / self.total as f64
     }
+
+    /// Binary-level detection rate in percent.
+    pub fn binval_rate(&self) -> f64 {
+        100.0 * self.binval_detected as f64 / self.total as f64
+    }
 }
 
-/// Computes the full-suite static-detection table (8366 lint runs; no
-/// program is executed).
+/// Computes the full-suite static-detection table (one lint run and
+/// one binary validation per case; no program is executed).
 pub fn static_coverage() -> Vec<StaticRow> {
+    static_coverage_strided(1)
+}
+
+/// [`static_coverage`] over every `stride`-th case — the same
+/// subsampling knob the Fig. 6 sweep uses, for CI-budget runs. Totals
+/// count the sampled cases, so rates stay comparable.
+pub fn static_coverage_strided(stride: usize) -> Vec<StaticRow> {
     let mut rows: Vec<StaticRow> = Cwe::ALL
         .iter()
         .map(|&cwe| StaticRow {
             cwe,
             detected: 0,
-            total: cwe.case_count(),
+            binval_detected: 0,
+            total: 0,
         })
         .collect();
-    for case in suite() {
+    for case in suite().into_iter().step_by(stride.max(1)) {
+        let row = rows
+            .iter_mut()
+            .find(|r| r.cwe == case.cwe)
+            .expect("every case category has a row");
+        row.total += 1;
         if static_detects(&case) {
-            let row = rows
-                .iter_mut()
-                .find(|r| r.cwe == case.cwe)
-                .expect("every case category has a row");
             row.detected += 1;
+        }
+        if binval_detects(&case) {
+            row.binval_detected += 1;
         }
     }
     rows
@@ -118,6 +157,47 @@ mod tests {
         for cwe in Cwe::ALL {
             let diags = lint(&build_benign_program(cwe));
             assert!(diags.is_empty(), "{cwe} benign twin: {:?}", diags);
+        }
+    }
+
+    #[test]
+    fn benign_twins_are_binval_clean() {
+        // Neither lowering findings (the programs are correctly
+        // lowered) nor static bugs (the twins are safe).
+        for cwe in Cwe::ALL {
+            let r = binval::validate_module(&build_benign_program(cwe), Scheme::Hwst128Tchk)
+                .expect("benign twin compiles");
+            assert!(
+                r.findings.is_empty(),
+                "{cwe} benign twin: {:?}",
+                r.findings.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn binval_flags_stack_overflow_cases() {
+        // The binary-level interpreter proves bounds only where both
+        // address and metadata are statically evaluable — stack buffers
+        // with constant offsets (CWE121) are its home turf.
+        let c = straight_reachable(Cwe::Cwe121);
+        assert!(binval_detects(&c), "CWE121 straight case must be flagged");
+    }
+
+    #[test]
+    fn binval_never_reports_lowering_findings_on_juliet() {
+        // Buggy-but-correctly-lowered programs must never trip the
+        // translation validator itself (sampled for test budget).
+        for case in suite().into_iter().step_by(97) {
+            let r = binval::validate_module(&build_program(&case), Scheme::Hwst128Tchk)
+                .expect("case compiles");
+            assert!(
+                r.ok(),
+                "CWE{} #{}: {:?}",
+                case.cwe.code(),
+                case.index,
+                r.findings.iter().map(|f| f.to_string()).collect::<Vec<_>>()
+            );
         }
     }
 
