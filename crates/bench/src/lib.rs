@@ -14,12 +14,15 @@
 //! * `ablation_keybuffer` — keybuffer size sweep (A1),
 //! * `ablation_compression` — range/lock field width sweep (A2),
 //! * `ablation_shadow` — linear map vs trie lookup cost (A3),
-//! * `resilience` — metadata-path fault-injection campaigns (R1).
+//! * `resilience` — metadata-path fault-injection campaigns (R1),
+//! * `hwst-profile` — per-function overhead attribution and trace
+//!   export (P1).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod profile;
 pub mod runs;
 pub mod summary;
 

@@ -349,7 +349,12 @@ pub fn try_binval_row(
             .outcomes
             .iter()
             .find(|o| !o.killed)
-            .map(|o| format!("{} seed={:#x} site={}", o.mutation, o.seed, o.site))
+            .map(|o| {
+                format!(
+                    "{} seed={:#x} in {} (pc {:#x})",
+                    o.mutation, o.seed, o.func, o.pc
+                )
+            })
             .unwrap_or_default();
         return Err(format!(
             "{} ({scheme:?}): {}/{} mutants survived, e.g. {survivor}",
@@ -403,6 +408,49 @@ pub fn binval_results(
     sink: &mut dyn Sink,
 ) -> Vec<JobResult<BinvalRow>> {
     run(binval_jobs(scale, seeds_per_scheme), cfg, sink)
+}
+
+/// The P1 smoke subset: one workload per suite flavour (string-heavy,
+/// arithmetic, pointer-chasing, temporal-heavy) — the CI configuration.
+pub const PROFILE_SMOKE_WORKLOADS: [&str; 4] = ["string", "math", "treeadd", "bzip2"];
+
+/// Workload names of the P1 sweep: the smoke subset, or every Fig. 4
+/// workload in the paper's row order.
+pub fn profile_names(smoke: bool) -> Vec<&'static str> {
+    if smoke {
+        PROFILE_SMOKE_WORKLOADS.to_vec()
+    } else {
+        all().iter().map(|wl| wl.name).collect()
+    }
+}
+
+/// One job per P1 workload, in `names` order. Unknown names become
+/// failing jobs (structured failures, not panics).
+pub fn profile_jobs(names: &[&str], scale: Scale) -> Vec<Job<crate::profile::ProfileRow>> {
+    names
+        .iter()
+        .map(|name| match Workload::by_name(name) {
+            Some(wl) => Job::new(format!("profile/{}", wl.name), move || {
+                crate::profile::try_profile_row(&wl, scale)
+            }),
+            None => {
+                let name = name.to_string();
+                Job::new(format!("profile/{name}"), move || {
+                    Err(format!("unknown workload `{name}`"))
+                })
+            }
+        })
+        .collect()
+}
+
+/// Runs the P1 sweep on the pool; results in `names` order.
+pub fn profile_results(
+    names: &[&str],
+    scale: Scale,
+    cfg: &PoolConfig,
+    sink: &mut dyn Sink,
+) -> Vec<JobResult<crate::profile::ProfileRow>> {
+    run(profile_jobs(names, scale), cfg, sink)
 }
 
 /// Sum of per-job wall times: what the sweep would have cost serially.

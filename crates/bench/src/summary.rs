@@ -288,6 +288,76 @@ pub fn binval_summary(
     )
 }
 
+fn breakdown(b: &crate::profile::ProfileRow) -> Json {
+    cycles_obj(&b.total)
+}
+
+fn cycles_obj(b: &hwst128::telemetry::Breakdown) -> Json {
+    let mut obj = Json::obj();
+    for (cat, cycles) in b.iter() {
+        obj = obj.set(cat, cycles);
+    }
+    obj
+}
+
+/// The `BENCH_profile.json` document (experiment P1).
+pub fn profile_summary(
+    scale: Scale,
+    workers: usize,
+    results: &[JobResult<crate::profile::ProfileRow>],
+    wall: Duration,
+    failed: &[FailedJob],
+) -> Json {
+    let rows: Vec<&crate::profile::ProfileRow> =
+        results.iter().filter_map(|r| r.outcome.ok()).collect();
+    let owned: Vec<crate::profile::ProfileRow> = rows.iter().map(|r| (*r).clone()).collect();
+    let fractions = crate::profile::profile_mean_fractions(&owned);
+    let mut mean = Json::obj();
+    for (cat, f) in hwst128::telemetry::Breakdown::CATEGORIES
+        .iter()
+        .zip(fractions)
+    {
+        mean = mean.set(cat, f);
+    }
+    timing(
+        header("hwst-bench/profile", scale, workers),
+        wall,
+        serial_wall(results),
+    )
+    .set(
+        "rows",
+        Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj()
+                        .set("name", r.name.as_str())
+                        .set("total_cycles", r.total.total())
+                        .set("baseline_cycles", r.baseline_cycles)
+                        .set("overhead_pct", r.overhead_pct())
+                        .set("attributed_pct", r.attributed_fraction * 100.0)
+                        .set("cycles", breakdown(r))
+                        .set(
+                            "hot",
+                            Json::Arr(
+                                r.hot
+                                    .iter()
+                                    .map(|h| {
+                                        Json::obj()
+                                            .set("name", h.name.as_str())
+                                            .set("total_cycles", h.cycles.total())
+                                            .set("cycles", cycles_obj(&h.cycles))
+                                    })
+                                    .collect(),
+                            ),
+                        )
+                })
+                .collect(),
+        ),
+    )
+    .set("failed", failures(failed))
+    .set("mean_fraction", mean)
+}
+
 /// Writes a summary document to `path` (with a trailing newline).
 ///
 /// # Errors

@@ -1624,6 +1624,11 @@ pub struct MutantOutcome {
     pub seed: u64,
     /// Instruction index that was corrupted.
     pub site: usize,
+    /// Absolute PC of the corrupted instruction.
+    pub pc: u64,
+    /// Name of the function containing the site (`"<shim>"` for the
+    /// startup shim), resolved from the plan's symbol ranges.
+    pub func: String,
     /// Did the validator reject the mutant?
     pub killed: bool,
     /// Findings the validator reported.
@@ -1786,10 +1791,15 @@ pub fn mutation_campaign(
                 CompressionConfig::SPEC_DEFAULT,
                 MemoryLayout::default(),
             );
+            let pc = program.base() + site as u64 * 4;
             report.outcomes.push(MutantOutcome {
                 mutation: m.name(),
                 seed,
                 site,
+                pc,
+                func: plan
+                    .func_at_pc(pc)
+                    .map_or_else(|| "<shim>".to_string(), |f| f.name.clone()),
                 killed: !r.ok(),
                 findings: r.findings.len(),
             });

@@ -100,6 +100,22 @@ pub fn compile_with_sizes(
     lower::lower_with_sizes(&instrumented, scheme)
 }
 
+/// Compiles and also returns the [`LowerPlan`] side-tables — function
+/// symbol ranges (`start_pc`/`end_pc`), frame geometry and check sites.
+/// This is what the telemetry profiler and the binary validator consume.
+///
+/// # Errors
+///
+/// Same as [`compile`].
+pub fn compile_with_plan(
+    module: &ir::Module,
+    scheme: Scheme,
+) -> Result<(Program, LowerPlan), CompileError> {
+    let info = analysis::analyze(module)?;
+    let instrumented = instrument::instrument(module, &info, scheme);
+    lower::lower_with_plan(&instrumented, scheme)
+}
+
 /// Pass configuration for [`compile_with_options`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompileOptions {

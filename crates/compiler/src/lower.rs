@@ -49,6 +49,25 @@ pub struct LowerPlan {
     pub funcs: Vec<FnPlan>,
 }
 
+impl LowerPlan {
+    /// The function whose emitted range contains `pc`, if any (the
+    /// startup shim precedes every function and resolves to `None`).
+    pub fn func_at_pc(&self, pc: u64) -> Option<&FnPlan> {
+        self.funcs
+            .iter()
+            .find(|f| (f.start_pc..f.end_pc).contains(&pc))
+    }
+
+    /// `(name, start_pc, end_pc)` symbol ranges in emission order — the
+    /// raw material for a telemetry symbol table.
+    pub fn symbols(&self) -> Vec<(String, u64, u64)> {
+        self.funcs
+            .iter()
+            .map(|f| (f.name.clone(), f.start_pc, f.end_pc))
+            .collect()
+    }
+}
+
 /// Per-function lowering side-table.
 #[derive(Debug, Clone)]
 pub struct FnPlan {
@@ -58,6 +77,11 @@ pub struct FnPlan {
     pub start: usize,
     /// Emitted instruction count.
     pub len: usize,
+    /// Absolute PC of the first instruction (inclusive) — the symbol
+    /// range telemetry resolves profiled PCs against.
+    pub start_pc: u64,
+    /// Absolute PC one past the last instruction (exclusive).
+    pub end_pc: u64,
     /// Frame size in bytes (16-aligned; slot offsets are relative to
     /// the post-prologue stack pointer).
     pub frame_size: i64,
@@ -143,6 +167,8 @@ pub fn lower_with_plan(
         asm.begin_func(&f.name);
         let mut fp = FnLower::new(&mut asm, f, module, scheme, &global_addrs).run()?;
         fp.len = asm.instrs.len() - start;
+        fp.start_pc = layout.text_base + start as u64 * 4;
+        fp.end_pc = layout.text_base + asm.instrs.len() as u64 * 4;
         funcs.push(fp);
     }
 
@@ -512,7 +538,9 @@ impl<'a> FnLower<'a> {
         Ok(FnPlan {
             name: self.f.name.clone(),
             start: self.func_start,
-            len: 0, // patched by the caller once emission is complete
+            len: 0,      // patched by the caller once emission is complete
+            start_pc: 0, // patched by the caller (needs the final layout)
+            end_pc: 0,   // patched by the caller
             frame_size: self.frame_size,
             alloca_base: self.locals_base + self.f.num_locals as i64 * 8,
             ptr_slots,
@@ -1283,5 +1311,37 @@ mod tests {
         for i in p.instrs() {
             assert_eq!(hwst_isa::decode(i.encode()).unwrap(), *i);
         }
+    }
+
+    #[test]
+    fn fn_plan_symbol_ranges_tile_the_text_after_the_shim() {
+        let mut mb = ModuleBuilder::new();
+        let mut h = mb.func("helper");
+        let k = h.konst(7);
+        h.ret(Some(k));
+        h.finish();
+        let mut f = mb.func("main");
+        let r = f.call("helper", &[]);
+        f.ret(Some(r));
+        f.finish();
+        let m = mb.finish();
+        let (p, plan) = lower_with_plan(&m, Scheme::None).unwrap();
+        assert_eq!(plan.funcs.len(), 2);
+        let end = p.base() + p.len() as u64 * 4;
+        for w in plan.funcs.windows(2) {
+            assert_eq!(w[0].end_pc, w[1].start_pc, "functions are contiguous");
+        }
+        for fp in &plan.funcs {
+            assert_eq!(fp.start_pc, p.base() + fp.start as u64 * 4);
+            assert_eq!(fp.end_pc, fp.start_pc + fp.len as u64 * 4);
+            assert_eq!(plan.func_at_pc(fp.start_pc).unwrap().name, fp.name);
+            assert_eq!(plan.func_at_pc(fp.end_pc - 4).unwrap().name, fp.name);
+        }
+        assert_eq!(plan.funcs.last().unwrap().end_pc, end);
+        // The startup shim precedes every function and has no symbol.
+        assert!(plan.func_at_pc(p.base()).is_none());
+        let syms = plan.symbols();
+        assert_eq!(syms.len(), 2);
+        assert!(syms.iter().any(|(n, _, _)| n == "main"));
     }
 }

@@ -19,6 +19,7 @@
 //! | [`workloads`] | `hwst-workloads` | MiBench/Olden/SPEC-like kernels |
 //! | [`juliet`] | `hwst-juliet` | security-coverage suite |
 //! | [`hwcost`] | `hwst-hwcost` | FPGA cost model |
+//! | [`telemetry`] | `hwst-telemetry` | observability: cycle attribution, trace export |
 //!
 //! ## Quickstart
 //!
@@ -55,6 +56,7 @@ pub use hwst_mem as mem;
 pub use hwst_metadata as metadata;
 pub use hwst_pipeline as pipeline;
 pub use hwst_sim as sim;
+pub use hwst_telemetry as telemetry;
 pub use hwst_workloads as workloads;
 
 /// The names most programs need, in one import.

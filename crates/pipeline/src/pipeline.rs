@@ -2,6 +2,7 @@
 
 use crate::{Cache, CacheConfig, CycleStats, KeyBuffer};
 use hwst_isa::{Instr, Reg};
+use hwst_telemetry::{CounterId, Counters};
 
 /// How metadata is located in shadow storage — the §2 trade-off.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -90,20 +91,44 @@ pub struct Pipeline {
     cfg: PipelineConfig,
     dcache: Cache,
     keybuffer: KeyBuffer,
+    /// Cycle categories only. The event-style counters (keybuffer
+    /// hits/misses, `hwst_instrs`, `checked_mem`) live in the telemetry
+    /// registry and are merged back in [`Self::stats`], so pipeline
+    /// accounting and profile tables share one source of truth.
     stats: CycleStats,
+    counters: Counters,
+    ids: EventCounterIds,
     /// Destination of the previous instruction if it was a load (for the
     /// load-use interlock).
     prev_load_dest: Option<Reg>,
 }
 
+/// Handles of the event counters the retire loop increments.
+#[derive(Debug, Clone, Copy)]
+struct EventCounterIds {
+    keybuffer_hits: CounterId,
+    keybuffer_misses: CounterId,
+    hwst_instrs: CounterId,
+    checked_mem: CounterId,
+}
+
 impl Pipeline {
     /// Creates a cold pipeline.
     pub fn new(cfg: PipelineConfig) -> Self {
+        let mut counters = Counters::new();
+        let ids = EventCounterIds {
+            keybuffer_hits: counters.register("keybuffer_hits"),
+            keybuffer_misses: counters.register("keybuffer_misses"),
+            hwst_instrs: counters.register("hwst_instrs"),
+            checked_mem: counters.register("checked_mem"),
+        };
         Pipeline {
             cfg,
             dcache: Cache::new(cfg.dcache),
             keybuffer: KeyBuffer::new(cfg.keybuffer_entries),
             stats: CycleStats::default(),
+            counters,
+            ids,
             prev_load_dest: None,
         }
     }
@@ -113,9 +138,21 @@ impl Pipeline {
         self.cfg
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics: the cycle categories the retire loop
+    /// charges plus the event counters read back from the telemetry
+    /// registry.
     pub fn stats(&self) -> CycleStats {
-        self.stats
+        let mut s = self.stats;
+        s.keybuffer_hits = self.counters.get(self.ids.keybuffer_hits);
+        s.keybuffer_misses = self.counters.get(self.ids.keybuffer_misses);
+        s.hwst_instrs = self.counters.get(self.ids.hwst_instrs);
+        s.checked_mem = self.counters.get(self.ids.checked_mem);
+        s
+    }
+
+    /// The telemetry counter registry backing the event-style counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
     }
 
     /// The keybuffer (for diagnostics).
@@ -164,18 +201,17 @@ impl Pipeline {
     /// Retires one instruction, charging its cycles; returns the cycles
     /// charged.
     pub fn retire(&mut self, instr: &Instr, ev: &ExecEvents) -> u64 {
-        let s = &mut self.stats;
-        s.instret += 1;
-        s.base_cycles += 1;
+        self.stats.instret += 1;
+        self.stats.base_cycles += 1;
         let mut cycles = 1;
         if instr.is_hwst() {
-            s.hwst_instrs += 1;
+            self.counters.incr(self.ids.hwst_instrs);
         }
 
         // Load-use interlock against the previous instruction.
         if let Some(dest) = self.prev_load_dest.take() {
             if instr.src_gprs().contains(&dest) {
-                s.load_use_stalls += self.cfg.load_use_stall;
+                self.stats.load_use_stalls += self.cfg.load_use_stall;
                 cycles += self.cfg.load_use_stall;
             }
         }
@@ -184,14 +220,14 @@ impl Pipeline {
             Instr::Load { rd, checked, .. } => {
                 let extra = self.dcache.access(ev.mem_addr.unwrap_or_default());
                 self.stats.mem_stalls += extra;
-                self.stats.checked_mem += checked as u64;
+                self.counters.add(self.ids.checked_mem, checked as u64);
                 cycles += extra;
                 self.prev_load_dest = Some(rd);
             }
             Instr::Store { checked, .. } => {
                 let extra = self.dcache.access(ev.mem_addr.unwrap_or_default());
                 self.stats.mem_stalls += extra;
-                self.stats.checked_mem += checked as u64;
+                self.counters.add(self.ids.checked_mem, checked as u64);
                 cycles += extra;
             }
             Instr::Branch { .. } if ev.branch_taken => {
@@ -251,10 +287,10 @@ impl Pipeline {
                             // Keybuffer hit: the key load is bypassed by
                             // "modifying the valid signal in the DCache
                             // module" — zero extra cycles.
-                            self.stats.keybuffer_hits += 1;
+                            self.counters.incr(self.ids.keybuffer_hits);
                         }
                         None => {
-                            self.stats.keybuffer_misses += 1;
+                            self.counters.incr(self.ids.keybuffer_misses);
                             // The key must be fetched from the
                             // lock_location through the D-cache; tchk is
                             // a two-memory-access pattern so it cannot
@@ -469,6 +505,46 @@ mod tests {
             checked: true,
         };
         assert_eq!(a.retire(&ps, &evs), b.retire(&cs, &evs));
+    }
+
+    #[test]
+    fn event_counters_come_from_the_telemetry_registry() {
+        // The stats() snapshot and the registry must agree — they are
+        // the same storage, read two ways.
+        let mut p = pipe();
+        let tchk = Instr::Tchk { rs1: Reg::A0 };
+        let ev = ExecEvents {
+            tchk: Some((0x9000, 42)),
+            ..Default::default()
+        };
+        p.retire(&tchk, &ev); // miss
+        p.retire(&tchk, &ev); // hit
+        let checked = Instr::Load {
+            width: LoadWidth::D,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            offset: 0,
+            checked: true,
+        };
+        p.retire(
+            &checked,
+            &ExecEvents {
+                mem_addr: Some(0x40),
+                ..Default::default()
+            },
+        );
+        let s = p.stats();
+        let c = p.counters();
+        assert_eq!(c.get_named("keybuffer_hits"), Some(s.keybuffer_hits));
+        assert_eq!(c.get_named("keybuffer_misses"), Some(s.keybuffer_misses));
+        assert_eq!(c.get_named("hwst_instrs"), Some(s.hwst_instrs));
+        assert_eq!(c.get_named("checked_mem"), Some(s.checked_mem));
+        assert_eq!(s.keybuffer_hits, 1);
+        assert_eq!(s.keybuffer_misses, 1);
+        // Two tchk retires plus the checked load (checked memops are
+        // HWST instructions too).
+        assert_eq!(s.hwst_instrs, 3);
+        assert_eq!(s.checked_mem, 1);
     }
 
     #[test]

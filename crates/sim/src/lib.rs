@@ -15,6 +15,9 @@
 //!   keybuffer) and the compression/pipeline parameters.
 //! * [`inject`] — deterministic metadata-path fault injection and the
 //!   AVF-style outcome classification (experiment R1).
+//! * [`Machine::run_profiled`] — per-PC cycle attribution into an
+//!   `hwst_telemetry::Profiler` (experiment P1); observation only, a
+//!   profiled run is bit-identical to a plain one.
 //!
 //! ## Example
 //!
@@ -39,6 +42,7 @@
 mod exec;
 pub mod inject;
 mod machine;
+mod profile;
 pub mod syscall;
 mod trace;
 mod trap;

@@ -355,7 +355,7 @@ impl Machine {
         Err(Trap::OutOfFuel { executed: fuel })
     }
 
-    fn exit_status(&self, code: u64) -> ExitStatus {
+    pub(crate) fn exit_status(&self, code: u64) -> ExitStatus {
         ExitStatus {
             code,
             stats: self.pipeline.stats(),

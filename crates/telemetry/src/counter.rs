@@ -1,0 +1,133 @@
+//! The counter registry: named monotonic `u64` counters behind
+//! index-stable handles.
+//!
+//! Registration hands out a [`CounterId`] whose increment path is a
+//! plain vector index — cheap enough for the simulator's retire loop,
+//! which is exactly where the pipeline's event counters live.
+
+/// Handle to a registered counter. Indexing is O(1); the id stays valid
+/// for the lifetime of the registry that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(usize);
+
+/// A flat registry of named monotonic counters.
+///
+/// # Example
+///
+/// ```
+/// use hwst_telemetry::Counters;
+///
+/// let mut c = Counters::new();
+/// let hits = c.register("keybuffer_hits");
+/// c.incr(hits);
+/// c.add(hits, 2);
+/// assert_eq!(c.get(hits), 3);
+/// assert_eq!(c.get_named("keybuffer_hits"), Some(3));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    names: Vec<&'static str>,
+    values: Vec<u64>,
+}
+
+impl Counters {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Registers `name` and returns its handle. Registering an existing
+    /// name returns the original handle (idempotent).
+    pub fn register(&mut self, name: &'static str) -> CounterId {
+        if let Some(i) = self.names.iter().position(|n| *n == name) {
+            return CounterId(i);
+        }
+        self.names.push(name);
+        self.values.push(0);
+        CounterId(self.names.len() - 1)
+    }
+
+    /// Adds `delta` to a counter.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        self.values[id.0] += delta;
+    }
+
+    /// Increments a counter by one.
+    #[inline]
+    pub fn incr(&mut self, id: CounterId) {
+        self.values[id.0] += 1;
+    }
+
+    /// Current value of a counter.
+    #[inline]
+    pub fn get(&self, id: CounterId) -> u64 {
+        self.values[id.0]
+    }
+
+    /// Current value of a counter looked up by name.
+    pub fn get_named(&self, name: &str) -> Option<u64> {
+        self.names
+            .iter()
+            .position(|n| *n == name)
+            .map(|i| self.values[i])
+    }
+
+    /// `(name, value)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.names.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Number of registered counters.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Zeroes every counter, keeping registrations (and ids) intact.
+    pub fn reset(&mut self) {
+        self.values.iter_mut().for_each(|v| *v = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent() {
+        let mut c = Counters::new();
+        let a = c.register("x");
+        let b = c.register("x");
+        assert_eq!(a, b);
+        assert_eq!(c.len(), 1);
+        c.incr(a);
+        assert_eq!(c.get(b), 1);
+    }
+
+    #[test]
+    fn iteration_preserves_registration_order() {
+        let mut c = Counters::new();
+        let a = c.register("a");
+        let _ = c.register("b");
+        c.add(a, 7);
+        let v: Vec<_> = c.iter().collect();
+        assert_eq!(v, vec![("a", 7), ("b", 0)]);
+    }
+
+    #[test]
+    fn reset_keeps_ids_valid() {
+        let mut c = Counters::new();
+        let a = c.register("a");
+        c.add(a, 9);
+        c.reset();
+        assert_eq!(c.get(a), 0);
+        c.incr(a);
+        assert_eq!(c.get_named("a"), Some(1));
+        assert_eq!(c.get_named("missing"), None);
+    }
+}

@@ -1,0 +1,196 @@
+//! Spans and the bounded ring-buffer recorder.
+//!
+//! Events are timestamped in simulated cycles, not wall time: the
+//! simulator is deterministic, so two runs of the same program produce
+//! the same event stream. The recorder is a fixed-capacity ring — when
+//! full it drops the *oldest* events and counts them, so a long run
+//! keeps the tail of its history and never grows without bound.
+
+use std::collections::VecDeque;
+
+/// The virtual "thread" an event belongs to in trace exports — one per
+/// pipeline resource the paper's overhead story names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Track {
+    /// The core pipeline (retire stream).
+    Pipeline,
+    /// Shadow-memory metadata traffic (`sbd*`/`lbd*` stalls).
+    Shadow,
+    /// The keybuffer / `tchk` key-load path.
+    Keybuffer,
+    /// Proxy-kernel runtime work (allocator service cycles).
+    Runtime,
+    /// Allocator wrapper calls (`malloc`/`free`/lock syscalls).
+    Allocator,
+}
+
+impl Track {
+    /// Every track, in export (tid) order.
+    pub const ALL: [Track; 5] = [
+        Track::Pipeline,
+        Track::Shadow,
+        Track::Keybuffer,
+        Track::Runtime,
+        Track::Allocator,
+    ];
+
+    /// Stable display name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Track::Pipeline => "pipeline",
+            Track::Shadow => "shadow",
+            Track::Keybuffer => "keybuffer",
+            Track::Runtime => "runtime",
+            Track::Allocator => "allocator",
+        }
+    }
+
+    /// Thread id used in Chrome trace exports (1-based; 0 is unused so
+    /// tids line up with human-readable track numbering).
+    pub const fn tid(self) -> u64 {
+        match self {
+            Track::Pipeline => 1,
+            Track::Shadow => 2,
+            Track::Keybuffer => 3,
+            Track::Runtime => 4,
+            Track::Allocator => 5,
+        }
+    }
+}
+
+/// One recorded span (or instant, when `end_cycle == start_cycle`) on a
+/// track, timestamped in simulated cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// What happened (e.g. `"malloc"`, `"shadow-stall"`).
+    pub name: &'static str,
+    /// Which resource it happened on.
+    pub track: Track,
+    /// Cycle the span began.
+    pub start_cycle: u64,
+    /// Cycle the span ended (equal to `start_cycle` for instants).
+    pub end_cycle: u64,
+}
+
+impl Event {
+    /// Span length in cycles.
+    pub fn duration(&self) -> u64 {
+        self.end_cycle.saturating_sub(self.start_cycle)
+    }
+}
+
+/// Default ring capacity: enough to hold the full event stream of every
+/// Test-scale workload while bounding memory on Bench-scale runs.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// A bounded ring-buffer event recorder. Dropping the recorder (or
+/// never attaching one) is the disabled path: nothing in this module is
+/// consulted by the timing model, so `CycleStats` are unaffected either
+/// way.
+#[derive(Debug, Clone)]
+pub struct RingRecorder {
+    cap: usize,
+    buf: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl Default for RingRecorder {
+    fn default() -> Self {
+        RingRecorder::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl RingRecorder {
+    /// Creates a recorder holding at most `capacity` events (a zero
+    /// capacity records nothing and counts every event as dropped).
+    pub fn new(capacity: usize) -> Self {
+        RingRecorder {
+            cap: capacity,
+            buf: VecDeque::with_capacity(capacity.min(DEFAULT_RING_CAPACITY)),
+            dropped: 0,
+        }
+    }
+
+    /// Records one event, evicting the oldest if the ring is full.
+    pub fn record(&mut self, e: Event) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(e);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// The retained events as an owned vector, oldest first.
+    pub fn to_vec(&self) -> Vec<Event> {
+        self.buf.iter().copied().collect()
+    }
+
+    /// Events evicted (or refused, at zero capacity) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(start: u64) -> Event {
+        Event {
+            name: "t",
+            track: Track::Pipeline,
+            start_cycle: start,
+            end_cycle: start + 1,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_tail() {
+        let mut r = RingRecorder::new(2);
+        r.record(ev(0));
+        r.record(ev(1));
+        r.record(ev(2));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 1);
+        let starts: Vec<u64> = r.events().map(|e| e.start_cycle).collect();
+        assert_eq!(starts, vec![1, 2]);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut r = RingRecorder::new(0);
+        r.record(ev(0));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn duration_is_saturating() {
+        let e = Event {
+            name: "x",
+            track: Track::Allocator,
+            start_cycle: 5,
+            end_cycle: 5,
+        };
+        assert_eq!(e.duration(), 0);
+    }
+}

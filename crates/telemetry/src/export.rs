@@ -1,0 +1,136 @@
+//! Exporters: Chrome trace-event JSON and collapsed-stack text.
+//!
+//! Both are plain serialisations of already-deterministic data, written
+//! with the dependency-free `hwst_harness::Json` writer — no format
+//! library enters the workspace.
+
+use crate::{Event, FnTable, Track};
+use hwst_harness::Json;
+
+/// Serialises events as a Chrome trace-event document (the JSON object
+/// format: `{"traceEvents": [...]}`), loadable in Perfetto and
+/// `chrome://tracing`.
+///
+/// Timestamps are simulated cycles carried in the `ts`/`dur` fields
+/// (nominally microseconds — the viewer's timeline unit simply reads as
+/// cycles). Every [`Track`] appears as one thread of pid 1, named via
+/// `thread_name` metadata events; spans use phase `"X"` (complete) and
+/// zero-length spans export as instants (phase `"i"`).
+pub fn chrome_trace(events: &[Event]) -> Json {
+    let mut out: Vec<Json> = Track::ALL
+        .iter()
+        .map(|t| {
+            Json::obj()
+                .set("name", "thread_name")
+                .set("ph", "M")
+                .set("pid", 1u64)
+                .set("tid", t.tid())
+                .set("args", Json::obj().set("name", t.name()))
+        })
+        .collect();
+    for e in events {
+        let common = Json::obj()
+            .set("name", e.name)
+            .set("cat", e.track.name())
+            .set("pid", 1u64)
+            .set("tid", e.track.tid())
+            .set("ts", e.start_cycle);
+        out.push(if e.duration() == 0 {
+            common.set("ph", "i").set("s", "t")
+        } else {
+            common.set("ph", "X").set("dur", e.duration())
+        });
+    }
+    Json::obj()
+        .set("traceEvents", Json::Arr(out))
+        .set("displayTimeUnit", "ns")
+}
+
+/// Serialises a hot-function table as collapsed-stack text
+/// (`frame;frame count` lines), the input format of flamegraph tooling.
+/// Each function contributes one stack per non-zero category, with the
+/// category as the leaf frame; unattributed cycles fold under a
+/// `<startup>` root.
+pub fn collapsed_stacks(table: &FnTable) -> String {
+    let mut out = String::new();
+    for row in &table.rows {
+        for (cat, cycles) in row.cycles.iter() {
+            if cycles > 0 {
+                out.push_str(&format!("{};{cat} {cycles}\n", row.name));
+            }
+        }
+    }
+    for (cat, cycles) in table.unattributed.iter() {
+        if cycles > 0 {
+            out.push_str(&format!("<startup>;{cat} {cycles}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Breakdown, FnRow};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                name: "malloc",
+                track: Track::Allocator,
+                start_cycle: 10,
+                end_cycle: 40,
+            },
+            Event {
+                name: "shadow-stall",
+                track: Track::Shadow,
+                start_cycle: 50,
+                end_cycle: 50,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_json() {
+        let doc = chrome_trace(&sample_events());
+        let parsed = Json::parse(&doc.to_string()).expect("chrome trace parses");
+        let evs = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents");
+        // 5 thread_name metadata events + 2 payload events.
+        assert_eq!(evs.len(), 7);
+        let span = &evs[5];
+        assert_eq!(span.get("name").and_then(Json::as_str), Some("malloc"));
+        assert_eq!(span.get("ph").and_then(Json::as_str), Some("X"));
+        assert_eq!(span.get("ts").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(span.get("dur").and_then(Json::as_f64), Some(30.0));
+        let instant = &evs[6];
+        assert_eq!(instant.get("ph").and_then(Json::as_str), Some("i"));
+    }
+
+    #[test]
+    fn collapsed_stacks_skip_zero_categories() {
+        let table = FnTable {
+            rows: vec![FnRow {
+                name: "main".into(),
+                cycles: Breakdown {
+                    base: 7,
+                    shadow: 2,
+                    ..Default::default()
+                },
+            }],
+            attributed: Breakdown {
+                base: 7,
+                shadow: 2,
+                ..Default::default()
+            },
+            unattributed: Breakdown {
+                base: 3,
+                ..Default::default()
+            },
+        };
+        let text = collapsed_stacks(&table);
+        assert_eq!(text, "main;base 7\nmain;shadow 2\n<startup>;base 3\n");
+    }
+}
