@@ -1,0 +1,230 @@
+//! A10 ablation: the static bounds-proof pass on top of RCE.
+//!
+//! Reruns the Fig. 4 workloads under every instrumented scheme in three
+//! build configurations — checks-on (`plain`), redundant-check
+//! elimination (`rce`) and RCE plus the value-range bounds prover
+//! (`bounds`) — with the witness-checking verifier armed throughout,
+//! and reports per workload:
+//!
+//! * static check sites surviving each configuration,
+//! * sites proven in-bounds (one elimination witness each),
+//! * dynamic `tchk` executions (keybuffer hits + misses,
+//!   `HWST128_tchk`),
+//! * total cycles and the Eq. 7 overhead against the uninstrumented
+//!   baseline.
+//!
+//! Each workload job also runs the witness-forging mutation campaign
+//! (`hwst_compiler::binval::witness_campaign`): every forged image must
+//! fail binary validation, otherwise the bench exits non-zero. After
+//! the sweep, a sampled Juliet pass asserts the bounds build detects
+//! exactly the same violations as the RCE build (zero true-positive
+//! cost).
+//!
+//! One harness job per workload; `--jobs N`, `--progress`, `--smoke`
+//! (subset of workloads, one campaign seed), `--json PATH` (see
+//! `hwst_bench::cli` and `boundscheck_summary` in
+//! `hwst_bench::summary`).
+
+use hwst128::compiler::{binval, compile, compile_with_options, CompileOptions, Scheme};
+use hwst128::config_for;
+use hwst128::juliet::{execute_detects_opts, sample_reachable};
+use hwst128::sim::Machine;
+use hwst128::workloads::all;
+use hwst_bench::cli::BenchArgs;
+use hwst_bench::runs::{BoundsRow, BoundsRun};
+use hwst_bench::summary::{boundscheck_summary, write_json};
+use hwst_harness::{collect_ok, run as pool_run, Job};
+use std::time::Instant;
+
+/// The instrumented schemes a witness skip can reach.
+const SCHEMES: [Scheme; 3] = [Scheme::Sbcets, Scheme::Hwst128, Scheme::Hwst128Tchk];
+
+fn build_opts(scheme: Scheme, rce: bool, bounds: bool) -> CompileOptions {
+    let mut opts = CompileOptions::new(scheme).with_verify();
+    opts.rce = rce;
+    opts.bounds = bounds;
+    opts
+}
+
+fn run_one(
+    module: &hwst128::compiler::ir::Module,
+    fuel: u64,
+    opts: CompileOptions,
+) -> Result<BoundsRun, String> {
+    let tag = |e: &dyn std::fmt::Display| {
+        format!(
+            "{} (rce={}, bounds={}): {e}",
+            opts.scheme, opts.rce, opts.bounds
+        )
+    };
+    let compiled = compile_with_options(module, opts).map_err(|e| tag(&e))?;
+    let exit = Machine::new(compiled.program, config_for(opts.scheme))
+        .run(fuel)
+        .map_err(|e| tag(&e))?;
+    Ok(BoundsRun {
+        static_checks: compiled.check_count,
+        proven: compiled.bounds.proven,
+        cycles: exit.stats.total_cycles(),
+        dynamic_tchks: exit.stats.keybuffer_hits + exit.stats.keybuffer_misses,
+    })
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let scale = args.scale();
+    let pool = args.pool();
+    let smoke = args.flag("--smoke");
+    let campaign_seeds: Vec<u64> = if smoke { vec![3] } else { vec![3, 5, 9] };
+    let started = Instant::now();
+    println!(
+        "A10 — static bounds-proof check elimination (scale {scale:?}, {} worker(s){})",
+        pool.workers,
+        if smoke { " [smoke]" } else { "" },
+    );
+    println!(
+        "{:<12} {:>7} {:>7} {:>7} {:>7} {:>12} {:>12} {:>8} {:>8}",
+        "workload",
+        "static",
+        "rce",
+        "bounds",
+        "proven",
+        "tchk rce",
+        "tchk bounds",
+        "ovh rce",
+        "ovh bnd"
+    );
+
+    let workloads: Vec<_> = all()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| !smoke || i % 4 == 0)
+        .map(|(_, wl)| wl)
+        .collect();
+    let total_workloads = workloads.len();
+
+    let jobs: Vec<Job<BoundsRow>> = workloads
+        .into_iter()
+        .map(|wl| {
+            let seeds = campaign_seeds.clone();
+            Job::new(format!("a10/{}", wl.name), move || {
+                let module = wl.module(scale);
+                let fuel = wl.fuel(scale);
+                let baseline = compile(&module, Scheme::None)
+                    .map_err(|e| format!("{}: baseline: {e}", wl.name))?;
+                let base_exit = Machine::new(baseline, config_for(Scheme::None))
+                    .run(fuel)
+                    .map_err(|e| format!("{}: baseline: {e}", wl.name))?;
+                let mut runs = Vec::new();
+                for scheme in SCHEMES {
+                    let plain = run_one(&module, fuel, build_opts(scheme, false, false))
+                        .map_err(|e| format!("{}: {e}", wl.name))?;
+                    let rce = run_one(&module, fuel, build_opts(scheme, true, false))
+                        .map_err(|e| format!("{}: {e}", wl.name))?;
+                    let bounds = run_one(&module, fuel, build_opts(scheme, true, true))
+                        .map_err(|e| format!("{}: {e}", wl.name))?;
+                    if bounds.static_checks > rce.static_checks {
+                        return Err(format!(
+                            "{}: bounds must never add checks under {scheme}",
+                            wl.name
+                        ));
+                    }
+                    runs.push((scheme.label().to_string(), [plain, rce, bounds]));
+                }
+                let campaign = binval::witness_campaign(&module, &seeds)
+                    .map_err(|e| format!("{}: campaign: {e}", wl.name))?;
+                if !campaign.all_killed() {
+                    return Err(format!(
+                        "{}: witness forgery survived validation ({}/{} killed)",
+                        wl.name,
+                        campaign.killed(),
+                        campaign.total()
+                    ));
+                }
+                Ok(BoundsRow {
+                    name: wl.name.to_string(),
+                    suite: wl.suite,
+                    baseline_cycles: base_exit.stats.total_cycles(),
+                    runs,
+                    campaign_skips: campaign.skips,
+                    campaign_mutants: campaign.total(),
+                    campaign_killed: campaign.killed(),
+                })
+            })
+        })
+        .collect();
+    let results = pool_run(jobs, &pool, args.sink().as_mut());
+    let (rows, failed) = collect_ok(results.clone());
+
+    let mut improved = 0usize;
+    for row in &rows {
+        let t = row.tchk();
+        let ovh = |r: &BoundsRun| {
+            100.0 * (r.cycles as f64 - row.baseline_cycles as f64) / row.baseline_cycles as f64
+        };
+        println!(
+            "{:<12} {:>7} {:>7} {:>7} {:>7} {:>12} {:>12} {:>7.1}% {:>7.1}%",
+            row.name,
+            t[0].static_checks,
+            t[1].static_checks,
+            t[2].static_checks,
+            t[2].proven,
+            t[1].dynamic_tchks,
+            t[2].dynamic_tchks,
+            ovh(&t[1]),
+            ovh(&t[2]),
+        );
+        if t[2].dynamic_tchks < t[1].dynamic_tchks {
+            improved += 1;
+        }
+    }
+    for f in &failed {
+        println!("{} FAILED {}", f.label, f.error);
+    }
+
+    // Sampled Juliet detection gate: the bounds pass must cost zero
+    // true positives (the full gate is the hwst-juliet `bounds_gate`
+    // test; this keeps the bench honest on every run).
+    let juliet_cases = sample_reachable(if smoke { 2 } else { 5 });
+    let mut juliet_detected = 0usize;
+    let mut juliet_lost = 0usize;
+    for case in &juliet_cases {
+        for scheme in [Scheme::Sbcets, Scheme::Hwst128Tchk] {
+            let before = execute_detects_opts(case, build_opts(scheme, true, false));
+            let after = execute_detects_opts(case, build_opts(scheme, true, true));
+            if before {
+                juliet_detected += 1;
+                if !after {
+                    juliet_lost += 1;
+                }
+            }
+        }
+    }
+
+    println!();
+    println!(
+        "-> {improved}/{total_workloads} workloads execute strictly fewer tchks with \
+         bounds than with RCE alone;\n   every witness forgery was killed by the binary \
+         validator;\n   Juliet sample: {juliet_detected} detections with RCE, \
+         {juliet_lost} lost with bounds on."
+    );
+
+    if let Some(path) = args.json_path() {
+        let doc = boundscheck_summary(
+            scale,
+            pool.workers,
+            &results,
+            started.elapsed(),
+            &failed,
+            improved,
+            (juliet_detected, juliet_lost),
+        );
+        write_json(path, &doc).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("wrote {}", path.display());
+    }
+    if !failed.is_empty() || juliet_lost > 0 {
+        std::process::exit(1);
+    }
+}

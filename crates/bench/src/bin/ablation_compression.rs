@@ -3,6 +3,7 @@
 //! field sizes the live-allocation population).
 
 use hwst128::metadata::{CompressionConfig, Metadata, ShadowCodec};
+use hwst_bench::require;
 
 fn main() {
     println!("A2 — range-width sweep: largest expressible object");
@@ -13,7 +14,10 @@ fn main() {
     // The paper's SPEC runs need objects just under 2^28 bytes.
     let spec_object: u64 = (1 << 28) - 8;
     for range_bits in [20u8, 22, 24, 25, 26, 28, 29] {
-        let cfg = CompressionConfig::new(35, range_bits, 20, 64 - 20).expect("valid widths");
+        let cfg = require(
+            "range sweep",
+            CompressionConfig::new(35, range_bits, 20, 64 - 20),
+        );
         let codec = ShadowCodec::new(cfg, 0x4000_0000);
         let fits = codec.compress_spatial(0, spec_object).is_ok();
         println!(
@@ -28,7 +32,10 @@ fn main() {
     println!("A2 — lock-width sweep: live allocations supported");
     println!("{:>6} {:>18}", "bits", "lock entries");
     for lock_bits in [12u8, 16, 18, 20, 22] {
-        let cfg = CompressionConfig::new(35, 29, lock_bits, 64 - lock_bits).expect("valid widths");
+        let cfg = require(
+            "lock sweep",
+            CompressionConfig::new(35, 29, lock_bits, 64 - lock_bits),
+        );
         println!("{:>6} {:>18}", lock_bits, cfg.lock_entries());
     }
 
@@ -41,6 +48,6 @@ fn main() {
         key: 0xfeed,
         lock: 0x4000_0000 + 8 * 1234,
     };
-    let c = codec.compress(md).expect("representable");
+    let c = require("round trip", codec.compress(md));
     println!("  {md}  ->  {c}  ->  {}", codec.decompress(c));
 }

@@ -11,6 +11,7 @@ use hwst128::pipeline::CacheConfig;
 use hwst128::sim::Machine;
 use hwst128::workloads::{Scale, Workload};
 use hwst_bench::cli::BenchArgs;
+use hwst_bench::require_some;
 use hwst_harness::{collect_ok, run as pool_run, Job};
 
 fn overhead(wl: &Workload, scheme: Scheme, dcache: CacheConfig) -> Result<f64, String> {
@@ -31,7 +32,7 @@ fn overhead(wl: &Workload, scheme: Scheme, dcache: CacheConfig) -> Result<f64, S
 fn main() {
     let args = BenchArgs::parse();
     let pool = args.pool();
-    let wl = Workload::by_name("lbm").expect("known workload");
+    let wl = require_some("lbm", Workload::by_name("lbm"));
     println!(
         "A4 — D-cache sensitivity on {} (overhead %, Eq. 7), {} worker(s)",
         wl.name, pool.workers

@@ -14,15 +14,16 @@ use hwst128::compiler::{compile, Scheme};
 use hwst128::config_for;
 use hwst128::sim::Machine;
 use hwst128::workloads::{Scale, Workload};
+use hwst_bench::{require, require_some};
 
 /// Nonzero shadow bytes for heap/global containers after running `wl`.
 fn container_shadow_bytes(wl: &Workload, scheme: Scheme) -> u64 {
-    let prog = compile(&wl.module(Scale::Test), scheme).expect("compiles");
+    let prog = require(wl.name, compile(&wl.module(Scale::Test), scheme));
     let cfg = config_for(scheme);
     let l = cfg.layout;
     let shadow = |a: u64| (a << 2) + l.shadow_offset;
     let mut m = Machine::new(prog, cfg);
-    m.run(wl.fuel(Scale::Test)).expect("runs clean");
+    require(wl.name, m.run(wl.fuel(Scale::Test)));
     let all = m.mem().nonzero_bytes_in(l.shadow_offset, u64::MAX);
     let stack = m
         .mem()
@@ -38,7 +39,7 @@ fn main() {
     );
     let mut ratios = Vec::new();
     for name in ["treeadd", "em3d", "health", "tsp", "mst", "perimeter"] {
-        let wl = Workload::by_name(name).expect("known workload");
+        let wl = require_some(name, Workload::by_name(name));
         let sb = container_shadow_bytes(&wl, Scheme::Sbcets);
         let hw = container_shadow_bytes(&wl, Scheme::Hwst128Tchk);
         let ratio = sb as f64 / hw as f64;

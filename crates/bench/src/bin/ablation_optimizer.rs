@@ -12,14 +12,13 @@ use hwst128::compiler::{compile, ir::Module, opt::optimize, Scheme};
 use hwst128::config_for;
 use hwst128::sim::Machine;
 use hwst128::workloads::{Scale, Workload};
+use hwst_bench::{require, require_some};
 
 fn overheads(module: &Module, fuel: u64) -> [f64; 4] {
     let mut cycles = [0f64; 4];
     for (i, &scheme) in Scheme::ALL.iter().enumerate() {
-        let prog = compile(module, scheme).expect("compiles");
-        cycles[i] = Machine::new(prog, config_for(scheme))
-            .run(fuel)
-            .expect("runs clean")
+        let prog = require("compile", compile(module, scheme));
+        cycles[i] = require("run", Machine::new(prog, config_for(scheme)).run(fuel))
             .stats
             .total_cycles() as f64;
     }
@@ -38,7 +37,7 @@ fn main() {
         "workload", "mode", "base cyc", "SBCETS", "HWST128", "_tchk"
     );
     for name in ["sha", "dijkstra", "treeadd", "bzip2"] {
-        let wl = Workload::by_name(name).expect("known workload");
+        let wl = require_some(name, Workload::by_name(name));
         let fuel = wl.fuel(Scale::Test);
         let plain = overheads(&wl.module(Scale::Test), fuel);
         let opt = overheads(&optimize(wl.module(Scale::Test)), fuel);

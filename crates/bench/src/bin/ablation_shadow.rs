@@ -7,14 +7,16 @@ use hwst128::mem::{LinearShadow, ShadowTrie};
 use hwst128::pipeline::ShadowLayout;
 use hwst128::sim::{Machine, SafetyConfig};
 use hwst128::workloads::{Scale, Workload};
+use hwst_bench::{require, require_some};
 
 fn cycles_with_layout(wl: &Workload, layout: ShadowLayout) -> u64 {
-    let prog = compile(&wl.module(Scale::Test), Scheme::Hwst128Tchk).expect("compiles");
+    let prog = require(
+        wl.name,
+        compile(&wl.module(Scale::Test), Scheme::Hwst128Tchk),
+    );
     let mut cfg = SafetyConfig::default();
     cfg.pipeline.shadow_layout = layout;
-    Machine::new(prog, cfg)
-        .run(wl.fuel(Scale::Test))
-        .expect("runs clean")
+    require(wl.name, Machine::new(prog, cfg).run(wl.fuel(Scale::Test)))
         .stats
         .total_cycles()
 }
@@ -49,16 +51,9 @@ fn main() {
     );
 
     // Shadow addresses of the working set under the linear map span:
-    let lo = containers
-        .iter()
-        .map(|&c| linear.shadow_addr(c))
-        .min()
-        .unwrap();
-    let hi = containers
-        .iter()
-        .map(|&c| linear.shadow_addr(c))
-        .max()
-        .unwrap();
+    let shadow_addrs = containers.iter().map(|&c| linear.shadow_addr(c));
+    let lo = require_some("working set is nonempty", shadow_addrs.clone().min());
+    let hi = require_some("working set is nonempty", shadow_addrs.max());
     println!();
     println!(
         "linear map shadow span for this working set: {:.1} MiB",
@@ -81,7 +76,7 @@ fn main() {
         "workload", "linear", "trie", "slowdown"
     );
     for name in ["treeadd", "em3d", "bzip2"] {
-        let wl = Workload::by_name(name).expect("known workload");
+        let wl = require_some(name, Workload::by_name(name));
         let lin = cycles_with_layout(&wl, ShadowLayout::Linear);
         let trie = cycles_with_layout(&wl, ShadowLayout::Trie);
         println!(

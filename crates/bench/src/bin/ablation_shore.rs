@@ -7,6 +7,7 @@
 use hwst128::compiler::Scheme;
 use hwst128::run_scheme;
 use hwst128::workloads::{Scale, Workload};
+use hwst_bench::{require, require_some};
 
 fn main() {
     println!("A6 — spatial-only (SHORE) vs complete safety (Eq. 7 overhead)");
@@ -15,12 +16,11 @@ fn main() {
         "workload", "SHORE", "HWST128_tchk", "temporal cost"
     );
     for name in ["sha", "susan", "treeadd", "health", "bzip2", "hmmer"] {
-        let wl = Workload::by_name(name).expect("known workload");
+        let wl = require_some(name, Workload::by_name(name));
         let module = wl.module(Scale::Test);
         let fuel = wl.fuel(Scale::Test);
         let cycles = |s: Scheme| {
-            run_scheme(&module, s, fuel)
-                .expect("runs clean")
+            require(name, run_scheme(&module, s, fuel))
                 .stats
                 .total_cycles() as f64
         };

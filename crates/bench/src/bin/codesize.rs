@@ -5,6 +5,7 @@
 
 use hwst128::compiler::{compile_with_sizes, Scheme};
 use hwst128::workloads::{Scale, Workload};
+use hwst_bench::{require, require_some};
 
 fn main() {
     println!("static code size (machine instructions, whole program)");
@@ -21,11 +22,11 @@ fn main() {
     ];
     let mut totals = [0usize; 5];
     for name in ["sha", "dijkstra", "treeadd", "health", "bzip2"] {
-        let wl = Workload::by_name(name).expect("known workload");
+        let wl = require_some(name, Workload::by_name(name));
         let module = wl.module(Scale::Test);
         let mut row = Vec::new();
         for (i, &s) in schemes.iter().enumerate() {
-            let (prog, _) = compile_with_sizes(&module, s).expect("compiles");
+            let (prog, _) = require(name, compile_with_sizes(&module, s));
             row.push(prog.len());
             totals[i] += prog.len();
         }

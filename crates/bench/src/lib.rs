@@ -286,6 +286,24 @@ pub fn pct(v: f64) -> String {
     format!("{v:>8.1}%")
 }
 
+/// Unwraps a bench-bin `Result`, printing the error and exiting
+/// non-zero instead of panicking (the bins are under the
+/// `clippy::unwrap_used` panic audit).
+pub fn require<T, E: std::fmt::Display>(what: &str, r: Result<T, E>) -> T {
+    r.unwrap_or_else(|e| {
+        eprintln!("error: {what}: {e}");
+        std::process::exit(1)
+    })
+}
+
+/// [`require`] for `Option` values.
+pub fn require_some<T>(what: &str, v: Option<T>) -> T {
+    v.unwrap_or_else(|| {
+        eprintln!("error: {what}");
+        std::process::exit(1)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -453,6 +453,53 @@ pub fn profile_results(
     run(profile_jobs(names, scale), cfg, sink)
 }
 
+/// One build configuration of the A10 bounds ablation: a workload
+/// compiled with a given scheme/pass combination and executed once.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundsRun {
+    /// Static check sites surviving in the instrumented IR.
+    pub static_checks: usize,
+    /// Sites the bounds pass proved in-bounds (zero when it was off).
+    pub proven: usize,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Dynamic `tchk` executions (keybuffer hits + misses; zero for
+    /// schemes without the hardware temporal path).
+    pub dynamic_tchks: u64,
+}
+
+/// One workload of the A10 bounds ablation: baseline cycles plus the
+/// `[plain, rce, rce+bounds]` triple per instrumented scheme, and the
+/// witness-forging campaign verdict.
+#[derive(Debug, Clone)]
+pub struct BoundsRow {
+    /// Workload name.
+    pub name: String,
+    /// Its suite.
+    pub suite: hwst128::workloads::Suite,
+    /// Uninstrumented (`Scheme::None`) cycles — the Eq. 7 denominator.
+    pub baseline_cycles: u64,
+    /// `(scheme label, [plain, rce, rce+bounds])` per scheme.
+    pub runs: Vec<(String, [BoundsRun; 3])>,
+    /// Witnessed skips in the campaign image.
+    pub campaign_skips: usize,
+    /// Witness forgeries applied.
+    pub campaign_mutants: usize,
+    /// Forgeries the binary validator rejected.
+    pub campaign_killed: usize,
+}
+
+impl BoundsRow {
+    /// The `HWST128_tchk` triple (the headline row of the A10 table).
+    pub fn tchk(&self) -> &[BoundsRun; 3] {
+        self.runs
+            .iter()
+            .find(|(label, _)| label == Scheme::Hwst128Tchk.label())
+            .map(|(_, runs)| runs)
+            .unwrap_or_else(|| panic!("{}: no HWST128_tchk runs", self.name))
+    }
+}
+
 /// Sum of per-job wall times: what the sweep would have cost serially.
 /// Paired with the observed wall clock it demonstrates the measured
 /// speedup (`serial_wall / wall`).

@@ -358,6 +358,98 @@ pub fn profile_summary(
     .set("mean_fraction", mean)
 }
 
+/// The `BENCH_boundscheck.json` document (experiment A10).
+///
+/// `improved` is the number of workloads that executed strictly fewer
+/// dynamic `tchk`s with the bounds pass than with RCE alone; `juliet`
+/// is the sampled detection gate as `(detected_with_rce,
+/// lost_with_bounds)` — the second component must be zero.
+pub fn boundscheck_summary(
+    scale: Scale,
+    workers: usize,
+    results: &[JobResult<crate::runs::BoundsRow>],
+    wall: Duration,
+    failed: &[FailedJob],
+    improved: usize,
+    juliet: (usize, usize),
+) -> Json {
+    let rows: Vec<&crate::runs::BoundsRow> =
+        results.iter().filter_map(|r| r.outcome.ok()).collect();
+    let run_obj = |baseline: u64, r: &crate::runs::BoundsRun| {
+        Json::obj()
+            .set("static_checks", r.static_checks as u64)
+            .set("proven", r.proven as u64)
+            .set("cycles", r.cycles)
+            .set(
+                "overhead_pct",
+                100.0 * (r.cycles as f64 - baseline as f64) / baseline.max(1) as f64,
+            )
+            .set("dynamic_tchks", r.dynamic_tchks)
+    };
+    let sum =
+        |f: fn(&crate::runs::BoundsRow) -> usize| -> u64 { rows.iter().map(|r| f(r) as u64).sum() };
+    timing(
+        header("hwst-bench/boundscheck", scale, workers),
+        wall,
+        serial_wall(results),
+    )
+    .set(
+        "rows",
+        Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    let mut schemes = Json::obj();
+                    for (label, runs) in &r.runs {
+                        schemes = schemes.set(
+                            label,
+                            Json::obj()
+                                .set("plain", run_obj(r.baseline_cycles, &runs[0]))
+                                .set("rce", run_obj(r.baseline_cycles, &runs[1]))
+                                .set("rce_bounds", run_obj(r.baseline_cycles, &runs[2])),
+                        );
+                    }
+                    Json::obj()
+                        .set("name", r.name.as_str())
+                        .set("suite", r.suite.to_string())
+                        .set("baseline_cycles", r.baseline_cycles)
+                        .set("schemes", schemes)
+                        .set("proven", r.tchk()[2].proven as u64)
+                        .set(
+                            "improved",
+                            r.tchk()[2].dynamic_tchks < r.tchk()[1].dynamic_tchks,
+                        )
+                })
+                .collect(),
+        ),
+    )
+    .set("failed", failures(failed))
+    .set(
+        "a10",
+        Json::obj()
+            .set("improved_workloads", improved as u64)
+            .set("total_workloads", rows.len() as u64)
+            .set("proven_sites", sum(|r| r.tchk()[2].proven)),
+    )
+    .set(
+        "witness_campaign",
+        Json::obj()
+            .set("skips", sum(|r| r.campaign_skips))
+            .set("mutants", sum(|r| r.campaign_mutants))
+            .set("killed", sum(|r| r.campaign_killed))
+            .set(
+                "all_killed",
+                rows.iter().all(|r| r.campaign_mutants == r.campaign_killed),
+            ),
+    )
+    .set(
+        "juliet_gate",
+        Json::obj()
+            .set("detected_with_rce", juliet.0 as u64)
+            .set("lost_with_bounds", juliet.1 as u64)
+            .set("zero_cost", juliet.1 == 0),
+    )
+}
+
 /// Writes a summary document to `path` (with a trailing newline).
 ///
 /// # Errors

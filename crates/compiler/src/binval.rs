@@ -57,6 +57,22 @@
 //! Checks (a)–(c) are flow-sensitive over the recovered machine CFG;
 //! (d) is a flow-insensitive per-function check.
 //!
+//! When the image was produced with the static bounds-proof pass
+//! ([`crate::bounds`]), a fifth obligation applies
+//! ([`validate_with_elim`]):
+//!
+//! * **(e) elimination witnesses** — every check the instrumenter
+//!   skipped must carry an arithmetically valid proof witness that
+//!   resolves to a real check site, and — under
+//!   [`Scheme::Hwst128Tchk`] — every checked access whose home slot is
+//!   not temporally covered by a reachable `tchk` (directly or through
+//!   the parked-pointer copy chain) must be one of the witnessed
+//!   sites. An image that dropped a `tchk` without a valid witness
+//!   fails validation with a `TCHK_ELIDED` finding; forged witnesses
+//!   fail with `WITNESS_INVALID` / `WITNESS_DANGLING`. The
+//!   [`witness_campaign`] self-test forges witnesses five different
+//!   ways and requires a 100% kill rate.
+//!
 //! # What is *not* proven
 //!
 //! This is translation validation, not verification: the validator
@@ -83,7 +99,8 @@ use hwst_isa::{AluImmOp, AluOp, Instr, LoadWidth, Program, Reg, StoreWidth};
 use hwst_mem::MemoryLayout;
 use hwst_metadata::{CompressionConfig, ShadowCodec};
 
-use crate::instrument::{self, Scheme};
+use crate::bounds::{self, Witness};
+use crate::instrument::{self, Scheme, SkippedCheck};
 use crate::ir::Module;
 use crate::lower::{lower_with_plan, CheckSite, FnPlan, LowerPlan};
 use crate::{analysis, rce, verify, CompileError};
@@ -164,6 +181,9 @@ pub struct FnReport {
     /// Checked ops proven redundant with an earlier identical check of
     /// an unmodified slot pointer.
     pub discharged_redundant: usize,
+    /// Checked sites whose temporal check was elided under a bounds
+    /// witness (counted only when validating with an [`ElimPlan`]).
+    pub tchk_witnessed: usize,
 }
 
 impl FnReport {
@@ -421,6 +441,33 @@ struct FnInterp<'a> {
     /// Reachable `sbdl` instructions targeting a dynamic (heap/global)
     /// container — the machine image of the IR's `MetaStore` copies.
     sbdl_dyn: usize,
+    // Temporal-coverage accounting (check e), emit pass only.
+    /// Reachable `tchk` instructions and the home slot whose pointer
+    /// each one consumed.
+    tchk_sites: Vec<(usize, i64)>,
+    /// A reachable `tchk` consumed a pointer of unknown provenance —
+    /// the coverage obligation is skipped for this function.
+    tchk_unknown: bool,
+    /// Parked-pointer copy edges, destination slot → source slots: a
+    /// store into pointer slot `d` of a value derived from pointer
+    /// slot `s` records `d → s`, so a `tchk` of `s` temporally covers
+    /// accesses through `d` (same pointer value, same key).
+    copy_edges: BTreeMap<i64, BTreeSet<i64>>,
+    /// Emit-pass slot-source tracking feeding [`FnInterp::copy_edges`]:
+    /// for each GPR, the set of frame slots its current value could
+    /// derive from. Deliberately separate from [`Prov`], which must
+    /// stay a *single* object for the spatial checks — a derived
+    /// pointer (`ld` base, `add` a loaded index, `sd`) mixes two
+    /// slot-sourced registers, and coverage wants the union, not
+    /// `Prov::None`. Reset at block entry (lowered code never carries
+    /// live values across blocks in registers).
+    reg_srcs: Vec<BTreeSet<i64>>,
+    /// Interned virtual source ids for heap cells `(container slot,
+    /// offset)`, so two loads of the same cell share a source and a
+    /// pointer stored through one name and reloaded through another
+    /// stays on the coverage graph. Ids are negative — they can never
+    /// collide with a frame slot.
+    heap_srcs: BTreeMap<(i64, i64), i64>,
 }
 
 fn num_add(n: Num, d: i64) -> Num {
@@ -495,6 +542,100 @@ impl<'a> FnInterp<'a> {
             ptr_store_slots: BTreeSet::new(),
             sbdl_slots: BTreeSet::new(),
             sbdl_dyn: 0,
+            tchk_sites: Vec::new(),
+            tchk_unknown: false,
+            copy_edges: BTreeMap::new(),
+            reg_srcs: vec![BTreeSet::new(); 32],
+            heap_srcs: BTreeMap::new(),
+        }
+    }
+
+    /// The virtual source id of heap cell `(container, offset)`.
+    fn heap_src(&mut self, container: i64, offset: i64) -> i64 {
+        let n = self.heap_srcs.len() as i64;
+        *self
+            .heap_srcs
+            .entry((container, offset))
+            .or_insert(-(n + 1))
+    }
+
+    /// The slot-source set of `r` (empty for `x0` and unknown values).
+    fn srcs(&self, r: Reg) -> BTreeSet<i64> {
+        self.reg_srcs[r.index() as usize].clone()
+    }
+
+    fn set_srcs(&mut self, rd: Reg, s: BTreeSet<i64>) {
+        if !rd.is_zero() {
+            self.reg_srcs[rd.index() as usize] = s;
+        }
+    }
+
+    /// Emit-pass-only update of [`FnInterp::reg_srcs`] /
+    /// [`FnInterp::copy_edges`] from the *pre*-instruction state:
+    /// frame-slot loads seed a register's source set, ALU ops
+    /// propagate and union it, any other definition (including a
+    /// call's clobber) clears it, and a store into a frame slot
+    /// records the destination→sources edges.
+    fn track_srcs(&mut self, st: &AbsState, i: &Instr) {
+        match *i {
+            Instr::Load {
+                rd, rs1, offset, ..
+            } => {
+                let a = st.regs[rs1.index() as usize];
+                let mut s = BTreeSet::new();
+                match num_add(a.num, offset) {
+                    Num::Sp(d) => {
+                        s.insert(d.wrapping_add(self.fs));
+                    }
+                    _ => {
+                        // A load through a slot-homed pointer reads a
+                        // nameable heap cell.
+                        if let Prov::Slot { off, exact: true } = a.prov {
+                            s.insert(self.heap_src(off, offset));
+                        }
+                    }
+                }
+                self.set_srcs(rd, s);
+            }
+            Instr::AluImm { rd, rs1, .. } => {
+                let s = self.srcs(rs1);
+                self.set_srcs(rd, s);
+            }
+            Instr::Alu { rd, rs1, rs2, .. } => {
+                let mut s = self.srcs(rs1);
+                s.extend(self.srcs(rs2));
+                self.set_srcs(rd, s);
+            }
+            Instr::Store {
+                rs1, rs2, offset, ..
+            } => {
+                let a = st.regs[rs1.index() as usize];
+                let dest = match num_add(a.num, offset) {
+                    Num::Sp(d) => Some(d.wrapping_add(self.fs)),
+                    _ => match a.prov {
+                        Prov::Slot { off, exact: true } => Some(self.heap_src(off, offset)),
+                        _ => None,
+                    },
+                };
+                let srcs = self.srcs(rs2);
+                if let Some(d) = dest {
+                    if !srcs.is_empty() {
+                        self.copy_edges.entry(d).or_default().extend(srcs);
+                    }
+                }
+            }
+            Instr::Jal { rd, .. } => {
+                if !rd.is_zero() {
+                    for s in &mut self.reg_srcs {
+                        s.clear();
+                    }
+                }
+            }
+            _ => {
+                if let Some(rd) = gpr_def(i) {
+                    self.set_srcs(rd, BTreeSet::new());
+                }
+            }
         }
     }
 
@@ -771,6 +912,9 @@ impl<'a> FnInterp<'a> {
         pairs: &mut HashMap<PairKey, Option<MetaSrc>>,
     ) {
         let i = self.instrs[at];
+        if self.emit {
+            self.track_srcs(st, &i);
+        }
         if !self.scheme.uses_hardware() {
             let hw = matches!(
                 i,
@@ -1232,6 +1376,9 @@ impl<'a> FnInterp<'a> {
                 let slot = match rv.prov {
                     Prov::Slot { off, .. } if self.ptr_slots.contains(&off) => off,
                     _ => {
+                        if self.emit {
+                            self.tchk_unknown = true;
+                        }
                         self.finding(
                             FindingClass::Lowering,
                             "TCHK_ADDR_UNKNOWN",
@@ -1241,6 +1388,9 @@ impl<'a> FnInterp<'a> {
                         return;
                     }
                 };
+                if self.emit {
+                    self.tchk_sites.push((at, slot));
+                }
                 match st.srf_u[rs1.index() as usize] {
                     None => self.finding(
                         FindingClass::Lowering,
@@ -1323,6 +1473,9 @@ impl<'a> FnInterp<'a> {
             let Some(start_state) = input else { continue };
             let mut st = start_state.clone();
             let mut pairs = HashMap::new();
+            for s in &mut self.reg_srcs {
+                s.clear();
+            }
             for at in g.blocks[b].start..g.blocks[b].end {
                 self.transfer(&mut st, at, &mut pairs);
             }
@@ -1380,6 +1533,125 @@ impl<'a> FnInterp<'a> {
 }
 
 // ---------------------------------------------------------------------------
+// Check-elimination plans (the bounds-witness obligation)
+// ---------------------------------------------------------------------------
+
+/// The witness side-table of a bounds-optimised image: the checks the
+/// instrumenter skipped ([`SkippedCheck`]), resolved from RCE-stable
+/// deref ordinals to the `(block, inst)` coordinates the [`LowerPlan`]
+/// records, each paired with its claimed access interval. Skips that
+/// fail resolution or carry an arithmetically invalid witness land in a
+/// `bad` list and each becomes a `WITNESS_INVALID` finding — an image
+/// can never *gain* acceptance by corrupting its witness table.
+#[derive(Debug, Clone, Default)]
+pub struct ElimPlan {
+    /// Function → (block, inst) → claimed `(lo, hi, size)`.
+    sites: BTreeMap<String, ElimSites>,
+    /// Unresolvable or invalid skips: (func, block, deref, reason).
+    bad: Vec<(String, usize, usize, &'static str)>,
+}
+
+/// One function's witnessed sites: `(block, inst)` → `(lo, hi, size)`.
+type ElimSites = BTreeMap<(u32, u32), (i64, i64, u64)>;
+
+impl ElimPlan {
+    /// Resolves `skips` against the **post-RCE** instrumented module.
+    /// Ordinals are stable across RCE because RCE removes checks, never
+    /// dereferences; resolution mirrors
+    /// [`crate::verify::verify_with`] and rejects for the same reasons.
+    pub fn new(module: &Module, skips: &[SkippedCheck], witnesses: &[Witness]) -> Self {
+        let mut plan = ElimPlan::default();
+        for s in skips {
+            match resolve_skip(module, s, witnesses) {
+                Ok((coord, w)) => {
+                    plan.sites
+                        .entry(s.func.clone())
+                        .or_default()
+                        .insert(coord, (w.lo, w.hi, w.size));
+                }
+                Err(reason) => plan.bad.push((s.func.clone(), s.block, s.deref, reason)),
+            }
+        }
+        plan
+    }
+
+    /// Number of successfully resolved witnessed sites.
+    pub fn site_count(&self) -> usize {
+        self.sites.values().map(|m| m.len()).sum()
+    }
+
+    /// Number of skips that failed resolution (each one is reported as
+    /// a `WITNESS_INVALID` finding).
+    pub fn invalid(&self) -> usize {
+        self.bad.len()
+    }
+}
+
+/// A resolved skip: `(block, inst)` coordinates plus the witness that
+/// justified it — or the stable rejection reason.
+type ResolvedSkip<'w> = Result<((u32, u32), &'w Witness), &'static str>;
+
+/// Resolves one skip's deref ordinal to an instruction index and
+/// re-checks its witness arithmetic.
+fn resolve_skip<'w>(
+    module: &Module,
+    s: &SkippedCheck,
+    witnesses: &'w [Witness],
+) -> ResolvedSkip<'w> {
+    let w = witnesses
+        .get(s.witness)
+        .ok_or("witness index out of range")?;
+    if !w.arithmetic_ok() {
+        return Err("claimed interval does not fit the object");
+    }
+    let f = module
+        .funcs
+        .iter()
+        .find(|f| f.name == s.func)
+        .ok_or("unknown function")?;
+    let b = f
+        .blocks
+        .get(s.block)
+        .ok_or("exempted block does not exist")?;
+    let idx = b
+        .insts
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| instrument::is_deref(i))
+        .map(|(i, _)| i)
+        .nth(s.deref)
+        .ok_or("exempted site is not a dereference")?;
+    Ok(((s.block as u32, idx as u32), w))
+}
+
+/// Transitive source closure of `start` over the parked-pointer copy
+/// chain (destination → sources). Contains `start` itself.
+fn src_closure(start: i64, edges: &BTreeMap<i64, BTreeSet<i64>>) -> BTreeSet<i64> {
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![start];
+    while let Some(s) = stack.pop() {
+        if seen.insert(s) {
+            if let Some(srcs) = edges.get(&s) {
+                stack.extend(srcs.iter().copied());
+            }
+        }
+    }
+    seen
+}
+
+/// Is `slot` temporally covered by one of the `tchks`? Covered means
+/// the two slots can hold the same pointer value: their source
+/// closures intersect. A tchk slot is in its own closure, so "the
+/// access slot was copied from the checked slot" and "both were
+/// reloaded from the same heap cell" are both special cases.
+fn slot_covered(slot: i64, tchks: &BTreeSet<i64>, edges: &BTreeMap<i64, BTreeSet<i64>>) -> bool {
+    let sc = src_closure(slot, edges);
+    tchks
+        .iter()
+        .any(|&t| !sc.is_disjoint(&src_closure(t, edges)))
+}
+
+// ---------------------------------------------------------------------------
 // Image-level validation
 // ---------------------------------------------------------------------------
 
@@ -1391,8 +1663,70 @@ pub fn validate(
     compression: CompressionConfig,
     layout: MemoryLayout,
 ) -> BinvalReport {
+    validate_impl(program, plan, compression, layout, None)
+}
+
+/// [`validate`] plus the check-elimination obligations (check **e**):
+/// every skip in `elim` must carry a valid witness resolving to a
+/// recorded check site, and — under [`Scheme::Hwst128Tchk`] — every
+/// checked access whose home slot has no reachable `tchk` on its copy
+/// chain must be one of the witnessed sites.
+pub fn validate_with_elim(
+    program: &Program,
+    plan: &LowerPlan,
+    compression: CompressionConfig,
+    layout: MemoryLayout,
+    elim: &ElimPlan,
+) -> BinvalReport {
+    validate_impl(program, plan, compression, layout, Some(elim))
+}
+
+fn validate_impl(
+    program: &Program,
+    plan: &LowerPlan,
+    compression: CompressionConfig,
+    layout: MemoryLayout,
+    elim: Option<&ElimPlan>,
+) -> BinvalReport {
     let mut findings = Vec::new();
     let mut funcs = Vec::new();
+    if let Some(e) = elim {
+        for (func, block, deref, reason) in &e.bad {
+            findings.push(Finding {
+                class: FindingClass::Lowering,
+                code: "WITNESS_INVALID",
+                func: func.clone(),
+                at: 0,
+                pc: program.base(),
+                cwe: None,
+                message: format!(
+                    "skipped check at b{block} (deref {deref}) has no valid bounds \
+                     witness: {reason}"
+                ),
+            });
+        }
+        for (fname, sites) in &e.sites {
+            let fp = plan.funcs.iter().find(|f| &f.name == fname);
+            for &(b, i) in sites.keys() {
+                let matched =
+                    fp.is_some_and(|fp| fp.checks.iter().any(|c| c.block == b && c.inst == i));
+                if !matched {
+                    findings.push(Finding {
+                        class: FindingClass::Lowering,
+                        code: "WITNESS_DANGLING",
+                        func: fname.clone(),
+                        at: 0,
+                        pc: program.base(),
+                        cwe: None,
+                        message: format!(
+                            "elimination witness targets b{b}/{i}, which is not a \
+                             recorded check site"
+                        ),
+                    });
+                }
+            }
+        }
+    }
     // Check (c), global part: the 24-bit CSR config must cover the
     // layout the image is linked against.
     if plan.scheme.uses_hardware() {
@@ -1454,8 +1788,42 @@ pub fn validate(
             }
         }
         let mut interp = FnInterp::new(program.instrs(), program.base(), fp, plan.scheme, codec);
-        let (mut fnd, stats) = interp.run();
+        let (mut fnd, mut stats) = interp.run();
         findings.append(&mut fnd);
+        // Check (e): temporal coverage. Only `Hwst128Tchk` carries
+        // machine `tchk`s to account for, and the obligation is active
+        // only when an elimination plan was supplied; a tchk of unknown
+        // provenance makes coverage untrackable, so the function bails
+        // (that tchk already failed validation on its own).
+        if plan.scheme == Scheme::Hwst128Tchk && !interp.tchk_unknown {
+            if let Some(e) = elim {
+                let tchk_slots: BTreeSet<i64> = interp.tchk_sites.iter().map(|&(_, s)| s).collect();
+                let witnessed = e.sites.get(&fp.name);
+                for site in &fp.checks {
+                    if slot_covered(site.slot, &tchk_slots, &interp.copy_edges) {
+                        continue;
+                    }
+                    if witnessed.is_some_and(|m| m.contains_key(&(site.block, site.inst))) {
+                        stats.tchk_witnessed += 1;
+                    } else {
+                        findings.push(Finding {
+                            class: FindingClass::Lowering,
+                            code: "TCHK_ELIDED",
+                            func: fp.name.clone(),
+                            at: site.at,
+                            pc: program.base() + site.at as u64 * 4,
+                            cwe: None,
+                            message: format!(
+                                "checked access on slot {} has no reachable tchk on its \
+                                 copy chain and no bounds witness — the temporal check \
+                                 was lost",
+                                site.slot
+                            ),
+                        });
+                    }
+                }
+            }
+        }
         funcs.push(stats);
     }
     BinvalReport {
@@ -1808,6 +2176,250 @@ pub fn mutation_campaign(
     Ok(report)
 }
 
+// ---------------------------------------------------------------------------
+// Witness-forging self-test
+// ---------------------------------------------------------------------------
+
+/// A seeded forgery of a bounds-optimised image's witness side-channel.
+/// Unlike [`Mutation`] (which corrupts the *code*), these corrupt the
+/// elimination evidence — a sound validator must reject every one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WitnessMutation {
+    /// Enlarge the claimed interval past the object (`hi = size + 8`) —
+    /// caught by the arithmetic re-check (`WITNESS_INVALID`).
+    EnlargeInterval,
+    /// Claim a negative base offset (`lo = -8`) — caught by the
+    /// arithmetic re-check (`WITNESS_INVALID`).
+    NegativeBase,
+    /// Point a resolved witness at a non-existent site — caught by the
+    /// plan cross-check (`WITNESS_DANGLING`).
+    DanglingSite,
+    /// Drop the skip record for an uncovered site: the image still
+    /// lacks the check, but nothing justifies it — caught by the
+    /// coverage obligation (`TCHK_ELIDED`).
+    RetargetSite,
+    /// Nop a `tchk` that is the sole temporal cover of an unwitnessed
+    /// checked access — caught by the coverage obligation
+    /// (`TCHK_ELIDED`).
+    DropProtectedTchk,
+}
+
+impl WitnessMutation {
+    /// All witness-forging operators.
+    pub const ALL: [WitnessMutation; 5] = [
+        WitnessMutation::EnlargeInterval,
+        WitnessMutation::NegativeBase,
+        WitnessMutation::DanglingSite,
+        WitnessMutation::RetargetSite,
+        WitnessMutation::DropProtectedTchk,
+    ];
+
+    /// Stable name for reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            WitnessMutation::EnlargeInterval => "enlarge-interval",
+            WitnessMutation::NegativeBase => "negative-base",
+            WitnessMutation::DanglingSite => "dangling-site",
+            WitnessMutation::RetargetSite => "retarget-site",
+            WitnessMutation::DropProtectedTchk => "drop-protected-tchk",
+        }
+    }
+}
+
+/// The result of a deterministic witness-forging campaign.
+#[derive(Debug, Clone, Default)]
+pub struct WitnessCampaignReport {
+    /// Did the unforged image validate cleanly with its elimination
+    /// plan? A dirty baseline fails [`WitnessCampaignReport::all_killed`]
+    /// outright.
+    pub baseline_ok: bool,
+    /// Witnessed (successfully resolved) skips in the image.
+    pub skips: usize,
+    /// One entry per applied forgery.
+    pub outcomes: Vec<MutantOutcome>,
+}
+
+impl WitnessCampaignReport {
+    /// Forgeries the validator rejected.
+    pub fn killed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.killed).count()
+    }
+
+    /// Total forgeries applied.
+    pub fn total(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// The gate the A10 ablation enforces: a clean baseline and every
+    /// forgery rejected.
+    pub fn all_killed(&self) -> bool {
+        self.baseline_ok && self.outcomes.iter().all(|o| o.killed)
+    }
+}
+
+/// Runs the deterministic witness-forging campaign for `module` under
+/// [`Scheme::Hwst128Tchk`]: the module is compiled with the bounds pass
+/// and RCE, its elimination plan is built, and for every seed × operator
+/// one forgery is applied and re-validated. Operators whose candidate
+/// set is empty (e.g. no uncovered witnessed site to retarget) are
+/// skipped for that seed rather than reported as survivors.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for analysis/lowering failures.
+pub fn witness_campaign(
+    module: &Module,
+    seeds: &[u64],
+) -> Result<WitnessCampaignReport, CompileError> {
+    let scheme = Scheme::Hwst128Tchk;
+    let info = analysis::analyze(module)?;
+    let outcome = bounds::analyze(module);
+    let (mut instrumented, skips) =
+        instrument::instrument_with_bounds(module, &info, scheme, Some(&outcome));
+    rce::eliminate(&mut instrumented);
+    let (program, plan) = lower_with_plan(&instrumented, scheme)?;
+    let witnesses = outcome.witnesses;
+    let elim = ElimPlan::new(&instrumented, &skips, &witnesses);
+    let compression = CompressionConfig::SPEC_DEFAULT;
+    let layout = MemoryLayout::default();
+    let revalidate = |prog: &Program, e: &ElimPlan| {
+        validate_impl(prog, &plan, compression, MemoryLayout::default(), Some(e))
+    };
+    let mut report = WitnessCampaignReport {
+        baseline_ok: revalidate(&program, &elim).ok(),
+        skips: elim.site_count(),
+        outcomes: Vec::new(),
+    };
+    // Candidate discovery from the interpreter's coverage facts:
+    // `uncovered` = indices into `skips` whose site genuinely depends on
+    // its witness; `protected` = machine indices of tchks that are the
+    // sole cover of some unwitnessed check site.
+    let codec = ShadowCodec::new(compression, layout.lock_region_base);
+    let mut uncovered: Vec<usize> = Vec::new();
+    let mut protected: Vec<usize> = Vec::new();
+    for fp in &plan.funcs {
+        let mut interp = FnInterp::new(program.instrs(), program.base(), fp, scheme, codec);
+        let _ = interp.run();
+        if interp.tchk_unknown {
+            continue;
+        }
+        let slots: Vec<i64> = interp.tchk_sites.iter().map(|&(_, s)| s).collect();
+        let set: BTreeSet<i64> = slots.iter().copied().collect();
+        let fsites = elim.sites.get(&fp.name);
+        for (k, s) in skips.iter().enumerate() {
+            if s.func != fp.name {
+                continue;
+            }
+            let Ok((coord, _)) = resolve_skip(&instrumented, s, &witnesses) else {
+                continue;
+            };
+            let covered = fp
+                .checks
+                .iter()
+                .find(|c| (c.block, c.inst) == coord)
+                .is_none_or(|c| slot_covered(c.slot, &set, &interp.copy_edges));
+            if !covered {
+                uncovered.push(k);
+            }
+        }
+        for &(at, slot) in &interp.tchk_sites {
+            if slots.iter().filter(|&&s| s == slot).count() != 1 {
+                continue;
+            }
+            let mut without = set.clone();
+            without.remove(&slot);
+            let exposes = fp.checks.iter().any(|c| {
+                !fsites.is_some_and(|m| m.contains_key(&(c.block, c.inst)))
+                    && slot_covered(c.slot, &set, &interp.copy_edges)
+                    && !slot_covered(c.slot, &without, &interp.copy_edges)
+            });
+            if exposes {
+                protected.push(at);
+            }
+        }
+    }
+    let dangling: Vec<(String, (u32, u32))> = elim
+        .sites
+        .iter()
+        .flat_map(|(f, m)| m.keys().map(move |&k| (f.clone(), k)))
+        .collect();
+    for &seed in seeds {
+        for (mi, &m) in WitnessMutation::ALL.iter().enumerate() {
+            let pick = splitmix64(seed ^ (mi as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+            let choose = |n: usize| (pick % n as u64) as usize;
+            let (site, func, r) = match m {
+                WitnessMutation::EnlargeInterval | WitnessMutation::NegativeBase => {
+                    if skips.is_empty() {
+                        continue;
+                    }
+                    let k = choose(skips.len());
+                    let mut forged = witnesses.clone();
+                    let w = &mut forged[skips[k].witness];
+                    if m == WitnessMutation::EnlargeInterval {
+                        w.hi = (w.size as i64).saturating_add(8);
+                    } else {
+                        w.lo = -8;
+                    }
+                    let e = ElimPlan::new(&instrumented, &skips, &forged);
+                    (k, skips[k].func.clone(), revalidate(&program, &e))
+                }
+                WitnessMutation::DanglingSite => {
+                    if dangling.is_empty() {
+                        continue;
+                    }
+                    let (fname, (b, i)) = dangling[choose(dangling.len())].clone();
+                    let mut e = elim.clone();
+                    if let Some(sites) = e.sites.get_mut(&fname) {
+                        if let Some(v) = sites.remove(&(b, i)) {
+                            sites.insert((b + 1000, i), v);
+                        }
+                    }
+                    (b as usize, fname, revalidate(&program, &e))
+                }
+                WitnessMutation::RetargetSite => {
+                    if uncovered.is_empty() {
+                        continue;
+                    }
+                    let k = uncovered[choose(uncovered.len())];
+                    let mut pruned = skips.clone();
+                    let func = pruned.remove(k).func;
+                    let e = ElimPlan::new(&instrumented, &pruned, &witnesses);
+                    (k, func, revalidate(&program, &e))
+                }
+                WitnessMutation::DropProtectedTchk => {
+                    if protected.is_empty() {
+                        continue;
+                    }
+                    let at = protected[choose(protected.len())];
+                    let mut instrs = program.instrs().to_vec();
+                    instrs[at] = Instr::AluImm {
+                        op: AluImmOp::Addi,
+                        rd: Reg::Zero,
+                        rs1: Reg::Zero,
+                        imm: 0,
+                    };
+                    let mutant = Program::from_instrs(program.base(), instrs);
+                    let pc = program.base() + at as u64 * 4;
+                    let func = plan
+                        .func_at_pc(pc)
+                        .map_or_else(|| "<shim>".to_string(), |f| f.name.clone());
+                    (at, func, revalidate(&mutant, &elim))
+                }
+            };
+            report.outcomes.push(MutantOutcome {
+                mutation: m.name(),
+                seed,
+                site,
+                pc: program.base() + site as u64 * 4,
+                func,
+                killed: !r.ok(),
+                findings: r.findings.len(),
+            });
+        }
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1982,6 +2594,149 @@ mod tests {
             assert_eq!((x.site, x.killed, x.seed), (y.site, y.killed, y.seed));
         }
         assert!(a.all_killed());
+    }
+
+    /// Proven const-offset accesses (alloca + const malloc) alongside a
+    /// pointer reloaded from memory whose provenance the bounds pass
+    /// cannot prove — its deref keeps the image's only `tchk`.
+    fn bounds_module() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("main");
+        let a = f.stack_alloc(16);
+        let v = f.konst(7);
+        f.store(v, a, 8, Width::U64);
+        let p = f.malloc_bytes(64);
+        f.store(v, p, 0, Width::U64);
+        let _ = f.load(p, 8, Width::U32);
+        let cell = f.malloc_bytes(8);
+        f.store_ptr(p, cell, 0);
+        let q = f.load_ptr(cell, 0);
+        let r = f.load(q, 0, Width::U64);
+        f.ret(Some(r));
+        f.finish();
+        mb.finish()
+    }
+
+    /// The full bounds pipeline: analyze → instrument-with-skips → RCE →
+    /// lower, returning everything the elimination obligation needs.
+    fn bounds_pipeline(m: &Module) -> (Program, LowerPlan, ElimPlan) {
+        let info = analysis::analyze(m).unwrap();
+        let outcome = bounds::analyze(m);
+        let (mut inst, skips) =
+            instrument::instrument_with_bounds(m, &info, Scheme::Hwst128Tchk, Some(&outcome));
+        rce::eliminate(&mut inst);
+        let (program, plan) = lower_with_plan(&inst, Scheme::Hwst128Tchk).unwrap();
+        let elim = ElimPlan::new(&inst, &skips, &outcome.witnesses);
+        (program, plan, elim)
+    }
+
+    #[test]
+    fn bounds_optimised_image_validates_with_its_elim_plan() {
+        let (program, plan, elim) = bounds_pipeline(&bounds_module());
+        assert!(elim.site_count() >= 3, "expected several witnessed skips");
+        assert_eq!(elim.invalid(), 0);
+        let r = validate_with_elim(
+            &program,
+            &plan,
+            CompressionConfig::SPEC_DEFAULT,
+            MemoryLayout::default(),
+            &elim,
+        );
+        assert!(r.ok(), "clean bounds image rejected: {:?}", r.findings);
+        assert!(
+            r.funcs.iter().map(|f| f.tchk_witnessed).sum::<usize>() >= 3,
+            "witnessed sites should be accounted"
+        );
+        // Without the elim plan the obligation is inactive and the image
+        // still validates (spatial checks are all present).
+        let r = validate(
+            &program,
+            &plan,
+            CompressionConfig::SPEC_DEFAULT,
+            MemoryLayout::default(),
+        );
+        assert!(r.ok());
+    }
+
+    #[test]
+    fn unwitnessed_tchk_elision_fails_validation() {
+        let (program, plan, elim) = bounds_pipeline(&bounds_module());
+        let tchk_at = program
+            .instrs()
+            .iter()
+            .position(|i| matches!(i, Instr::Tchk { .. }))
+            .expect("image should keep a tchk for the unproven deref");
+        let mut instrs = program.instrs().to_vec();
+        instrs[tchk_at] = Instr::AluImm {
+            op: AluImmOp::Addi,
+            rd: Reg::Zero,
+            rs1: Reg::Zero,
+            imm: 0,
+        };
+        let mutant = Program::from_instrs(program.base(), instrs);
+        let r = validate_with_elim(
+            &mutant,
+            &plan,
+            CompressionConfig::SPEC_DEFAULT,
+            MemoryLayout::default(),
+            &elim,
+        );
+        assert!(!r.ok());
+        assert!(r.findings.iter().any(|f| f.code == "TCHK_ELIDED"));
+    }
+
+    #[test]
+    fn forged_witness_arithmetic_is_rejected() {
+        let m = bounds_module();
+        let info = analysis::analyze(&m).unwrap();
+        let outcome = bounds::analyze(&m);
+        let (mut inst, skips) =
+            instrument::instrument_with_bounds(&m, &info, Scheme::Hwst128Tchk, Some(&outcome));
+        rce::eliminate(&mut inst);
+        let (program, plan) = lower_with_plan(&inst, Scheme::Hwst128Tchk).unwrap();
+        let mut forged = outcome.witnesses.clone();
+        forged[skips[0].witness].hi = forged[skips[0].witness].size as i64 + 8;
+        let elim = ElimPlan::new(&inst, &skips, &forged);
+        assert!(elim.invalid() >= 1);
+        let r = validate_with_elim(
+            &program,
+            &plan,
+            CompressionConfig::SPEC_DEFAULT,
+            MemoryLayout::default(),
+            &elim,
+        );
+        assert!(r.findings.iter().any(|f| f.code == "WITNESS_INVALID"));
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn witness_campaign_kills_every_forgery() {
+        let r = witness_campaign(&bounds_module(), &[3, 5, 9]).unwrap();
+        assert!(r.baseline_ok);
+        assert!(r.skips >= 3);
+        for m in WitnessMutation::ALL {
+            assert!(
+                r.outcomes.iter().any(|o| o.mutation == m.name()),
+                "operator {} never ran",
+                m.name()
+            );
+        }
+        assert_eq!(r.killed(), r.total());
+        assert!(r.all_killed());
+    }
+
+    #[test]
+    fn witness_campaign_is_deterministic() {
+        let m = bounds_module();
+        let a = witness_campaign(&m, &[7, 11]).unwrap();
+        let b = witness_campaign(&m, &[7, 11]).unwrap();
+        assert_eq!(a.total(), b.total());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(
+                (x.mutation, x.site, x.killed, x.seed),
+                (y.mutation, y.site, y.killed, y.seed)
+            );
+        }
     }
 
     #[test]

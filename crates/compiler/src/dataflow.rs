@@ -223,6 +223,29 @@ pub trait ForwardAnalysis {
     fn transfer_term(&self, block: usize, term: &Terminator, fact: &mut Self::Fact) {
         let _ = (block, term, fact);
     }
+
+    /// Refines the fact flowing along the CFG edge `from → to` (applied
+    /// after [`ForwardAnalysis::transfer_term`], to a per-edge copy of
+    /// the block output, before the meet at `to`). The default is a
+    /// no-op; the value-range analysis ([`crate::bounds`]) uses this to
+    /// sharpen intervals from branch conditions (`i < n` on the taken
+    /// edge), which is what recovers loop trip counts after widening.
+    fn transfer_edge(&self, from: usize, to: usize, term: &Terminator, fact: &mut Self::Fact) {
+        let _ = (from, to, term, fact);
+    }
+
+    /// Widening: combines the previous block-entry iterate `old` into
+    /// the freshly computed `new`. Implementations must guarantee the
+    /// result is an upper bound of both arguments and that repeated
+    /// application stabilizes (e.g. snap strictly-growing interval
+    /// bounds to ±∞); otherwise infinite-height lattices (intervals
+    /// over `i64`) would climb forever around loops. The default keeps
+    /// `new` unchanged, which is correct for the finite-height fact
+    /// lattices the check analyses use.
+    fn widen(&self, old: &Self::Fact, new: &mut Self::Fact) {
+        let _ = old;
+        let _ = new;
+    }
 }
 
 /// Block-entry facts computed by [`solve_forward`]; `None` means the
@@ -244,6 +267,21 @@ pub fn solve_forward<A: ForwardAnalysis>(
     }
     let entry = cfg.rpo[0];
 
+    // Widening points: loop heads, i.e. targets of a retreating edge
+    // in reverse postorder. Widening only there preserves precision on
+    // straight-line and branch-join blocks (in particular the interval
+    // refinements [`ForwardAnalysis::transfer_edge`] installs on a loop
+    // body's entry edge), while still cutting every cycle so the
+    // iteration terminates on infinite-height lattices.
+    let mut widen_at = vec![false; n];
+    for &b in &cfg.rpo {
+        for &p in &cfg.preds[b] {
+            if cfg.rpo_pos[p] >= cfg.rpo_pos[b] {
+                widen_at[b] = true;
+            }
+        }
+    }
+
     let mut changed = true;
     while changed {
         changed = false;
@@ -257,15 +295,22 @@ pub fn solve_forward<A: ForwardAnalysis>(
             };
             for &p in &cfg.preds[b] {
                 if let Some(out_p) = &output[p] {
+                    let mut edge_fact = out_p.clone();
+                    analysis.transfer_edge(p, b, &f.blocks[p].term, &mut edge_fact);
                     match &mut in_fact {
-                        None => in_fact = Some(out_p.clone()),
-                        Some(acc) => analysis.meet(acc, out_p),
+                        None => in_fact = Some(edge_fact),
+                        Some(acc) => analysis.meet(acc, &edge_fact),
                     }
                 }
             }
-            let Some(in_fact) = in_fact else {
+            let Some(mut in_fact) = in_fact else {
                 continue; // no information yet (e.g. loop not entered)
             };
+            if widen_at[b] {
+                if let Some(old) = &input[b] {
+                    analysis.widen(old, &mut in_fact);
+                }
+            }
 
             let mut out_fact = in_fact.clone();
             for inst in &f.blocks[b].insts {

@@ -54,6 +54,20 @@ pub enum CompileError {
         /// The scheme whose contract was violated.
         scheme: &'static str,
     },
+    /// A skipped check's bounds-proof witness failed re-validation (see
+    /// [`crate::verify::verify_with`]) — either the claimed interval
+    /// does not fit the object, the witness index is out of range, or
+    /// the exempted site is not a dereference.
+    InvalidWitness {
+        /// The function containing the skipped check.
+        func: String,
+        /// Block index of the skip (instrumented coordinates).
+        block: usize,
+        /// Instruction index within the block.
+        inst: usize,
+        /// Why the witness was rejected.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -87,6 +101,15 @@ impl fmt::Display for CompileError {
             } => write!(
                 f,
                 "{func}: dereference at b{block}/{inst} is not covered by the {scheme} checks"
+            ),
+            CompileError::InvalidWitness {
+                func,
+                block,
+                inst,
+                reason,
+            } => write!(
+                f,
+                "{func}: check skipped at b{block}/{inst} without a valid witness: {reason}"
             ),
         }
     }

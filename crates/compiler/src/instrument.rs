@@ -114,10 +114,63 @@ struct Companions {
     lock: VarId,
 }
 
+/// One dereference check the instrumenter skipped on the strength of a
+/// bounds-proof witness ([`crate::bounds::Witness`]). The site is named
+/// by its block in the *instrumented* function plus the dereference's
+/// ordinal among that block's dereference instructions — NOT a raw
+/// instruction index, because redundant-check elimination later deletes
+/// check instructions (shifting indices) but never deletes a
+/// dereference, so the ordinal stays valid all the way down to the
+/// lowering plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedCheck {
+    /// Function name.
+    pub func: String,
+    /// Block index of the dereference in the instrumented function.
+    pub block: usize,
+    /// Ordinal of the dereference among the block's `Load` / `Store` /
+    /// `LoadPtr` / `StorePtr` instructions (0-based).
+    pub deref: usize,
+    /// Index into the witness list that justified the skip.
+    pub witness: usize,
+}
+
+/// Is `inst` one of the four dereference forms a [`SkippedCheck`]
+/// ordinal counts over?
+pub fn is_deref(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Load { .. } | Inst::Store { .. } | Inst::LoadPtr { .. } | Inst::StorePtr { .. }
+    )
+}
+
 /// Instruments `module` for `scheme`.
 pub fn instrument(module: &Module, info: &PointerInfo, scheme: Scheme) -> Module {
+    instrument_with_bounds(module, info, scheme, None).0
+}
+
+/// [`instrument`], additionally skipping the per-dereference checks the
+/// bounds pass proved unnecessary. Every skip is recorded with the
+/// witness index that justified it; callers enabling this MUST forward
+/// the skips and witnesses to [`crate::verify::verify_with`] (and, for
+/// binary validation, to the `binval` elimination plan) — a skip
+/// without a valid witness is a lost detection.
+///
+/// Per-scheme elimination policy (see DESIGN.md §4h): the hardware
+/// schemes keep spatial safety on the bounded machine accesses
+/// regardless, so a witness skips only the temporal check (`tchk` /
+/// the inline software key compare). Under SBCETS both software checks
+/// are skipped, but only for non-heap provenance — a heap pointer may
+/// be NULL (failed allocation), and the spatial check is what catches
+/// that dereference.
+pub fn instrument_with_bounds(
+    module: &Module,
+    info: &PointerInfo,
+    scheme: Scheme,
+    bounds: Option<&crate::bounds::BoundsOutcome>,
+) -> (Module, Vec<SkippedCheck>) {
     if scheme == Scheme::None {
-        return module.clone();
+        return (module.clone(), Vec::new());
     }
     let mut out = Module {
         funcs: Vec::new(),
@@ -143,7 +196,22 @@ pub fn instrument(module: &Module, info: &PointerInfo, scheme: Scheme) -> Module
     let scratch_id = crate::ir::GlobalId((out.globals.len() - 2) as u32);
     let meta_tmp_id = crate::ir::GlobalId((out.globals.len() - 1) as u32);
 
+    let mut skips = Vec::new();
     for f in &module.funcs {
+        // Per-scheme witness filter: SBCETS must keep the software
+        // spatial check on heap pointers (NULL-malloc detection rides
+        // on it); the hardware schemes keep spatial safety in the
+        // bounded accesses and can drop the temporal check everywhere
+        // a witness proves liveness.
+        let proven: std::collections::BTreeMap<(usize, usize), usize> =
+            match bounds.and_then(|b| b.proven_for(&f.name).map(|m| (b, m))) {
+                Some((b, m)) => m
+                    .iter()
+                    .filter(|&(_, &wi)| scheme.uses_hardware() || !b.witnesses[wi].heap())
+                    .map(|(&site, &wi)| (site, wi))
+                    .collect(),
+                None => Default::default(),
+            };
         let mut rw = Rewriter::new(
             f,
             module,
@@ -153,7 +221,9 @@ pub fn instrument(module: &Module, info: &PointerInfo, scheme: Scheme) -> Module
             scratch_id,
             meta_tmp_id,
         );
+        rw.proven = proven;
         out.funcs.push(rw.run());
+        skips.append(&mut rw.skips);
     }
     if scheme == Scheme::Sbcets {
         out.funcs.push(spatial_check_fn());
@@ -161,7 +231,7 @@ pub fn instrument(module: &Module, info: &PointerInfo, scheme: Scheme) -> Module
         out.funcs.push(meta_load_fn(meta_tmp_id));
         out.funcs.push(meta_store_fn());
     }
-    out
+    (out, skips)
 }
 
 /// `__sbcets_metadata_load(container)` — shadow-map lookup; leaves the
@@ -448,6 +518,14 @@ struct Rewriter<'a> {
     cur_insts: Vec<Inst>,
     companions: HashMap<VarId, Companions>,
     frame_grant: Option<(VarId, VarId)>,
+    /// Source sites `(block, inst)` whose dereference check the bounds
+    /// pass proved away (already filtered for this scheme), mapping to
+    /// the justifying witness index.
+    proven: std::collections::BTreeMap<(usize, usize), usize>,
+    /// The source site currently being rewritten.
+    cur_site: Option<(usize, usize)>,
+    /// Checks actually skipped, in instrumented coordinates.
+    skips: Vec<SkippedCheck>,
 }
 
 impl<'a> Rewriter<'a> {
@@ -474,6 +552,9 @@ impl<'a> Rewriter<'a> {
             cur_insts: Vec::new(),
             companions: HashMap::new(),
             frame_grant: None,
+            proven: Default::default(),
+            cur_site: None,
+            skips: Vec::new(),
         }
     }
 
@@ -786,9 +867,11 @@ impl<'a> Rewriter<'a> {
                 debug_assert!(self.cur_insts.is_empty());
             }
             let block = &self.src.blocks[bi];
-            for inst in block.insts.clone() {
+            for (ii, inst) in block.insts.clone().into_iter().enumerate() {
+                self.cur_site = Some((bi, ii));
                 self.rewrite(inst);
             }
+            self.cur_site = None;
             let term = block.term.clone();
             // Epilogue work before returns.
             if let Terminator::Ret { value } = &term {
@@ -1418,6 +1501,23 @@ impl<'a> Rewriter<'a> {
     /// access at `p + off` and marks the following access as
     /// hardware-checked where applicable.
     fn check_deref(&mut self, p: VarId, off: i64, n: u64) {
+        // A bounds-proof witness for this source site removes the whole
+        // check. Every rewrite arm that calls `check_deref` emits the
+        // dereference itself as its very next instruction, so the
+        // skipped check's dereference becomes the (current block,
+        // next-deref-ordinal) instruction of the instrumented function.
+        if let Some(site) = self.cur_site {
+            if let Some(&witness) = self.proven.get(&site) {
+                let ordinal = self.cur_insts.iter().filter(|i| is_deref(i)).count();
+                self.skips.push(SkippedCheck {
+                    func: self.src.name.clone(),
+                    block: self.cur,
+                    deref: ordinal,
+                    witness,
+                });
+                return;
+            }
+        }
         match self.scheme {
             Scheme::Sbcets => {
                 self.sbcets_spatial_check(p, off, n);

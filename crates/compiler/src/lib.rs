@@ -49,6 +49,7 @@
 
 pub mod analysis;
 pub mod binval;
+pub mod bounds;
 mod builder;
 pub mod dataflow;
 mod error;
@@ -127,6 +128,10 @@ pub struct CompileOptions {
     /// Run the metadata-completeness verifier ([`verify`]) on the final
     /// instrumented IR (after RCE, when enabled).
     pub verify: bool,
+    /// Run the static bounds-proof pass ([`bounds`]) on the source IR
+    /// and skip every check it proves unnecessary, emitting one proof
+    /// witness per skip.
+    pub bounds: bool,
 }
 
 impl CompileOptions {
@@ -136,6 +141,7 @@ impl CompileOptions {
             scheme,
             rce: false,
             verify: false,
+            bounds: false,
         }
     }
 
@@ -150,6 +156,12 @@ impl CompileOptions {
         self.verify = true;
         self
     }
+
+    /// Enables the static bounds-proof check elimination.
+    pub const fn with_bounds(mut self) -> Self {
+        self.bounds = true;
+        self
+    }
 }
 
 /// The result of [`compile_with_options`].
@@ -162,28 +174,55 @@ pub struct Compiled {
     /// Static check sites remaining in the final instrumented IR
     /// ([`rce::static_check_count`]).
     pub check_count: usize,
+    /// Bounds-proof counters (all zero when the pass was off).
+    pub bounds: bounds::BoundsStats,
+    /// One proof witness per site the bounds pass proved in-bounds
+    /// (empty when the pass was off). Indexed by
+    /// [`instrument::SkippedCheck::witness`].
+    pub witnesses: Vec<bounds::Witness>,
+    /// The checks the instrumenter actually skipped, each justified by
+    /// a witness.
+    pub skips: Vec<instrument::SkippedCheck>,
 }
 
-/// [`compile`] with the optional static-analysis passes: redundant-
-/// check elimination and the metadata-completeness verifier.
+/// [`compile`] with the optional static-analysis passes: the bounds-
+/// proof check eliminator, redundant-check elimination and the
+/// metadata-completeness verifier.
+///
+/// Pass order: `bounds` analyzes the *source* IR and the instrumenter
+/// skips every proven check as it inserts the rest; `rce` then removes
+/// dominated duplicates among the surviving checks; `verify` finally
+/// re-checks completeness, accepting a missing check only where a skip
+/// carries an arithmetically valid witness
+/// ([`verify::verify_with`]).
 ///
 /// # Errors
 ///
-/// Same as [`compile`], plus [`CompileError::UncoveredDeref`] when
-/// verification is enabled and fails.
+/// Same as [`compile`], plus [`CompileError::UncoveredDeref`] /
+/// [`CompileError::InvalidWitness`] when verification is enabled and
+/// fails.
 pub fn compile_with_options(
     module: &ir::Module,
     opts: CompileOptions,
 ) -> Result<Compiled, CompileError> {
     let info = analysis::analyze(module)?;
-    let mut instrumented = instrument::instrument(module, &info, opts.scheme);
+    let (outcome, bounds_stats) = if opts.bounds {
+        let o = bounds::analyze(module);
+        let s = o.stats;
+        (Some(o), s)
+    } else {
+        (None, bounds::BoundsStats::default())
+    };
+    let (mut instrumented, skips) =
+        instrument::instrument_with_bounds(module, &info, opts.scheme, outcome.as_ref());
     let stats = if opts.rce {
         rce::eliminate(&mut instrumented)
     } else {
         rce::RceStats::default()
     };
+    let witnesses = outcome.map(|o| o.witnesses).unwrap_or_default();
     if opts.verify {
-        verify::verify(&instrumented, opts.scheme)?;
+        verify::verify_with(&instrumented, opts.scheme, &skips, &witnesses)?;
     }
     let check_count = rce::static_check_count(&instrumented);
     let program = lower::lower(&instrumented, opts.scheme)?;
@@ -191,5 +230,8 @@ pub fn compile_with_options(
         program,
         rce: stats,
         check_count,
+        bounds: bounds_stats,
+        witnesses,
+        skips,
     })
 }

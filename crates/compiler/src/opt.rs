@@ -13,6 +13,17 @@
 //!    (memory reads are conservatively kept: under instrumentation they
 //!    carry check semantics).
 //!
+//! A fourth, bounds-assisted pass runs once after the fixpoint: loads
+//! from provably-dead allocas (never written through, never escaping)
+//! whose result is unused *and* whose access the value-range analysis
+//! ([`crate::bounds`]) proved in-bounds and live are deleted outright —
+//! such a load can neither produce an observable value nor trap under
+//! any instrumented build, so removing it is behavior-preserving even
+//! with checks forced on. The basic `eliminate_dead` used by
+//! [`crate::rce`]'s sweep deliberately does **not** do this: RCE's skip
+//! coordinates are deref ordinals, which must stay stable across the
+//! sweep.
+//!
 //! The `ablation_optimizer` binary compares Fig.-4-style overheads with
 //! and without the passes; see EXPERIMENTS.md.
 
@@ -34,7 +45,51 @@ pub fn optimize(mut module: Module) -> Module {
             }
         }
     }
+    // Bounds-assisted DCE over the whole module, then one more sweep
+    // per function: deleting a load can strand its address computation
+    // (geps, and — uniquely here, where the object is proven dead — the
+    // alloca itself).
+    let dead = crate::bounds::dead_alloca_loads(&module);
+    if !dead.is_empty() {
+        for &(fi, bi, ii) in dead.iter().rev() {
+            module.funcs[fi].blocks[bi].insts.remove(ii);
+        }
+        for f in &mut module.funcs {
+            while eliminate_dead(f) | eliminate_unused_allocas(f) {}
+        }
+    }
     module
+}
+
+/// Removes `StackAlloc`s whose result is entirely unused. Only the
+/// bounds-assisted phase calls this: before instrumentation an unused
+/// alloca's sole effect is frame size, but the basic [`eliminate_dead`]
+/// also runs inside [`crate::rce`]'s post-instrumentation sweep, where
+/// allocas feed metadata bindings and must be left alone.
+fn eliminate_unused_allocas(f: &mut Function) -> bool {
+    let mut used: HashSet<VarId> = HashSet::new();
+    for b in &f.blocks {
+        for i in &b.insts {
+            used.extend(i.uses());
+        }
+        match &b.term {
+            Terminator::Ret { value: Some(v) } => {
+                used.insert(*v);
+            }
+            Terminator::Br { cond, .. } => {
+                used.insert(*cond);
+            }
+            _ => {}
+        }
+    }
+    let mut changed = false;
+    for b in &mut f.blocks {
+        let before = b.insts.len();
+        b.insts
+            .retain(|i| !matches!(i, Inst::StackAlloc { dst, .. } if !used.contains(dst)));
+        changed |= b.insts.len() != before;
+    }
+    changed
 }
 
 /// Variables defined exactly once.
@@ -365,7 +420,7 @@ mod tests {
         let mut f = mb.func("main");
         let p = f.malloc_bytes(16);
         let _dead = f.bin_imm(BinOp::Add, p, 1); // unused arithmetic
-        let _unused_load = f.load(p, 0, Width::U64); // load is kept
+        let _unused_load = f.load(p, 0, Width::U64); // kept: object is written
         let v = f.konst(3);
         f.store(v, p, 0, Width::U64);
         f.ret(None);
@@ -374,6 +429,39 @@ mod tests {
         assert_eq!(count(&m, |i| matches!(i, Inst::BinImm { .. })), 0);
         assert_eq!(count(&m, |i| matches!(i, Inst::Load { .. })), 1);
         assert_eq!(count(&m, |i| matches!(i, Inst::Store { .. })), 1);
+    }
+
+    #[test]
+    fn drops_loads_from_provably_dead_allocas() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("main");
+        // Never written, never escaping: the unused in-bounds load — and
+        // with it the whole alloca — disappears.
+        let a = f.stack_alloc(16);
+        let _unused = f.load(a, 8, Width::U64);
+        // An identical load whose object is written must stay.
+        let b = f.stack_alloc(16);
+        let v = f.konst(3);
+        f.store(v, b, 0, Width::U64);
+        let _also_unused = f.load(b, 8, Width::U64);
+        f.ret(None);
+        f.finish();
+        let m = optimize(mb.finish());
+        assert_eq!(count(&m, |i| matches!(i, Inst::Load { .. })), 1);
+        assert_eq!(count(&m, |i| matches!(i, Inst::StackAlloc { .. })), 1);
+        assert_eq!(count(&m, |i| matches!(i, Inst::Store { .. })), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_dead_loads_are_kept_for_their_trap() {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("main");
+        let a = f.stack_alloc(16);
+        let _oob = f.load(a, 16, Width::U64); // one past the end: must trap
+        f.ret(None);
+        f.finish();
+        let m = optimize(mb.finish());
+        assert_eq!(count(&m, |i| matches!(i, Inst::Load { .. })), 1);
     }
 
     #[test]

@@ -208,34 +208,56 @@ pub(crate) fn find_patterns(f: &Function) -> HashMap<usize, SwTemporalPattern> {
 
 /// The available-checks transfer function (shared with the
 /// completeness verifier, which replays it per instruction).
+/// The availability fact one of the three explicit check forms
+/// (`tchk`, spatial helper call, temporal helper call) establishes, if
+/// `inst` is one. [`transfer_check`] inserts it and [`redundant`]
+/// queries it — a single constructor keeps the two from drifting apart
+/// (the witness-coverage obligations in `binval` assume a removed check
+/// was redundant against *exactly* the fact an earlier check inserted).
+pub(crate) fn check_fact_of(defs: &DefMap, inst: &Inst) -> Option<CheckFact> {
+    match inst {
+        Inst::Tchk { ptr } => Some(CheckFact::Tchk(defs.temporal_root(*ptr))),
+        Inst::Call { func, args, .. } if func == SPATIAL_CHECK_FN && args.len() == 4 => {
+            let (root, delta) = defs.spatial_anchor(args[0]);
+            let size = defs.const_val(args[3])?;
+            Some(CheckFact::SbSpatial {
+                root,
+                delta,
+                base: defs.canon(args[1]),
+                bound: defs.canon(args[2]),
+                size,
+            })
+        }
+        Inst::Call { func, args, .. } if func == TEMPORAL_CHECK_FN && args.len() == 2 => {
+            Some(CheckFact::SbTemporal {
+                key: defs.canon(args[0]),
+                lock: defs.canon(args[1]),
+            })
+        }
+        _ => None,
+    }
+}
+
 pub(crate) fn transfer_check(defs: &DefMap, inst: &Inst, fact: &mut FactSet) {
     // Redefinition of any mentioned variable invalidates the fact.
     for d in crate::dataflow::inst_defs(inst) {
         fact.retain(|f| !f.mentions(d));
     }
+    if let Some(f) = check_fact_of(defs, inst) {
+        fact.insert(f);
+        return;
+    }
     match inst {
-        Inst::Call { func, args, .. } => {
-            if func == SPATIAL_CHECK_FN && args.len() == 4 {
-                let (root, delta) = defs.spatial_anchor(args[0]);
-                if let Some(size) = defs.const_val(args[3]) {
-                    fact.insert(CheckFact::SbSpatial {
-                        root,
-                        delta,
-                        base: defs.canon(args[1]),
-                        bound: defs.canon(args[2]),
-                        size,
-                    });
-                }
-            } else if func == TEMPORAL_CHECK_FN && args.len() == 2 {
-                fact.insert(CheckFact::SbTemporal {
-                    key: defs.canon(args[0]),
-                    lock: defs.canon(args[1]),
-                });
-            } else if func == META_LOAD_FN || func == META_STORE_FN {
-                // The metadata helpers read/write shadow words only:
-                // they neither free memory nor touch lock words, and the
-                // SRF is not involved (software scheme), so every fact
-                // survives.
+        Inst::Call { func, .. } => {
+            if func == SPATIAL_CHECK_FN
+                || func == TEMPORAL_CHECK_FN
+                || func == META_LOAD_FN
+                || func == META_STORE_FN
+            {
+                // The check and metadata helpers read/write shadow or
+                // lock words only and never free memory, so every fact
+                // survives (a spatial call whose size is not constant
+                // produces no fact, but still kills nothing).
             } else {
                 // An unknown callee may free memory or (on return of a
                 // callee with stack allocations) release a frame lock:
@@ -243,9 +265,6 @@ pub(crate) fn transfer_check(defs: &DefMap, inst: &Inst, fact: &mut FactSet) {
                 // region's base/bound are immutable.
                 fact.retain(|f| !f.is_temporal());
             }
-        }
-        Inst::Tchk { ptr } => {
-            fact.insert(CheckFact::Tchk(defs.temporal_root(*ptr)));
         }
         Inst::Free { .. } | Inst::FreeMeta { .. } | Inst::FrameUnlock { .. } => {
             fact.retain(|f| !f.is_temporal());
@@ -373,36 +392,10 @@ pub fn eliminate(module: &mut Module) -> RceStats {
 }
 
 fn redundant(defs: &DefMap, inst: &Inst, fact: &FactSet) -> bool {
-    match inst {
-        Inst::Tchk { ptr } => fact.contains(&CheckFact::Tchk(defs.temporal_root(*ptr))),
-        Inst::Call {
-            func,
-            args,
-            dst: None,
-        } if func == SPATIAL_CHECK_FN && args.len() == 4 => {
-            let (root, delta) = defs.spatial_anchor(args[0]);
-            defs.const_val(args[3]).is_some_and(|size| {
-                fact.contains(&CheckFact::SbSpatial {
-                    root,
-                    delta,
-                    base: defs.canon(args[1]),
-                    bound: defs.canon(args[2]),
-                    size,
-                })
-            })
-        }
-        Inst::Call {
-            func,
-            args,
-            dst: None,
-        } if func == TEMPORAL_CHECK_FN && args.len() == 2 => {
-            fact.contains(&CheckFact::SbTemporal {
-                key: defs.canon(args[0]),
-                lock: defs.canon(args[1]),
-            })
-        }
-        _ => false,
-    }
+    // A check defines nothing, so it can simply be dropped; a call
+    // with a destination is not removable even if its fact is covered.
+    let removable = matches!(inst, Inst::Tchk { .. } | Inst::Call { dst: None, .. });
+    removable && check_fact_of(defs, inst).is_some_and(|f| fact.contains(&f))
 }
 
 fn eliminate_in(f: &mut Function, stats: &mut RceStats) {

@@ -1,0 +1,271 @@
+//! Filetest-style golden tests for the IR passes.
+//!
+//! Each file under `tests/filetests/` is named `<fixture>.<pass>.golden`
+//! and holds the expected listing after running `<pass>` on the named
+//! fixture module: a stats header (`;`-prefixed comment lines) followed
+//! by every function rendered through
+//! [`hwst_compiler::function_with_cfg`], so block-level diffs show
+//! predecessor/dominator changes too.
+//!
+//! Passes: `opt` (the light optimizer, source IR), `rce`
+//! (instrument for HWST128_tchk, then redundant-check elimination) and
+//! `bounds` (the static bounds-proof pass: witness table, skip table
+//! and the instrumented-with-skips IR).
+//!
+//! To regenerate after an intentional output change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p hwst-compiler --test filetest
+//! ```
+
+use hwst_compiler::ir::{BinOp, Module, VarId, Width};
+use hwst_compiler::{analysis, bounds, function_with_cfg, instrument, opt, rce};
+use hwst_compiler::{FuncBuilder, ModuleBuilder, Scheme};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------- fixtures
+
+/// Straight-line code: constant math the optimizer folds, a dead
+/// binop, and in-bounds stack/heap accesses the bounds pass proves.
+fn straightline() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let a = f.stack_alloc(16);
+    let x = f.konst(6);
+    let y = f.konst(7);
+    let prod = f.bin(BinOp::Mul, x, y);
+    let _dead = f.bin(BinOp::Add, prod, x);
+    f.store(prod, a, 8, Width::U64);
+    let p = f.malloc_bytes(32);
+    f.store(prod, p, 24, Width::U64);
+    let v = f.load(a, 8, Width::U64);
+    f.free(p);
+    f.ret(Some(v));
+    f.finish();
+    mb.finish()
+}
+
+/// A counted loop writing then summing an 8-element array: the bounds
+/// pass needs edge refinement plus widening to prove the body accesses.
+fn loop_sum() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let buf = f.stack_alloc(64);
+    count_loop(&mut f, 8, |f, iv| {
+        let off = f.bin_imm(BinOp::Sll, iv, 3);
+        let slot = f.gep(buf, off);
+        f.store(iv, slot, 0, Width::U64);
+    });
+    let acc = f.local();
+    let z = f.konst(0);
+    f.local_set(acc, z);
+    count_loop(&mut f, 8, |f, iv| {
+        let off = f.bin_imm(BinOp::Sll, iv, 3);
+        let slot = f.gep(buf, off);
+        let v = f.load(slot, 0, Width::U64);
+        let a = f.local_get(acc);
+        let s = f.bin(BinOp::Add, a, v);
+        f.local_set(acc, s);
+    });
+    let r = f.local_get(acc);
+    f.ret(Some(r));
+    f.finish();
+    mb.finish()
+}
+
+/// Heap pointers stored and reloaded through memory: repeated derefs of
+/// the same pointer for RCE dominance, and a reloaded pointer the
+/// bounds pass cannot prove (its only `tchk` must survive).
+fn heap_copy() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let g = mb.global("table", 16);
+    let mut f = mb.func("main");
+    let p = f.malloc_bytes(64);
+    let one = f.konst(1);
+    f.store(one, p, 0, Width::U64);
+    f.store(one, p, 8, Width::U64);
+    let cell = f.malloc_bytes(16);
+    f.store_ptr(p, cell, 0);
+    let q = f.load_ptr(cell, 0);
+    let v = f.load(q, 8, Width::U64);
+    let t = f.addr_of_global(g);
+    f.store(v, t, 0, Width::U64);
+    f.free(cell);
+    f.free(p);
+    f.ret(Some(v));
+    f.finish();
+    mb.finish()
+}
+
+/// `for (i = 0; i < n; i++) body(i)` in the same shape the workloads
+/// use (header / body / exit blocks), so the goldens exercise the CFG
+/// annotations on a retreating edge.
+fn count_loop(f: &mut FuncBuilder<'_>, n: i64, body: impl FnOnce(&mut FuncBuilder<'_>, VarId)) {
+    let i = f.local();
+    let z = f.konst(0);
+    f.local_set(i, z);
+    let head = f.new_block();
+    let body_b = f.new_block();
+    let done = f.new_block();
+    f.jmp(head);
+    f.switch_to(head);
+    let iv = f.local_get(i);
+    let e = f.konst(n);
+    let c = f.bin(BinOp::Slt, iv, e);
+    f.br(c, body_b, done);
+    f.switch_to(body_b);
+    let iv2 = f.local_get(i);
+    body(f, iv2);
+    let iv3 = f.local_get(i);
+    let nx = f.bin_imm(BinOp::Add, iv3, 1);
+    f.local_set(i, nx);
+    f.jmp(head);
+    f.switch_to(done);
+}
+
+// ------------------------------------------------------------------ passes
+
+fn render_module(m: &Module) -> String {
+    let mut s = String::new();
+    for g in &m.globals {
+        let _ = writeln!(s, "global {} : {} bytes", g.name, g.size);
+    }
+    for func in &m.funcs {
+        s.push_str(&function_with_cfg(func));
+    }
+    s
+}
+
+fn run_pass(pass: &str, module: Module) -> String {
+    match pass {
+        "opt" => {
+            let optimized = opt::optimize(module);
+            format!("; pass: opt\n{}", render_module(&optimized))
+        }
+        "rce" => {
+            let info = analysis::analyze(&module).expect("fixture analyzes");
+            let mut instrumented = instrument::instrument(&module, &info, Scheme::Hwst128Tchk);
+            let stats = rce::eliminate(&mut instrumented);
+            format!(
+                "; pass: rce (scheme=HWST128_tchk)\n; tchk_removed={} spatial_removed={} \
+                 temporal_removed={} patterns_removed={}\n{}",
+                stats.tchk_removed,
+                stats.spatial_removed,
+                stats.temporal_removed,
+                stats.patterns_removed,
+                render_module(&instrumented)
+            )
+        }
+        "bounds" => {
+            let info = analysis::analyze(&module).expect("fixture analyzes");
+            let outcome = bounds::analyze(&module);
+            let (instrumented, skips) = instrument::instrument_with_bounds(
+                &module,
+                &info,
+                Scheme::Hwst128Tchk,
+                Some(&outcome),
+            );
+            let mut s = format!(
+                "; pass: bounds (scheme=HWST128_tchk)\n; derefs={} proven={}\n",
+                outcome.stats.derefs, outcome.stats.proven
+            );
+            for (i, w) in outcome.witnesses.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "; witness[{i}]: {} b{}/i{} {:?} size={} [{}, {})",
+                    w.func, w.block, w.inst, w.kind, w.size, w.lo, w.hi
+                );
+            }
+            for sk in &skips {
+                let _ = writeln!(
+                    s,
+                    "; skip: {} b{} deref#{} -> witness[{}]",
+                    sk.func, sk.block, sk.deref, sk.witness
+                );
+            }
+            s.push_str(&render_module(&instrumented));
+            s
+        }
+        other => panic!("unknown pass {other:?} in filetests"),
+    }
+}
+
+// ------------------------------------------------------------------ runner
+
+fn fixture(name: &str) -> Module {
+    match name {
+        "straightline" => straightline(),
+        "loop_sum" => loop_sum(),
+        "heap_copy" => heap_copy(),
+        other => panic!("unknown fixture {other:?} in filetests"),
+    }
+}
+
+const FIXTURES: &[&str] = &["straightline", "loop_sum", "heap_copy"];
+const PASSES: &[&str] = &["opt", "rce", "bounds"];
+
+fn filetests_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/filetests")
+}
+
+fn first_diff(expected: &str, actual: &str) -> String {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!(
+                "first diff at line {}:\n  expected: {e}\n  actual:   {a}",
+                i + 1
+            );
+        }
+    }
+    format!(
+        "line counts differ: expected {} lines, got {}",
+        expected.lines().count(),
+        actual.lines().count()
+    )
+}
+
+#[test]
+fn goldens_match() {
+    let dir = filetests_dir();
+    let bless = std::env::var_os("BLESS").is_some();
+    let mut failures = Vec::new();
+    for fx in FIXTURES {
+        for pass in PASSES {
+            let path = dir.join(format!("{fx}.{pass}.golden"));
+            let actual = run_pass(pass, fixture(fx));
+            if bless {
+                std::fs::write(&path, &actual).expect("write golden");
+                continue;
+            }
+            let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!("missing golden {}: {e} (run with BLESS=1)", path.display())
+            });
+            if expected != actual {
+                failures.push(format!(
+                    "{fx}.{pass}: output drifted from golden ({}).\n{}\n\
+                     If the change is intentional, regenerate with BLESS=1.",
+                    path.display(),
+                    first_diff(&expected, &actual)
+                ));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
+#[test]
+fn every_golden_names_a_known_fixture_and_pass() {
+    // Catches stale goldens left behind by a renamed fixture.
+    for entry in std::fs::read_dir(filetests_dir()).expect("filetests dir exists") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy();
+        let mut parts = name.rsplitn(3, '.');
+        let ext = parts.next().unwrap_or("");
+        let pass = parts.next().unwrap_or("");
+        let fx = parts.next().unwrap_or("");
+        assert_eq!(ext, "golden", "unexpected file {name} in filetests/");
+        assert!(PASSES.contains(&pass), "{name}: unknown pass {pass:?}");
+        assert!(FIXTURES.contains(&fx), "{name}: unknown fixture {fx:?}");
+    }
+}

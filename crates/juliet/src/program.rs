@@ -296,10 +296,18 @@ pub fn execute_detects(case: &Case, scheme: Scheme) -> bool {
 /// armed: compilation fails (counting as "not detected") if RCE ever
 /// deletes a check the scheme's contract still needs.
 pub fn execute_detects_with(case: &Case, scheme: Scheme, rce: bool) -> bool {
-    let module = build_program(case);
-    let cfg = hwst128_config_for(scheme);
     let mut opts = CompileOptions::new(scheme).with_verify();
     opts.rce = rce;
+    execute_detects_opts(case, opts)
+}
+
+/// Like [`execute_detects_with`], but with full control over the pass
+/// pipeline — this is what the bounds-elimination detection gate uses
+/// to compare RCE-alone against RCE + the static bounds-proof pass on
+/// the same case.
+pub fn execute_detects_opts(case: &Case, opts: CompileOptions) -> bool {
+    let module = build_program(case);
+    let cfg = hwst128_config_for(opts.scheme);
     let compiled = match compile_with_options(&module, opts) {
         Ok(c) => c,
         Err(_) => return false,

@@ -88,10 +88,10 @@ pub fn static_coverage_strided(stride: usize) -> Vec<StaticRow> {
         })
         .collect();
     for case in suite().into_iter().step_by(stride.max(1)) {
-        let row = rows
-            .iter_mut()
-            .find(|r| r.cwe == case.cwe)
-            .expect("every case category has a row");
+        // Cwe::ALL seeds one row per category, so the find cannot miss.
+        let Some(row) = rows.iter_mut().find(|r| r.cwe == case.cwe) else {
+            continue;
+        };
         row.total += 1;
         if static_detects(&case) {
             row.detected += 1;
