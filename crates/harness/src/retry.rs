@@ -1,0 +1,271 @@
+//! Re-queueable jobs and the retry driver.
+//!
+//! The plain [`crate::run`] consumes each [`crate::Job`]'s closure, so a
+//! job the watchdog expired (or one that panicked) cannot be run again —
+//! its slot in the pool is spent. This module fixes that leak with
+//! *factory* jobs: a [`RetryJob`] holds a `Fn` that mints a fresh
+//! attempt closure on demand, so [`run_with_retry`] can hand a new copy
+//! of the work to the pool for every attempt the [`RetryPolicy`]
+//! allows.
+//!
+//! Determinism contract: results come back in [`JobId`] order (the
+//! index in the submitted vector) and every attempt wave preserves that
+//! order, so the final `Vec<RetryResult<T>>` — outcomes, attempt counts
+//! and histories, everything except wall clocks — is byte-identical for
+//! any worker count, even when one job is permanently poisoned (see
+//! `tests/pool.rs`).
+
+use crate::pool::{run, Job, JobId, JobOutcome, OutcomeKind, PoolConfig};
+use crate::sink::Sink;
+use std::time::Duration;
+
+/// A closure for one attempt of a retryable job.
+pub type AttemptFn<T> = Box<dyn FnOnce() -> Result<T, String> + Send + 'static>;
+
+/// A job that can be re-queued: a labelled factory minting one closure
+/// per attempt (the attempt number, starting at 1, is passed in so
+/// chaos probes and warm-start paths can behave differently per try).
+pub struct RetryJob<T> {
+    label: String,
+    make: Box<dyn Fn(u32) -> AttemptFn<T> + Send + Sync>,
+}
+
+impl<T> RetryJob<T> {
+    /// Wraps an attempt factory.
+    pub fn new(
+        label: impl Into<String>,
+        make: impl Fn(u32) -> AttemptFn<T> + Send + Sync + 'static,
+    ) -> Self {
+        RetryJob {
+            label: label.into(),
+            make: Box::new(make),
+        }
+    }
+
+    /// Wraps a cloneable closure that ignores the attempt number.
+    pub fn from_fn(
+        label: impl Into<String>,
+        work: impl Fn() -> Result<T, String> + Clone + Send + Sync + 'static,
+    ) -> Self {
+        RetryJob::new(label, move |_| {
+            let work = work.clone();
+            Box::new(work)
+        })
+    }
+
+    /// The job's display label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Mints the closure for attempt `attempt` (1-based).
+    pub fn attempt(&self, attempt: u32) -> AttemptFn<T> {
+        (self.make)(attempt)
+    }
+}
+
+/// Which outcomes are worth another attempt, and how many attempts a
+/// job gets in total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per job (clamped to at least 1).
+    pub max_attempts: u32,
+    /// Re-queue jobs the watchdog expired.
+    pub retry_timed_out: bool,
+    /// Re-queue jobs that panicked.
+    pub retry_panicked: bool,
+    /// Re-queue jobs that returned a structured `Err` (off by default:
+    /// structured failures are normally deterministic).
+    pub retry_failed: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            retry_timed_out: true,
+            retry_panicked: true,
+            retry_failed: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (every job gets exactly one
+    /// attempt).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Whether `kind` is retryable under this policy.
+    pub fn retries(&self, kind: OutcomeKind) -> bool {
+        match kind {
+            OutcomeKind::Ok | OutcomeKind::Cancelled => false,
+            OutcomeKind::Failed => self.retry_failed,
+            OutcomeKind::Panicked => self.retry_panicked,
+            OutcomeKind::TimedOut => self.retry_timed_out,
+        }
+    }
+}
+
+/// The final state of a retryable job: the last outcome plus the full
+/// attempt history.
+#[derive(Debug, Clone)]
+pub struct RetryResult<T> {
+    /// The job's stable identity (its index in the submitted vector).
+    pub id: JobId,
+    /// The job's label.
+    pub label: String,
+    /// The outcome of the final attempt.
+    pub outcome: JobOutcome<T>,
+    /// How every attempt ended, in order (the last entry is
+    /// `outcome.kind()`).
+    pub history: Vec<OutcomeKind>,
+    /// Total wall clock across all attempts (nondeterministic).
+    pub wall: Duration,
+}
+
+impl<T> RetryResult<T> {
+    /// Attempts actually made.
+    pub fn attempts(&self) -> u32 {
+        self.history.len() as u32
+    }
+
+    /// Whether the job eventually succeeded after at least one
+    /// retryable failure.
+    pub fn recovered(&self) -> bool {
+        self.history.len() > 1 && matches!(self.outcome, JobOutcome::Ok(_))
+    }
+}
+
+/// Runs every factory job on the pool, re-queueing retryable outcomes
+/// until they succeed or the policy's attempt budget is spent. Results
+/// are returned in [`JobId`] order regardless of worker count and of
+/// which wave each job finally settled in.
+pub fn run_with_retry<T: Send + 'static>(
+    jobs: Vec<RetryJob<T>>,
+    cfg: &PoolConfig,
+    policy: &RetryPolicy,
+    sink: &mut dyn Sink,
+) -> Vec<RetryResult<T>> {
+    let max_attempts = policy.max_attempts.max(1);
+    let total = jobs.len();
+    let mut settled: Vec<Option<RetryResult<T>>> = Vec::with_capacity(total);
+    settled.resize_with(total, || None);
+    // (original index, attempts so far, history, wall so far)
+    let mut pending: Vec<(usize, u32, Vec<OutcomeKind>, Duration)> = (0..total)
+        .map(|i| (i, 0, Vec::new(), Duration::ZERO))
+        .collect();
+    while !pending.is_empty() {
+        let wave: Vec<Job<T>> = pending
+            .iter()
+            .map(|&(i, attempts, _, _)| {
+                let work = jobs[i].attempt(attempts + 1);
+                Job::new(jobs[i].label().to_string(), work)
+            })
+            .collect();
+        let results = run(wave, cfg, sink);
+        let mut next = Vec::new();
+        for (slot, r) in pending.into_iter().zip(results) {
+            let (i, attempts, mut history, wall) = slot;
+            let attempts = attempts + 1;
+            let kind = r.outcome.kind();
+            history.push(kind);
+            let wall = wall + r.wall;
+            if policy.retries(kind) && attempts < max_attempts {
+                next.push((i, attempts, history, wall));
+            } else {
+                settled[i] = Some(RetryResult {
+                    id: JobId(i),
+                    label: r.label,
+                    outcome: r.outcome,
+                    history,
+                    wall,
+                });
+            }
+        }
+        pending = next;
+    }
+    let out: Vec<RetryResult<T>> = settled.into_iter().flatten().collect();
+    debug_assert_eq!(out.len(), total, "every retry job must settle");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::NullSink;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn succeeds_without_retry() {
+        let jobs = vec![RetryJob::from_fn("ok", || Ok(7u64))];
+        let res = run_with_retry(
+            jobs,
+            &PoolConfig::serial(),
+            &RetryPolicy::default(),
+            &mut NullSink,
+        );
+        assert_eq!(res[0].history, vec![OutcomeKind::Ok]);
+        assert!(!res[0].recovered());
+        assert_eq!(res[0].outcome.ok(), Some(&7));
+    }
+
+    #[test]
+    fn panicking_job_recovers_on_second_attempt() {
+        let jobs = vec![RetryJob::new("flaky", |attempt| {
+            Box::new(move || {
+                assert!(attempt >= 2, "deliberate first-attempt panic");
+                Ok(attempt)
+            })
+        })];
+        let res = run_with_retry(
+            jobs,
+            &PoolConfig::serial(),
+            &RetryPolicy::default(),
+            &mut NullSink,
+        );
+        assert_eq!(res[0].history, vec![OutcomeKind::Panicked, OutcomeKind::Ok]);
+        assert!(res[0].recovered());
+        assert_eq!(res[0].outcome.ok(), Some(&2));
+    }
+
+    #[test]
+    fn attempt_budget_is_respected() {
+        let count = Arc::new(AtomicU32::new(0));
+        let c = count.clone();
+        let jobs = vec![RetryJob::new("always-panics", move |_| {
+            let c = c.clone();
+            Box::new(move || -> Result<u32, String> {
+                c.fetch_add(1, Ordering::SeqCst);
+                panic!("poisoned");
+            })
+        })];
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let res = run_with_retry(jobs, &PoolConfig::serial(), &policy, &mut NullSink);
+        assert_eq!(res[0].history.len(), 3);
+        assert!(matches!(res[0].outcome, JobOutcome::Panicked(_)));
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn structured_failures_are_final_by_default() {
+        let jobs = vec![RetryJob::from_fn("fails", || {
+            Err::<u32, _>("typed error".into())
+        })];
+        let res = run_with_retry(
+            jobs,
+            &PoolConfig::serial(),
+            &RetryPolicy::default(),
+            &mut NullSink,
+        );
+        assert_eq!(res[0].history, vec![OutcomeKind::Failed]);
+    }
+}

@@ -1,0 +1,268 @@
+//! The typed rejection taxonomy of the service boundary.
+//!
+//! Every way a submission can fail to produce a run result is one of
+//! these variants — the boundary contract (DESIGN.md §4i) is that
+//! hostile input of any shape maps to a [`ServeError`], never a panic
+//! and never an unbounded wait. The fuzz suite
+//! (`tests/boundary_fuzz.rs`) holds the service to that.
+
+use std::fmt;
+
+/// A typed rejection from the service: either shed at admission or
+/// produced while executing an admitted job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue is full; the submission is shed immediately
+    /// (the service never blocks an admitter).
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The tenant's circuit breaker is open after repeated quota
+    /// trips.
+    TenantSuspended {
+        /// The suspended tenant.
+        tenant: String,
+        /// First tick at which the tenant may run again.
+        until_tick: u64,
+    },
+    /// A per-tenant quota would be exceeded (`quota` names which:
+    /// `"in-flight"` at admission, `"fuel"` when the instruction
+    /// budget expired mid-run).
+    QuotaExceeded {
+        /// The tenant.
+        tenant: String,
+        /// Which quota tripped.
+        quota: &'static str,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The tenant name is unusable (empty, oversized, or containing
+    /// control characters).
+    BadTenant {
+        /// What was wrong with it.
+        why: &'static str,
+    },
+    /// No workload with the submitted name exists.
+    UnknownWorkload {
+        /// The name as submitted.
+        name: String,
+    },
+    /// No instrumentation scheme with the submitted name exists.
+    UnknownScheme {
+        /// The name as submitted.
+        name: String,
+    },
+    /// The submitted compression-config CSR encoding violates the
+    /// packing invariants.
+    InvalidCompCfg {
+        /// The CSR value as submitted.
+        csr: u64,
+        /// The codec's explanation.
+        why: String,
+    },
+    /// The submitted image is structurally unusable (ragged length or
+    /// undecodable words — the [`hwst128::sim::LoadError`] paths).
+    BadImage {
+        /// The loader's explanation.
+        why: String,
+    },
+    /// The submitted image is empty — nothing to execute.
+    EmptyImage,
+    /// The submitted image exceeds the tenant's size quota.
+    OversizedImage {
+        /// Submitted length in bytes.
+        len: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The submitted IR module exceeds the tenant's size quota.
+    OversizedModule {
+        /// Submitted instruction count.
+        insts: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The compiler rejected the submitted IR.
+    CompileRejected {
+        /// The compiler's explanation.
+        why: String,
+    },
+    /// Every attempt the retry policy allows was spent on retryable
+    /// failures (watchdog expiries or isolated panics).
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// How the final attempt ended (an
+        /// [`hwst_harness::OutcomeKind`] name).
+        last: String,
+    },
+    /// The execution infrastructure itself failed (worker lost,
+    /// cancellation, tick budget exhausted) — never the submitter's
+    /// fault, always reported rather than silently dropped.
+    WorkerLost {
+        /// What happened.
+        why: String,
+    },
+}
+
+impl ServeError {
+    /// A stable machine-readable slug for logs, decisions and JSON
+    /// summaries.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::QueueFull { .. } => "queue-full",
+            ServeError::TenantSuspended { .. } => "tenant-suspended",
+            ServeError::QuotaExceeded { .. } => "quota-exceeded",
+            ServeError::BadTenant { .. } => "bad-tenant",
+            ServeError::UnknownWorkload { .. } => "unknown-workload",
+            ServeError::UnknownScheme { .. } => "unknown-scheme",
+            ServeError::InvalidCompCfg { .. } => "invalid-compcfg",
+            ServeError::BadImage { .. } => "bad-image",
+            ServeError::EmptyImage => "empty-image",
+            ServeError::OversizedImage { .. } => "oversized-image",
+            ServeError::OversizedModule { .. } => "oversized-module",
+            ServeError::CompileRejected { .. } => "compile-rejected",
+            ServeError::RetriesExhausted { .. } => "retries-exhausted",
+            ServeError::WorkerLost { .. } => "worker-lost",
+        }
+    }
+
+    /// Whether this rejection was decided at admission (before any
+    /// cycle was spent on the job).
+    pub fn shed_at_admission(&self) -> bool {
+        matches!(
+            self,
+            ServeError::QueueFull { .. }
+                | ServeError::TenantSuspended { .. }
+                | ServeError::BadTenant { .. }
+                | ServeError::UnknownWorkload { .. }
+                | ServeError::UnknownScheme { .. }
+                | ServeError::InvalidCompCfg { .. }
+                | ServeError::EmptyImage
+                | ServeError::OversizedImage { .. }
+                | ServeError::OversizedModule { .. }
+        ) || matches!(
+            self,
+            ServeError::QuotaExceeded {
+                quota: "in-flight",
+                ..
+            }
+        )
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "queue full ({capacity} jobs); submission shed")
+            }
+            ServeError::TenantSuspended { tenant, until_tick } => {
+                write!(f, "tenant `{tenant}` suspended until tick {until_tick}")
+            }
+            ServeError::QuotaExceeded {
+                tenant,
+                quota,
+                limit,
+            } => write!(
+                f,
+                "tenant `{tenant}` exceeded {quota} quota (limit {limit})"
+            ),
+            ServeError::BadTenant { why } => write!(f, "bad tenant name: {why}"),
+            ServeError::UnknownWorkload { name } => write!(f, "unknown workload `{name}`"),
+            ServeError::UnknownScheme { name } => write!(f, "unknown scheme `{name}`"),
+            ServeError::InvalidCompCfg { csr, why } => {
+                write!(f, "invalid compression config {csr:#x}: {why}")
+            }
+            ServeError::BadImage { why } => write!(f, "bad image: {why}"),
+            ServeError::EmptyImage => write!(f, "empty image"),
+            ServeError::OversizedImage { len, limit } => {
+                write!(f, "image of {len} bytes exceeds the {limit}-byte quota")
+            }
+            ServeError::OversizedModule { insts, limit } => write!(
+                f,
+                "module of {insts} instructions exceeds the {limit}-instruction quota"
+            ),
+            ServeError::CompileRejected { why } => write!(f, "compile rejected: {why}"),
+            ServeError::RetriesExhausted { attempts, last } => {
+                write!(
+                    f,
+                    "retries exhausted after {attempts} attempt(s); last {last}"
+                )
+            }
+            ServeError::WorkerLost { why } => write!(f, "worker lost: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_printable() {
+        let all = [
+            ServeError::QueueFull { capacity: 4 },
+            ServeError::TenantSuspended {
+                tenant: "t".into(),
+                until_tick: 9,
+            },
+            ServeError::QuotaExceeded {
+                tenant: "t".into(),
+                quota: "fuel",
+                limit: 100,
+            },
+            ServeError::BadTenant { why: "empty" },
+            ServeError::UnknownWorkload { name: "x".into() },
+            ServeError::UnknownScheme { name: "x".into() },
+            ServeError::InvalidCompCfg {
+                csr: 0,
+                why: "zero widths".into(),
+            },
+            ServeError::BadImage {
+                why: "ragged".into(),
+            },
+            ServeError::EmptyImage,
+            ServeError::OversizedImage { len: 9, limit: 8 },
+            ServeError::OversizedModule { insts: 9, limit: 8 },
+            ServeError::CompileRejected {
+                why: "no main".into(),
+            },
+            ServeError::RetriesExhausted {
+                attempts: 3,
+                last: "panicked".into(),
+            },
+            ServeError::WorkerLost { why: "gone".into() },
+        ];
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &all {
+            assert!(!e.to_string().is_empty());
+            assert!(seen.insert(e.code()), "duplicate code {}", e.code());
+        }
+    }
+
+    #[test]
+    fn admission_classification() {
+        assert!(ServeError::QueueFull { capacity: 1 }.shed_at_admission());
+        assert!(ServeError::QuotaExceeded {
+            tenant: "t".into(),
+            quota: "in-flight",
+            limit: 1
+        }
+        .shed_at_admission());
+        assert!(!ServeError::QuotaExceeded {
+            tenant: "t".into(),
+            quota: "fuel",
+            limit: 1
+        }
+        .shed_at_admission());
+        assert!(!ServeError::RetriesExhausted {
+            attempts: 1,
+            last: "timed-out".into()
+        }
+        .shed_at_admission());
+    }
+}

@@ -1,0 +1,55 @@
+//! # hwst-serve
+//!
+//! A hardened, deterministic multi-tenant batch service over the
+//! HWST128 simulation stack — the "robustness" layer of the
+//! reproduction (DESIGN.md §4i).
+//!
+//! Tenants submit work ([`Submission`]: a catalogue workload, a raw
+//! instruction image, or an IR module, plus a scheme and an optional
+//! compression-config CSR) and get back exactly one [`JobReport`] per
+//! submission. The service guarantees:
+//!
+//! - **Admission control** — a bounded queue and per-tenant in-flight
+//!   caps; over-capacity submissions are *shed* with a typed
+//!   [`ServeError`], never blocked on.
+//! - **Quota enforcement** — per-attempt fuel budgets ride the
+//!   machine's instruction fuel, size quotas are checked at admission,
+//!   and the wall-clock watchdog is the `hwst-harness` pool's.
+//! - **Retry with backoff** — watchdog expiries and isolated panics
+//!   are retried with deterministic exponential backoff + jitter
+//!   ([`BackoffPolicy`]), bounded attempts, on a logical tick clock.
+//! - **Circuit breaking** — tenants that trip quotas repeatedly are
+//!   suspended for a deterministic cool-down ([`TenantQuota`]).
+//! - **Content-addressed caching** — compiled images are cached by
+//!   `(payload, scheme, compcfg)` ([`ImageCache`]), so duplicate
+//!   submissions and retries warm-start from a
+//!   [`hwst128::sim::Snapshot`] instead of recompiling.
+//! - **A fuzzed boundary** — arbitrary bytes, IR and configs map to
+//!   typed errors; the proptest suite in `tests/boundary_fuzz.rs`
+//!   holds the whole surface to *zero panics*.
+//!
+//! Everything is deterministic by construction: scheduling reads only
+//! the logical [`TickClock`], results fold in submission-id order, and
+//! the [`Decision`] log is byte-identical for any worker count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod cache;
+pub mod clock;
+pub mod error;
+pub mod mix;
+pub mod quota;
+pub mod service;
+
+pub use backoff::BackoffPolicy;
+pub use cache::{cache_key, CacheKey, CachedRun, ImageCache};
+pub use clock::{splitmix64, TickClock};
+pub use error::ServeError;
+pub use mix::{mixed_submissions, MixCategory, MixConfig, MixedSubmission};
+pub use quota::{TenantQuota, TenantState};
+pub use service::{
+    scheme_by_name, Decision, JobReport, Payload, Serve, ServeConfig, ServeReport, ServeStats,
+    Submission, Verdict,
+};

@@ -1,0 +1,375 @@
+//! Deterministic mixed workloads: benign tenants, duplicates (cache
+//! exercise), hostile submissions of every rejection shape, chaos
+//! probes (retry exercise), and a flooding tenant (admission-control
+//! exercise).
+//!
+//! The mix is the input of the S1 service-robustness experiment
+//! (EXPERIMENTS.md): every hostile submission must end in a typed
+//! [`crate::ServeError`], never a panic. Generation is seeded
+//! splitmix64, so the same [`MixConfig`] always produces the same
+//! submission vector — which is what lets the determinism gates compare
+//! decision logs across worker counts.
+
+use crate::clock::splitmix64;
+use crate::quota::TenantQuota;
+use crate::service::{Payload, Submission};
+use hwst128::compiler::ModuleBuilder;
+use hwst128::workloads::Scale;
+
+/// Which part of the mix a submission belongs to (drives the S1
+/// summary's per-category accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixCategory {
+    /// A well-formed workload from a cooperative tenant.
+    Benign,
+    /// An exact duplicate of an earlier benign submission (should hit
+    /// the image cache once the original has compiled).
+    Duplicate,
+    /// A submission engineered to be rejected with a typed error.
+    Hostile,
+    /// A chaos probe that panics on its first attempt(s) and then
+    /// succeeds (exercises panic isolation + retry-after-backoff).
+    Chaos,
+    /// One tenant submitting past its admission limits.
+    Flood,
+}
+
+impl MixCategory {
+    /// Stable lowercase name for JSON and logs.
+    pub const fn name(self) -> &'static str {
+        match self {
+            MixCategory::Benign => "benign",
+            MixCategory::Duplicate => "duplicate",
+            MixCategory::Hostile => "hostile",
+            MixCategory::Chaos => "chaos",
+            MixCategory::Flood => "flood",
+        }
+    }
+}
+
+/// One generated submission, tagged with its category.
+#[derive(Debug, Clone)]
+pub struct MixedSubmission {
+    /// Which part of the mix this is.
+    pub category: MixCategory,
+    /// The submission itself.
+    pub submission: Submission,
+}
+
+/// How much of each category to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixConfig {
+    /// Benign workload submissions.
+    pub benign: usize,
+    /// Duplicates of the first benign submissions.
+    pub duplicates: usize,
+    /// Hostile submissions (cycling through every rejection shape).
+    pub hostile: usize,
+    /// Fuel bombs from the `mallory-bomber` tenant (each exhausts its
+    /// tiny fuel quota; enough of them open the tenant's circuit).
+    pub bombs: usize,
+    /// Chaos probes.
+    pub chaos: usize,
+    /// Flood submissions from the `flooder` tenant.
+    pub flood: usize,
+    /// Seed of the content stream.
+    pub seed: u64,
+}
+
+impl MixConfig {
+    /// The CI smoke mix: one of every hostile shape, enough bombs to
+    /// open a circuit, a small flood.
+    pub const fn smoke() -> Self {
+        MixConfig {
+            benign: 6,
+            duplicates: 4,
+            hostile: 11,
+            bombs: 4,
+            chaos: 2,
+            flood: 8,
+            seed: 0x00C0_FFEE,
+        }
+    }
+
+    /// The full S1 mix.
+    pub const fn full() -> Self {
+        MixConfig {
+            benign: 18,
+            duplicates: 8,
+            hostile: 22,
+            bombs: 6,
+            chaos: 4,
+            flood: 16,
+            seed: 0x00C0_FFEE,
+        }
+    }
+
+    /// Total submissions this config generates (the `+1` is the
+    /// bomber's follow-up that demonstrates the open circuit shedding).
+    pub const fn total(&self) -> usize {
+        self.benign + self.duplicates + self.hostile + self.bombs + self.chaos + self.flood + 1
+    }
+}
+
+/// Small, fast workloads the benign tenants rotate through.
+const BENIGN_WORKLOADS: [&str; 4] = ["string", "CRC32", "bitcounts", "treeadd"];
+const BENIGN_TENANTS: [&str; 3] = ["alice", "bob", "carol"];
+const BENIGN_SCHEMES: [&str; 3] = ["HWST128", "HWST128_tchk", "baseline"];
+
+fn benign_submission(i: usize) -> Submission {
+    Submission::new(
+        BENIGN_TENANTS[i % BENIGN_TENANTS.len()],
+        Payload::Workload {
+            name: BENIGN_WORKLOADS[i % BENIGN_WORKLOADS.len()].to_string(),
+            scale: Scale::Test,
+        },
+        BENIGN_SCHEMES[i % BENIGN_SCHEMES.len()],
+    )
+}
+
+/// An IR module that exceeds `limit` instructions.
+fn oversized_module(limit: usize) -> Payload {
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    for k in 0..(limit as i64 + 8) {
+        let _ = f.konst(k);
+    }
+    f.ret(None);
+    f.finish();
+    Payload::Module(Box::new(mb.finish()))
+}
+
+/// An IR module with no `main` — compiles are rejected server-side.
+fn mainless_module() -> Payload {
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("helper");
+    let _ = f.konst(1);
+    f.ret(None);
+    f.finish();
+    Payload::Module(Box::new(mb.finish()))
+}
+
+/// One hostile submission per rejection shape, cycled by `i`.
+fn hostile_submission(i: usize, quota: &TenantQuota, rng: &mut u64) -> Submission {
+    match i % 10 {
+        0 => {
+            // Ragged image: length not a multiple of 4.
+            let len = 4 * (1 + (splitmix64(rng) % 6) as usize) + 1 + (splitmix64(rng) % 3) as usize;
+            Submission::new(
+                "mallory-ragged",
+                Payload::Image {
+                    base: 0x1_0000,
+                    bytes: vec![0x13; len],
+                },
+                "HWST128",
+            )
+        }
+        1 => {
+            // Undecodable image: words drawn from the two encodings
+            // that are undecodable by construction.
+            let words = 2 + (splitmix64(rng) % 6) as usize;
+            let mut bytes = Vec::with_capacity(words * 4);
+            for _ in 0..words {
+                let w: u32 = if splitmix64(rng).is_multiple_of(2) {
+                    0
+                } else {
+                    u32::MAX
+                };
+                bytes.extend_from_slice(&w.to_le_bytes());
+            }
+            Submission::new(
+                "mallory-undecodable",
+                Payload::Image {
+                    base: 0x1_0000,
+                    bytes,
+                },
+                "HWST128",
+            )
+        }
+        2 => Submission::new(
+            "mallory-workload",
+            Payload::Workload {
+                name: "no-such-workload".to_string(),
+                scale: Scale::Test,
+            },
+            "HWST128",
+        ),
+        3 => Submission::new(
+            "mallory-scheme",
+            Payload::Workload {
+                name: "string".to_string(),
+                scale: Scale::Test,
+            },
+            "MPX",
+        ),
+        4 => {
+            // CSR 0 encodes all-zero field widths, which the codec
+            // rejects.
+            let mut s = Submission::new(
+                "mallory-compcfg",
+                Payload::Workload {
+                    name: "string".to_string(),
+                    scale: Scale::Test,
+                },
+                "HWST128",
+            );
+            s.compcfg_csr = Some(0);
+            s
+        }
+        5 => Submission::new(
+            "mallory-oversized",
+            Payload::Image {
+                base: 0x1_0000,
+                bytes: vec![0; quota.max_image_bytes + 4],
+            },
+            "HWST128",
+        ),
+        6 => Submission::new(
+            "mallory-bigmodule",
+            oversized_module(quota.max_module_insts),
+            "HWST128",
+        ),
+        7 => Submission::new(
+            "", // empty tenant name
+            Payload::Workload {
+                name: "string".to_string(),
+                scale: Scale::Test,
+            },
+            "HWST128",
+        ),
+        8 => Submission::new(
+            "mallory-empty",
+            Payload::Image {
+                base: 0x1_0000,
+                bytes: Vec::new(),
+            },
+            "HWST128",
+        ),
+        _ => Submission::new("mallory-nomain", mainless_module(), "HWST128"),
+    }
+}
+
+/// A fuel bomb: a legitimate workload with a fuel allowance far below
+/// what it needs, so every run trips the fuel quota.
+fn bomb_submission() -> Submission {
+    let mut s = Submission::new(
+        "mallory-bomber",
+        Payload::Workload {
+            name: "string".to_string(),
+            scale: Scale::Test,
+        },
+        "baseline",
+    );
+    s.fuel = Some(64);
+    s
+}
+
+/// Generates the full mixed submission vector for `cfg`, in a fixed
+/// category order (benign, duplicates, hostile, bombs, chaos, flood,
+/// bomber follow-up) so ids — and therefore the decision log — are
+/// reproducible.
+pub fn mixed_submissions(cfg: &MixConfig, quota: &TenantQuota) -> Vec<MixedSubmission> {
+    let mut rng = cfg.seed;
+    let mut out = Vec::with_capacity(cfg.total());
+    for i in 0..cfg.benign {
+        out.push(MixedSubmission {
+            category: MixCategory::Benign,
+            submission: benign_submission(i),
+        });
+    }
+    for i in 0..cfg.duplicates {
+        // Same payload/scheme as a benign submission, different tenant:
+        // the cache is content-addressed, not tenant-scoped.
+        let mut dup = benign_submission(i);
+        dup.tenant = format!("dup-{}", i % 2);
+        out.push(MixedSubmission {
+            category: MixCategory::Duplicate,
+            submission: dup,
+        });
+    }
+    for i in 0..cfg.hostile {
+        out.push(MixedSubmission {
+            category: MixCategory::Hostile,
+            submission: hostile_submission(i, quota, &mut rng),
+        });
+    }
+    for _ in 0..cfg.bombs {
+        out.push(MixedSubmission {
+            category: MixCategory::Hostile,
+            submission: bomb_submission(),
+        });
+    }
+    for i in 0..cfg.chaos {
+        out.push(MixedSubmission {
+            category: MixCategory::Chaos,
+            submission: Submission::new(
+                "chaos",
+                Payload::ChaosPanic {
+                    fail_attempts: 1 + (i % 2) as u32,
+                },
+                "baseline",
+            ),
+        });
+    }
+    for _ in 0..cfg.flood {
+        let mut s = Submission::new(
+            "flooder",
+            Payload::Workload {
+                name: "string".to_string(),
+                scale: Scale::Test,
+            },
+            "baseline",
+        );
+        s.fuel = Some(quota.max_fuel);
+        out.push(MixedSubmission {
+            category: MixCategory::Flood,
+            submission: s,
+        });
+    }
+    // The bomber comes back while (if the bombs landed) its circuit is
+    // open — this submission demonstrates the suspended-tenant shed.
+    out.push(MixedSubmission {
+        category: MixCategory::Hostile,
+        submission: Submission::new(
+            "mallory-bomber",
+            Payload::Workload {
+                name: "string".to_string(),
+                scale: Scale::Test,
+            },
+            "baseline",
+        ),
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let q = TenantQuota::default();
+        let a = mixed_submissions(&MixConfig::smoke(), &q);
+        let b = mixed_submissions(&MixConfig::smoke(), &q);
+        assert_eq!(a.len(), MixConfig::smoke().total());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.category, y.category);
+            assert_eq!(x.submission, y.submission);
+        }
+    }
+
+    #[test]
+    fn hostile_covers_every_shape() {
+        let q = TenantQuota::default();
+        let mut rng = 7;
+        let shapes: Vec<Submission> = (0..10)
+            .map(|i| hostile_submission(i, &q, &mut rng))
+            .collect();
+        // All ten shapes are pairwise distinct submissions.
+        for (i, a) in shapes.iter().enumerate() {
+            for b in shapes.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

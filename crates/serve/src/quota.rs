@@ -1,0 +1,136 @@
+//! Per-tenant quotas and the circuit breaker.
+//!
+//! Quotas are the enforcement points the ROADMAP names: the fuel limit
+//! rides on the machine's instruction budget
+//! ([`hwst128::sim::Trap::OutOfFuel`]), size limits are checked at
+//! admission, and the wall-clock limit is the `hwst-harness` watchdog.
+//! A tenant that keeps tripping quotas gets its circuit opened: every
+//! submission is shed with
+//! [`crate::ServeError::TenantSuspended`] until a deterministic
+//! cool-down (in ticks) expires, after which the tenant is half-open —
+//! one clean completion closes the circuit, another trip re-opens it.
+
+/// The per-tenant resource limits. One [`TenantQuota`] applies to every
+/// tenant of a service instance (per-tenant overrides would slot in
+/// here as a map keyed by tenant name).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Instruction budget per run attempt; runs that exhaust it are
+    /// quota trips.
+    pub max_fuel: u64,
+    /// Largest acceptable raw image, in bytes.
+    pub max_image_bytes: usize,
+    /// Largest acceptable IR module, in instructions.
+    pub max_module_insts: usize,
+    /// Jobs a tenant may have queued or running at once; admissions
+    /// beyond this are shed.
+    pub max_in_flight: usize,
+    /// Consecutive quota trips that open the circuit.
+    pub trips_to_open: u32,
+    /// Ticks a tenant stays suspended once the circuit opens.
+    pub cooldown_ticks: u64,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            max_fuel: 2_000_000,
+            max_image_bytes: 1 << 20,
+            max_module_insts: 4096,
+            max_in_flight: 64,
+            trips_to_open: 3,
+            cooldown_ticks: 8,
+        }
+    }
+}
+
+/// Mutable per-tenant bookkeeping: in-flight count, breaker state and
+/// lifetime counters (reported in the service summary).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantState {
+    /// Jobs currently queued or running.
+    pub in_flight: usize,
+    /// Quota trips since the last clean completion.
+    pub consecutive_trips: u32,
+    /// When `Some(t)`, submissions are shed until tick `t`.
+    pub suspended_until: Option<u64>,
+    /// Submissions admitted.
+    pub admitted: u64,
+    /// Submissions shed (admission or suspension).
+    pub shed: u64,
+    /// Quota trips (fuel exhaustion or watchdog expiry).
+    pub quota_trips: u64,
+    /// Jobs that ran to a verdict.
+    pub completed: u64,
+    /// Times the circuit opened.
+    pub suspensions: u64,
+}
+
+impl TenantState {
+    /// If the circuit is open at `now`, the tick it re-closes at.
+    pub fn circuit_open(&self, now: u64) -> Option<u64> {
+        self.suspended_until.filter(|&until| now < until)
+    }
+
+    /// Records a quota trip; returns `Some(until_tick)` when this trip
+    /// opened the circuit.
+    pub fn record_trip(&mut self, quota: &TenantQuota, now: u64) -> Option<u64> {
+        self.quota_trips += 1;
+        self.consecutive_trips += 1;
+        if self.consecutive_trips >= quota.trips_to_open.max(1) {
+            let until = now + quota.cooldown_ticks.max(1);
+            self.suspended_until = Some(until);
+            self.suspensions += 1;
+            // The tenant gets a fresh allowance after the cool-down
+            // (half-open semantics: the next trip needs a full streak
+            // again — but one clean run also resets the streak).
+            self.consecutive_trips = 0;
+            Some(until)
+        } else {
+            None
+        }
+    }
+
+    /// Records a clean completion: closes a half-open circuit and
+    /// resets the trip streak.
+    pub fn record_success(&mut self) {
+        self.completed += 1;
+        self.consecutive_trips = 0;
+        self.suspended_until = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_opens_after_streak_and_cools_down() {
+        let q = TenantQuota {
+            trips_to_open: 2,
+            cooldown_ticks: 5,
+            ..TenantQuota::default()
+        };
+        let mut t = TenantState::default();
+        assert_eq!(t.record_trip(&q, 10), None);
+        assert_eq!(t.record_trip(&q, 11), Some(16));
+        assert_eq!(t.circuit_open(11), Some(16));
+        assert_eq!(t.circuit_open(15), Some(16));
+        assert_eq!(t.circuit_open(16), None, "cool-down expired");
+        assert_eq!(t.suspensions, 1);
+        assert_eq!(t.quota_trips, 2);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let q = TenantQuota {
+            trips_to_open: 2,
+            ..TenantQuota::default()
+        };
+        let mut t = TenantState::default();
+        assert_eq!(t.record_trip(&q, 0), None);
+        t.record_success();
+        assert_eq!(t.record_trip(&q, 1), None, "streak was reset");
+        assert_eq!(t.record_trip(&q, 2), Some(2 + q.cooldown_ticks));
+    }
+}

@@ -1,0 +1,175 @@
+//! The fuzzed service boundary (CI's zero-panic gate).
+//!
+//! Arbitrary tenants, payload bytes, IR modules, scheme names,
+//! compression CSRs and fuel values are thrown at the full service
+//! lifecycle (`submit` → `drain` → `into_report`). The contract under
+//! test:
+//!
+//! 1. The service itself never panics — hostile input of any shape maps
+//!    to a typed [`ServeError`] (worker panics are a separate, isolated
+//!    channel, and without chaos probes in the mix there must be none).
+//! 2. Every submission — shed or admitted — yields exactly one report.
+//! 3. Admission never blocks: a full queue is an immediate typed shed.
+
+use hwst128::compiler::ModuleBuilder;
+use hwst128::workloads::Scale;
+use hwst_harness::NullSink;
+use hwst_serve::{Payload, Serve, ServeConfig, Submission, TenantQuota, Verdict};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// A small, watchdogged service so fuzz cases stay fast.
+fn fuzz_config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 16,
+        workers: 2,
+        timeout: Some(Duration::from_secs(10)),
+        batch: 4,
+        default_fuel: 4_096,
+        quota: TenantQuota {
+            max_fuel: 4_096,
+            max_image_bytes: 1 << 12,
+            max_module_insts: 256,
+            max_in_flight: 8,
+            trips_to_open: 2,
+            cooldown_ticks: 4,
+        },
+        cache_capacity: 8,
+        max_ticks: 400,
+        ..ServeConfig::default()
+    }
+}
+
+fn arb_tenant() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("alice".to_string()),
+        Just(String::new()),
+        Just("x".repeat(100)),
+        Just("bad\u{0}name".to_string()),
+        prop::collection::vec(any::<u8>(), 0..12)
+            .prop_map(|b| String::from_utf8_lossy(&b).into_owned()),
+    ]
+}
+
+fn arb_module_payload() -> impl Strategy<Value = Payload> {
+    (0usize..12, any::<bool>(), any::<i64>()).prop_map(|(konsts, mainless, seed)| {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func(if mainless { "helper" } else { "main" });
+        for k in 0..konsts as i64 {
+            let _ = f.konst(seed.wrapping_add(k));
+        }
+        f.ret(None);
+        f.finish();
+        Payload::Module(Box::new(mb.finish()))
+    })
+}
+
+fn arb_payload() -> impl Strategy<Value = Payload> {
+    prop_oneof![
+        // Raw bytes at assorted bases: ragged, undecodable, occasionally
+        // decodable garbage that runs into a trap or the fuel quota.
+        (
+            prop::collection::vec(any::<u8>(), 0..64),
+            prop_oneof![
+                Just(0x1_0000u64),
+                Just(0u64),
+                Just(u64::MAX),
+                Just(u64::MAX - 3),
+                any::<u64>()
+            ]
+        )
+            .prop_map(|(bytes, base)| Payload::Image { base, bytes }),
+        arb_module_payload(),
+        prop_oneof![
+            Just("string".to_string()),
+            Just("no-such-workload".to_string()),
+            prop::collection::vec(any::<u8>(), 0..8)
+                .prop_map(|b| String::from_utf8_lossy(&b).into_owned())
+        ]
+        .prop_map(|name| Payload::Workload {
+            name,
+            scale: Scale::Test
+        }),
+    ]
+}
+
+fn arb_scheme() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("HWST128".to_string()),
+        Just("baseline".to_string()),
+        Just("hwst128_TCHK".to_string()),
+        Just("MPX".to_string()),
+        Just(String::new()),
+        prop::collection::vec(any::<u8>(), 0..6)
+            .prop_map(|b| String::from_utf8_lossy(&b).into_owned()),
+    ]
+}
+
+fn arb_submission() -> impl Strategy<Value = Submission> {
+    (
+        arb_tenant(),
+        arb_payload(),
+        arb_scheme(),
+        prop_oneof![Just(None), Just(Some(0u64)), any::<u64>().prop_map(Some)],
+        prop_oneof![
+            Just(None),
+            Just(Some(0u64)),
+            Just(Some(u64::MAX)),
+            any::<u64>().prop_map(Some)
+        ],
+    )
+        .prop_map(|(tenant, payload, scheme, compcfg_csr, fuel)| Submission {
+            tenant,
+            payload,
+            scheme,
+            compcfg_csr,
+            fuel,
+            trace: false,
+        })
+}
+
+/// Drives one full service lifecycle and checks the boundary contract.
+fn exercise(subs: Vec<Submission>) -> Result<(), TestCaseError> {
+    let n = subs.len();
+    let mut serve = Serve::new(fuzz_config());
+    for s in subs {
+        // Both outcomes are legal; panics and blocking are not.
+        let _ = serve.submit(s);
+    }
+    serve.drain(&mut NullSink);
+    let report = serve.into_report();
+    prop_assert_eq!(report.reports.len(), n, "one report per submission");
+    prop_assert_eq!(report.stats.submitted, n as u64);
+    // No chaos probes in the fuzz mix: any isolated worker panic is a
+    // real bug in the execution path, not an expected probe.
+    prop_assert_eq!(report.stats.panics_isolated, 0);
+    for (i, r) in report.reports.iter().enumerate() {
+        prop_assert_eq!(r.id, i as u64, "ids are dense and ordered");
+        prop_assert!(!r.verdict.slug().is_empty());
+        if let Verdict::Rejected(e) = &r.verdict {
+            prop_assert!(!e.code().is_empty());
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn service_boundary_never_panics(subs in prop::collection::vec(arb_submission(), 1..6)) {
+        exercise(subs)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The deep sweep CI's heavy-gates job runs (`--ignored`).
+    #[test]
+    #[ignore = "deep fuzz sweep; run explicitly or in heavy gates"]
+    fn service_boundary_never_panics_deep(subs in prop::collection::vec(arb_submission(), 1..10)) {
+        exercise(subs)?;
+    }
+}

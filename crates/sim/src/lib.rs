@@ -47,6 +47,6 @@ pub mod syscall;
 mod trace;
 mod trap;
 
-pub use machine::{ExitStatus, LoadError, Machine, RuntimeEvents, SafetyConfig};
+pub use machine::{ExitStatus, LoadError, Machine, RuntimeEvents, SafetyConfig, Snapshot};
 pub use trace::TraceEvent;
 pub use trap::Trap;

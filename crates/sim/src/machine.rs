@@ -362,6 +362,52 @@ impl Machine {
             output: self.output.clone(),
         }
     }
+
+    /// Captures the complete machine state — registers, PC, memory,
+    /// shadow structures, pipeline counters, allocator and CSR state —
+    /// as a [`Snapshot`] that can mint any number of warm-started
+    /// machines later.
+    ///
+    /// Taken right after [`Machine::new`] / [`Machine::from_image`],
+    /// a snapshot lets repeated runs of the same image skip image
+    /// decoding and CSR/layout re-setup entirely (the `hwst-serve`
+    /// cache-hit path); taken mid-execution it checkpoints a common
+    /// prefix.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            state: Box::new(self.clone()),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Machine`], including every
+/// deterministic piece of state ([`Machine::snapshot`]).
+///
+/// Restoring is pure: the snapshot is not consumed, and a restored
+/// machine continues **bit-identically** to the machine the snapshot
+/// was taken from (same exits, traps, outputs and cycle counts) — the
+/// warm-start guarantee the service cache relies on, pinned by
+/// `tests/machine_props.rs` and the serve suite.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    state: Box<Machine>,
+}
+
+impl Snapshot {
+    /// Mints a fresh machine from the captured state.
+    pub fn restore(&self) -> Machine {
+        (*self.state).clone()
+    }
+
+    /// The PC at capture time.
+    pub fn pc(&self) -> u64 {
+        self.state.pc
+    }
+
+    /// Instructions retired at capture time.
+    pub fn instret(&self) -> u64 {
+        self.state.pipeline.stats().instret
+    }
 }
 
 #[cfg(test)]

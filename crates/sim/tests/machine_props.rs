@@ -233,3 +233,35 @@ fn bad_image_reports_decode_error() {
     let image = 0xffff_ffffu32.to_le_bytes();
     assert!(Machine::from_image(0, &image, SafetyConfig::default()).is_err());
 }
+
+#[test]
+fn snapshot_restore_is_bit_identical() {
+    // Fresh run vs run from a post-load snapshot: same exit, output,
+    // stats — the warm-start guarantee the serve cache relies on.
+    let prog = churn_prog();
+    let fresh = Machine::new(prog.clone(), SafetyConfig::default())
+        .run(100_000)
+        .expect("churn program exits");
+    let cold = Machine::new(prog, SafetyConfig::default());
+    let snap = cold.snapshot();
+    for _ in 0..3 {
+        let warm = snap.restore().run(100_000).expect("restored run exits");
+        assert_eq!(warm, fresh, "restored run diverged from fresh run");
+    }
+}
+
+#[test]
+fn mid_run_snapshot_resumes_identically() {
+    // Step N instructions, snapshot, and the continuation from the
+    // snapshot matches the uninterrupted machine exactly.
+    let mut m = Machine::new(churn_prog(), SafetyConfig::default());
+    for _ in 0..10 {
+        m.step().expect("prefix steps are clean");
+    }
+    let snap = m.snapshot();
+    assert_eq!(snap.pc(), m.pc());
+    assert_eq!(snap.instret(), 10);
+    let direct = m.run(100_000).expect("direct continuation exits");
+    let resumed = snap.restore().run(100_000).expect("resumed run exits");
+    assert_eq!(resumed, direct, "mid-run snapshot diverged on resume");
+}

@@ -1,0 +1,153 @@
+//! Tier-1 gates for the hwst-serve batch service (the S1
+//! service-robustness experiment): the mixed hostile/benign workload
+//! must produce zero unexplained panics, 100% typed rejection of
+//! hostile submissions, at least one retry-after-backoff recovery,
+//! cache hits that skip recompilation, an opened circuit breaker — and
+//! the whole decision log must be byte-identical at any worker count.
+
+use hwst_harness::NullSink;
+use hwst_serve::{
+    mixed_submissions, MixCategory, MixConfig, Serve, ServeConfig, ServeReport, TenantQuota,
+    Verdict,
+};
+
+/// The S1 smoke configuration: small caps so the flood and the bombs
+/// actually trip admission control and the circuit breaker.
+fn smoke_config(workers: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        queue_capacity: 64,
+        batch: 8,
+        quota: TenantQuota {
+            // 6 = the 4 fuel bombs + the bomber's follow-up with room
+            // to spare, while still small enough that the 8-strong
+            // flood sheds its tail at admission.
+            max_in_flight: 6,
+            trips_to_open: 3,
+            cooldown_ticks: 8,
+            ..TenantQuota::default()
+        },
+        ..ServeConfig::default()
+    }
+}
+
+fn run_smoke(workers: usize) -> ServeReport {
+    let cfg = MixConfig::smoke();
+    let mut serve = Serve::new(smoke_config(workers));
+    let subs = mixed_submissions(&cfg, &smoke_config(workers).quota);
+    for m in subs {
+        let _ = serve.submit(m.submission);
+    }
+    serve.drain(&mut NullSink);
+    serve.into_report()
+}
+
+#[test]
+fn smoke_mix_meets_the_s1_robustness_bar() {
+    let cfg = MixConfig::smoke();
+    let quota = smoke_config(1).quota;
+    let subs = mixed_submissions(&cfg, &quota);
+    let report = run_smoke(1);
+    assert_eq!(
+        report.reports.len(),
+        subs.len(),
+        "one report per submission"
+    );
+
+    // 100% of hostile submissions end in a typed rejection.
+    for (m, r) in subs.iter().zip(&report.reports) {
+        if m.category == MixCategory::Hostile {
+            assert!(
+                r.verdict.is_rejection(),
+                "hostile job{} ({}) ended {:?}",
+                r.id,
+                r.label,
+                r.verdict
+            );
+        }
+        if m.category == MixCategory::Benign || m.category == MixCategory::Duplicate {
+            assert!(
+                matches!(r.verdict, Verdict::Completed { .. }),
+                "cooperative job{} ({}) ended {:?}",
+                r.id,
+                r.label,
+                r.verdict
+            );
+        }
+    }
+
+    let s = report.stats;
+    // The only worker panics are the chaos probes' induced ones.
+    assert_eq!(s.panics_isolated, 3, "2 chaos probes fail 1 and 2 attempts");
+    assert_eq!(s.retry_successes, 2, "both probes recover after backoff");
+    assert!(s.retries >= 3);
+    // Duplicates warm-start from the content-addressed cache.
+    assert!(
+        s.cache_hits >= 1,
+        "no cache hit:\n{}",
+        report.decision_log()
+    );
+    // The bomber's fuel bombs open its circuit; its follow-up is shed.
+    assert!(s.quota_trips >= 3);
+    assert!(s.circuit_opens >= 1, "{}", report.decision_log());
+    assert!(s.shed_suspended >= 1, "{}", report.decision_log());
+    // The flood is shed at admission, not blocked on.
+    assert!(s.shed_at_submit >= 1);
+    let flooder = report.tenants.get("flooder").expect("flooder state");
+    assert!(flooder.shed >= 1, "flood past in-flight cap is shed");
+}
+
+#[test]
+fn decision_log_is_byte_identical_across_worker_counts() {
+    let serial = run_smoke(1);
+    let log = serial.decision_log();
+    assert!(!log.is_empty());
+    for workers in [2, 8] {
+        let parallel = run_smoke(workers);
+        assert_eq!(
+            log,
+            parallel.decision_log(),
+            "decision log diverged at {workers} workers"
+        );
+        assert_eq!(serial.stats, parallel.stats, "stats diverged at {workers}");
+        assert_eq!(
+            serial.json().to_string(),
+            parallel.json().to_string(),
+            "JSON summary diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn cache_hits_skip_recompilation() {
+    // Same submission three times with batch=1: the first compiles, the
+    // later two must warm-start (miss, hit, hit).
+    let mut cfg = smoke_config(1);
+    cfg.batch = 1;
+    let mut serve = Serve::new(cfg);
+    let template = mixed_submissions(&MixConfig::smoke(), &smoke_config(1).quota)
+        .into_iter()
+        .find(|m| m.category == MixCategory::Benign)
+        .expect("a benign submission")
+        .submission;
+    for _ in 0..3 {
+        serve.submit(template.clone()).expect("admitted");
+    }
+    serve.drain(&mut NullSink);
+    let report = serve.into_report();
+    assert_eq!(report.stats.cache_misses, 1);
+    assert_eq!(report.stats.cache_hits, 2);
+    assert!(!report.reports[0].cache_hit);
+    assert!(report.reports[1].cache_hit && report.reports[2].cache_hit);
+    // All three agree on the run result — warm starts are bit-identical.
+    let cycles: Vec<u64> = report
+        .reports
+        .iter()
+        .map(|r| match r.verdict {
+            Verdict::Completed { cycles, .. } => cycles,
+            ref v => panic!("expected completion, got {v:?}"),
+        })
+        .collect();
+    assert_eq!(cycles[0], cycles[1]);
+    assert_eq!(cycles[1], cycles[2]);
+}
