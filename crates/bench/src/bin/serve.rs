@@ -32,15 +32,17 @@ fn main() {
         cooldown_ticks: 8,
         ..TenantQuota::default()
     };
+    let engine = args.engine();
     let cfg = ServeConfig {
         workers: jobs,
         queue_capacity: 64,
         batch: 8,
         quota,
+        engine,
         ..ServeConfig::default()
     };
     println!(
-        "S1 — service robustness{}, {} worker(s)",
+        "S1 — service robustness{}, {} worker(s), {engine} engine",
         if smoke { " [smoke]" } else { "" },
         jobs
     );
@@ -95,12 +97,13 @@ fn main() {
         s.completed, s.violations, s.faulted, s.rejected, s.shed_at_submit, s.shed_suspended
     );
     println!(
-        "retries {} (successes {}) | panics isolated {} | cache {}/{} hit/miss | quota trips {} | circuits {} | {} ticks",
+        "retries {} (successes {}) | panics isolated {} | cache {}/{} hit/miss ({} decode skips) | quota trips {} | circuits {} | {} ticks",
         s.retries,
         s.retry_successes,
         s.panics_isolated,
         s.cache_hits,
         s.cache_misses,
+        s.decode_skips,
         s.quota_trips,
         s.circuit_opens,
         s.ticks

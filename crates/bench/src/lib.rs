@@ -22,12 +22,14 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod exec;
 pub mod profile;
 pub mod runs;
 pub mod summary;
 
 use hwst128::compiler::{compile, Scheme};
-use hwst128::run_scheme;
+use hwst128::exec::Engine;
+use hwst128::run_scheme_with;
 use hwst128::sim::{Machine, SafetyConfig};
 use hwst128::workloads::{all, Scale, Suite, Workload};
 
@@ -55,18 +57,30 @@ pub fn fig4_row(wl: &Workload, scale: Scale) -> Fig4Row {
     try_fig4_row(wl, scale).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// [`fig4_row`] with structured errors.
+/// [`fig4_row`] with structured errors. Sweeps default to the fast
+/// engine ([`Engine::Fast`]) — bit-identical to the cycle reference by
+/// the `hwst-exec` contract; use [`try_fig4_row_with`] to pin the
+/// engine.
 ///
 /// # Errors
 ///
 /// Returns `"<workload> (<scheme>): <trap/compile error>"` for the
 /// first scheme that fails to compile or run clean.
 pub fn try_fig4_row(wl: &Workload, scale: Scale) -> Result<Fig4Row, String> {
+    try_fig4_row_with(wl, scale, Engine::Fast)
+}
+
+/// [`try_fig4_row`] under an explicit execution engine.
+///
+/// # Errors
+///
+/// Same as [`try_fig4_row`].
+pub fn try_fig4_row_with(wl: &Workload, scale: Scale, engine: Engine) -> Result<Fig4Row, String> {
     let module = wl.module(scale);
     let fuel = wl.fuel(scale);
     let mut cycles = [0.0f64; 4];
     for (slot, &s) in cycles.iter_mut().zip(Scheme::ALL.iter()) {
-        *slot = run_scheme(&module, s, fuel)
+        *slot = run_scheme_with(&module, s, fuel, engine)
             .map_err(|e| format!("{} ({s}): {e}", wl.name))?
             .stats
             .total_cycles() as f64;

@@ -358,6 +358,49 @@ pub fn profile_summary(
     .set("mean_fraction", mean)
 }
 
+/// The `BENCH_exec.json` document (experiment X1 — fast-engine
+/// speedup). Host times vary between machines and runs; `instret` and
+/// the divergence-free row set are the deterministic parts.
+pub fn exec_summary(
+    scale: Scale,
+    workers: usize,
+    results: &[JobResult<crate::exec::ExecRow>],
+    wall: Duration,
+    failed: &[FailedJob],
+) -> Json {
+    let rows: Vec<&crate::exec::ExecRow> = results.iter().filter_map(|r| r.outcome.ok()).collect();
+    let owned: Vec<crate::exec::ExecRow> = rows.iter().map(|r| (*r).clone()).collect();
+    let geomean = crate::exec::exec_geomean(&owned);
+    timing(
+        header("hwst-bench/exec", scale, workers),
+        wall,
+        serial_wall(results),
+    )
+    .set(
+        "rows",
+        Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj()
+                        .set("name", r.name.as_str())
+                        .set("suite", r.suite.to_string())
+                        .set("instret", r.instret)
+                        .set("decoded_blocks", r.decoded_blocks)
+                        .set("cycle_ns", r.cycle_ns)
+                        .set("fast_ns", r.fast_ns)
+                        .set("cycle_ips", r.cycle_ips())
+                        .set("fast_ips", r.fast_ips())
+                        .set("speedup", r.speedup())
+                })
+                .collect(),
+        ),
+    )
+    .set("failed", failures(failed))
+    .set("geomean_speedup", geomean)
+    .set("target_speedup", 10.0)
+    .set("meets_target", geomean >= 10.0)
+}
+
 /// The `BENCH_boundscheck.json` document (experiment A10).
 ///
 /// `improved` is the number of workloads that executed strictly fewer

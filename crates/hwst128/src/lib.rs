@@ -20,6 +20,7 @@
 //! | [`juliet`] | `hwst-juliet` | security-coverage suite |
 //! | [`hwcost`] | `hwst-hwcost` | FPGA cost model |
 //! | [`telemetry`] | `hwst-telemetry` | observability: cycle attribution, trace export |
+//! | [`exec`] | `hwst-exec` | decoded-block fast execution tier (bit-identical to `sim`) |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,7 @@ pub mod debugger;
 
 pub use hwst_baselines as baselines;
 pub use hwst_compiler as compiler;
+pub use hwst_exec as exec;
 pub use hwst_hwcost as hwcost;
 pub use hwst_isa as isa;
 pub use hwst_juliet as juliet;
@@ -63,6 +65,7 @@ pub use hwst_workloads as workloads;
 pub mod prelude {
     pub use hwst_compiler::ir::{BinOp, Width};
     pub use hwst_compiler::{compile, FuncBuilder, ModuleBuilder, Scheme};
+    pub use hwst_exec::{BlockCache, Engine};
     pub use hwst_isa::{Instr, Program, Reg};
     pub use hwst_metadata::{CompressionConfig, Metadata, ShadowCodec};
     pub use hwst_sim::{ExitStatus, Machine, SafetyConfig, Trap};
@@ -104,6 +107,27 @@ pub fn run_scheme(
     Ok(exit)
 }
 
+/// [`run_scheme`] under a caller-chosen [`exec::Engine`]. Both engines
+/// return bit-identical results; `Engine::Fast` is the sweep default,
+/// `Engine::Cycle` the per-step reference interpreter.
+///
+/// # Errors
+///
+/// Returns the compile error or the trap that stopped execution, both as
+/// boxed errors.
+pub fn run_scheme_with(
+    module: &compiler::ir::Module,
+    scheme: compiler::Scheme,
+    fuel: u64,
+    engine: exec::Engine,
+) -> Result<sim::ExitStatus, Box<dyn std::error::Error + Send + Sync>> {
+    let prog = compiler::compile(module, scheme)?;
+    let mut cache = exec::BlockCache::new();
+    let mut m = sim::Machine::new(prog, config_for(scheme));
+    let exit = engine.run(&mut m, fuel, &mut cache)?;
+    Ok(exit)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +152,25 @@ mod tests {
         let m = mb.finish();
         for s in Scheme::ALL {
             assert_eq!(run_scheme(&m, s, 100_000).unwrap().code, 9);
+        }
+    }
+
+    #[test]
+    fn engines_agree_through_the_facade() {
+        let mut mb = compiler::ModuleBuilder::new();
+        let mut f = mb.func("main");
+        let p = f.malloc_bytes(24);
+        let v = f.konst(5);
+        f.store(v, p, 0, compiler::ir::Width::U64);
+        f.free(p);
+        f.ret(Some(v));
+        f.finish();
+        let m = mb.finish();
+        for s in Scheme::ALL {
+            let cycle = run_scheme_with(&m, s, 100_000, exec::Engine::Cycle).unwrap();
+            let fast = run_scheme_with(&m, s, 100_000, exec::Engine::Fast).unwrap();
+            assert_eq!(cycle, fast, "scheme {s:?}");
+            assert_eq!(run_scheme(&m, s, 100_000).unwrap(), cycle);
         }
     }
 }

@@ -41,11 +41,24 @@ impl Default for CacheConfig {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    /// `tags[set]` holds up to `ways` tags in LRU order (front = MRU).
-    tags: Vec<Vec<u64>>,
+    /// `log2(line_bytes)` — the geometry is power-of-two, so the line
+    /// number is a shift, not a division.
+    line_shift: u32,
+    /// `sets - 1`, the set-index mask.
+    set_mask: usize,
+    /// Flat `sets × ways` tag array in row-major order. Within a row the
+    /// front is MRU; empty ways hold [`EMPTY`] (a line number no real
+    /// address reaches: it would need a 1-byte line at the very top of
+    /// the address space). One row fits in a host cache line for every
+    /// realistic associativity, which is what makes the model's
+    /// per-access cost a handful of compares.
+    tags: Box<[u64]>,
     hits: u64,
     misses: u64,
 }
+
+/// Sentinel tag for an empty way.
+const EMPTY: u64 = u64::MAX;
 
 impl Cache {
     /// Creates an empty (cold) cache.
@@ -63,7 +76,9 @@ impl Cache {
         assert!(cfg.ways > 0, "associativity must be nonzero");
         Cache {
             cfg,
-            tags: vec![Vec::with_capacity(cfg.ways); cfg.sets],
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            set_mask: cfg.sets - 1,
+            tags: vec![EMPTY; cfg.sets * cfg.ways].into_boxed_slice(),
             hits: 0,
             misses: 0,
         }
@@ -76,21 +91,32 @@ impl Cache {
 
     /// Performs an access; returns the *extra* stall cycles (0 on hit,
     /// `miss_penalty` on miss).
+    #[inline]
     pub fn access(&mut self, addr: u64) -> u64 {
-        let line = addr / self.cfg.line_bytes;
-        let set = (line as usize) & (self.cfg.sets - 1);
-        let ways = &mut self.tags[set];
+        let line = addr >> self.line_shift;
+        let set = (line as usize) & self.set_mask;
+        let ways = &mut self.tags[set * self.cfg.ways..][..self.cfg.ways];
+        // MRU hit: the overwhelmingly common case in looping code, and
+        // it needs no reordering at all.
+        if ways[0] == line {
+            self.hits += 1;
+            return 0;
+        }
+        // A real line never equals the sentinel, so empty ways can't
+        // false-hit here.
         if let Some(pos) = ways.iter().position(|&t| t == line) {
-            // Move to MRU.
-            let t = ways.remove(pos);
-            ways.insert(0, t);
+            // Move to MRU: rotating the `[0, pos]` prefix right by one
+            // is `remove(pos)` + `insert(0, ..)` without the shifts
+            // running over the slice twice.
+            ways[..=pos].rotate_right(1);
             self.hits += 1;
             0
         } else {
-            if ways.len() == self.cfg.ways {
-                ways.pop();
-            }
-            ways.insert(0, line);
+            // Evict the back — the LRU line, or a sentinel while the
+            // set is still filling; both cases are "shift right, write
+            // the new MRU at the front".
+            ways.rotate_right(1);
+            ways[0] = line;
             self.misses += 1;
             self.cfg.miss_penalty
         }
@@ -98,9 +124,7 @@ impl Cache {
 
     /// Invalidates every line (e.g. on context switch).
     pub fn flush(&mut self) {
-        for s in &mut self.tags {
-            s.clear();
-        }
+        self.tags.fill(EMPTY);
     }
 
     /// `(hits, misses)` counters.

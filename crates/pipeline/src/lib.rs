@@ -41,6 +41,8 @@ mod stats;
 
 pub use cache::{Cache, CacheConfig};
 pub use keybuffer::KeyBuffer;
-pub use pipeline::{ExecEvents, Pipeline, PipelineConfig, ShadowLayout};
+pub use pipeline::{
+    ExecEvents, Pipeline, PipelineConfig, RetireClass, RetireInfo, ShadowLayout, StaticCharges,
+};
 pub use srf::ShadowRegisterFile;
 pub use stats::CycleStats;

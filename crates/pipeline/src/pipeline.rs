@@ -69,6 +69,237 @@ pub struct ExecEvents {
     pub tchk: Option<(u64, u64)>,
 }
 
+/// The timing-relevant shape of an instruction, pre-resolved once at
+/// decode time so the fast execution tier can retire without
+/// re-matching the full [`Instr`] (and without the per-retire source
+/// register `Vec` that [`Instr::src_gprs`] allocates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetireClass {
+    /// A load (plain or checked) writing `rd`.
+    Load {
+        /// Destination register (arms the load-use interlock).
+        rd: Reg,
+        /// Whether the SCU checks the access.
+        checked: bool,
+    },
+    /// A store (plain or checked).
+    Store {
+        /// Whether the SCU checks the access.
+        checked: bool,
+    },
+    /// A conditional branch (pays the redirect only when taken).
+    Branch,
+    /// An unconditional jump (`jal`/`jalr`).
+    Jump,
+    /// A multiply-class ALU op.
+    Mul,
+    /// A divide/remainder-class ALU op.
+    Div,
+    /// A metadata store (`sbdl`/`sbdu`).
+    ShadowStore,
+    /// A metadata load (`lbdls`/`lbdus`/`lbas`/`lbnd`/`lkey`/`lloc`)
+    /// writing `rd`.
+    ShadowLoad {
+        /// Destination register (arms the load-use interlock).
+        rd: Reg,
+    },
+    /// A temporal check.
+    Tchk,
+    /// Everything else: single-cycle, no side effects on timing state.
+    Other,
+}
+
+/// Pre-resolved retire facts for one instruction: source registers
+/// (for the load-use interlock), HWST membership and timing class.
+///
+/// [`Pipeline::retire_decoded`] consumes this and charges exactly the
+/// cycles [`Pipeline::retire`] would charge for the instruction it was
+/// built from — the equivalence the decoded-block engine's bit-identity
+/// guarantee rests on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetireInfo {
+    srcs: [Reg; 2],
+    nsrcs: u8,
+    is_hwst: bool,
+    class: RetireClass,
+}
+
+impl RetireInfo {
+    /// Pre-resolves `instr` (mirrors [`Instr::src_gprs`],
+    /// [`Instr::is_hwst`] and the [`Pipeline::retire`] match arms).
+    pub fn of(instr: &Instr) -> Self {
+        let mut srcs = [Reg::Zero; 2];
+        let mut nsrcs = 0u8;
+        let mut push = |r: Reg| {
+            // src_gprs() drops x0: it always reads zero, so it can
+            // never carry a load-use dependence.
+            if !r.is_zero() {
+                srcs[nsrcs as usize] = r;
+                nsrcs += 1;
+            }
+        };
+        match *instr {
+            Instr::Jalr { rs1, .. }
+            | Instr::Load { rs1, .. }
+            | Instr::AluImm { rs1, .. }
+            | Instr::Csr { rs1, .. }
+            | Instr::Lbdls { rs1, .. }
+            | Instr::Lbdus { rs1, .. }
+            | Instr::Lbas { rs1, .. }
+            | Instr::Lbnd { rs1, .. }
+            | Instr::Lkey { rs1, .. }
+            | Instr::Lloc { rs1, .. }
+            | Instr::Tchk { rs1 } => push(rs1),
+            Instr::Branch { rs1, rs2, .. }
+            | Instr::Store { rs1, rs2, .. }
+            | Instr::Alu { rs1, rs2, .. }
+            | Instr::Bndrs { rs1, rs2, .. }
+            | Instr::Bndrt { rs1, rs2, .. } => {
+                push(rs1);
+                push(rs2);
+            }
+            // The metadata stores read only the container pointer: the
+            // SRF entry travels the metadata path, not the GPR path.
+            Instr::Sbdl { rs1, .. } | Instr::Sbdu { rs1, .. } => push(rs1),
+            _ => {}
+        }
+        let class = match *instr {
+            Instr::Load { rd, checked, .. } => RetireClass::Load { rd, checked },
+            Instr::Store { checked, .. } => RetireClass::Store { checked },
+            Instr::Branch { .. } => RetireClass::Branch,
+            Instr::Jal { .. } | Instr::Jalr { .. } => RetireClass::Jump,
+            Instr::Alu { op, .. } if op.is_muldiv() => {
+                if matches!(
+                    op,
+                    hwst_isa::AluOp::Mul
+                        | hwst_isa::AluOp::Mulh
+                        | hwst_isa::AluOp::Mulhsu
+                        | hwst_isa::AluOp::Mulhu
+                        | hwst_isa::AluOp::Mulw
+                ) {
+                    RetireClass::Mul
+                } else {
+                    RetireClass::Div
+                }
+            }
+            Instr::Sbdl { .. } | Instr::Sbdu { .. } => RetireClass::ShadowStore,
+            Instr::Lbdls { rd, .. }
+            | Instr::Lbdus { rd, .. }
+            | Instr::Lbas { rd, .. }
+            | Instr::Lbnd { rd, .. }
+            | Instr::Lkey { rd, .. }
+            | Instr::Lloc { rd, .. } => RetireClass::ShadowLoad { rd },
+            Instr::Tchk { .. } => RetireClass::Tchk,
+            _ => RetireClass::Other,
+        };
+        RetireInfo {
+            srcs,
+            nsrcs,
+            is_hwst: instr.is_hwst(),
+            class,
+        }
+    }
+
+    /// The timing class this instruction resolved to.
+    pub fn class(&self) -> RetireClass {
+        self.class
+    }
+
+    /// Whether the instruction is an HWST extension instruction.
+    pub fn is_hwst(&self) -> bool {
+        self.is_hwst
+    }
+
+    /// Whether the instruction reads GPR `r` (x0 never reads as a
+    /// dependence, mirroring `src_gprs`).
+    #[inline]
+    pub fn reads(&self, r: Reg) -> bool {
+        self.srcs[..self.nsrcs as usize].contains(&r)
+    }
+
+    /// The destination this instruction arms the load-use interlock
+    /// with, if any — i.e. the value [`Pipeline::retire`] leaves in
+    /// `prev_load_dest` after retiring it.
+    #[inline]
+    pub fn load_dest(&self) -> Option<Reg> {
+        match self.class {
+            RetireClass::Load { rd, .. } | RetireClass::ShadowLoad { rd } => Some(rd),
+            _ => None,
+        }
+    }
+}
+
+/// The statically-determined portion of a run of retires: everything
+/// [`Pipeline::retire`] charges that depends only on the instructions
+/// themselves, not on addresses or cache state. A decoded block
+/// precomputes prefix sums of these, so the plain (non-profiled) fast
+/// engine applies one `charge_static` per block instead of the
+/// arithmetic part of one `retire` per instruction.
+///
+/// Fields are counts (latency multipliers are applied by
+/// [`Pipeline::charge_static`] against the live config), sized `u16`:
+/// a block holds at most 128 components, so no count can overflow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticCharges {
+    /// Retired components: `instret` and `base_cycles` each advance by
+    /// this much.
+    pub comps: u16,
+    /// HWST instructions (the `hwst_instrs` counter).
+    pub hwst: u16,
+    /// Checked loads/stores (the `checked_mem` counter).
+    pub checked_mem: u16,
+    /// Multiplies (charged `mul_latency` each).
+    pub muls: u16,
+    /// Divides (charged `div_latency` each).
+    pub divs: u16,
+    /// Unconditional jumps (charged `control_penalty` each; taken
+    /// branches are dynamic).
+    pub jumps: u16,
+    /// Load-use interlock hits between adjacent components of the same
+    /// block (charged `load_use_stall` each). Pairs straddling a block
+    /// entry or an environment instruction are dynamic.
+    pub load_use: u16,
+    /// Shadow-memory operations (the `meta_mem` count).
+    pub meta_mem: u16,
+}
+
+impl StaticCharges {
+    /// Accumulates one component's static facts (the load-use pair
+    /// count is the caller's job: it needs the *previous* component).
+    pub fn add_component(&mut self, info: &RetireInfo) {
+        self.comps += 1;
+        self.hwst += info.is_hwst as u16;
+        match info.class {
+            RetireClass::Load { checked, .. } | RetireClass::Store { checked } => {
+                self.checked_mem += checked as u16;
+            }
+            RetireClass::Mul => self.muls += 1,
+            RetireClass::Div => self.divs += 1,
+            RetireClass::Jump => self.jumps += 1,
+            RetireClass::ShadowStore | RetireClass::ShadowLoad { .. } => self.meta_mem += 1,
+            _ => {}
+        }
+    }
+}
+
+impl std::ops::Sub for StaticCharges {
+    type Output = StaticCharges;
+
+    /// Prefix-sum difference: the charges of components `[rhs, self)`.
+    fn sub(self, rhs: StaticCharges) -> StaticCharges {
+        StaticCharges {
+            comps: self.comps - rhs.comps,
+            hwst: self.hwst - rhs.hwst,
+            checked_mem: self.checked_mem - rhs.checked_mem,
+            muls: self.muls - rhs.muls,
+            divs: self.divs - rhs.divs,
+            jumps: self.jumps - rhs.jumps,
+            load_use: self.load_use - rhs.load_use,
+            meta_mem: self.meta_mem - rhs.meta_mem,
+        }
+    }
+}
+
 /// The cycle-accounting engine. Owns the D-cache and keybuffer state and
 /// accumulates a [`CycleStats`] breakdown as the simulator retires
 /// instructions through it.
@@ -306,6 +537,186 @@ impl Pipeline {
             _ => {}
         }
         cycles
+    }
+
+    /// [`Self::retire`] over a pre-resolved [`RetireInfo`]: charges
+    /// exactly the cycles `retire` would charge for the instruction the
+    /// info was built from, updating the same state in the same order.
+    ///
+    /// Any divergence between the two is a bug; the equivalence tests
+    /// below and the differential engine gate both pin it.
+    #[inline]
+    pub fn retire_decoded(&mut self, info: &RetireInfo, ev: &ExecEvents) -> u64 {
+        self.stats.instret += 1;
+        self.stats.base_cycles += 1;
+        let mut cycles = 1;
+        if info.is_hwst {
+            self.counters.incr(self.ids.hwst_instrs);
+        }
+
+        // Load-use interlock against the previous instruction.
+        if let Some(dest) = self.prev_load_dest.take() {
+            if info.srcs[..info.nsrcs as usize].contains(&dest) {
+                self.stats.load_use_stalls += self.cfg.load_use_stall;
+                cycles += self.cfg.load_use_stall;
+            }
+        }
+
+        match info.class {
+            RetireClass::Load { rd, checked } => {
+                let extra = self.dcache.access(ev.mem_addr.unwrap_or_default());
+                self.stats.mem_stalls += extra;
+                self.counters.add(self.ids.checked_mem, checked as u64);
+                cycles += extra;
+                self.prev_load_dest = Some(rd);
+            }
+            RetireClass::Store { checked } => {
+                let extra = self.dcache.access(ev.mem_addr.unwrap_or_default());
+                self.stats.mem_stalls += extra;
+                self.counters.add(self.ids.checked_mem, checked as u64);
+                cycles += extra;
+            }
+            RetireClass::Branch => {
+                if ev.branch_taken {
+                    self.stats.control_stalls += self.cfg.control_penalty;
+                    cycles += self.cfg.control_penalty;
+                }
+            }
+            RetireClass::Jump => {
+                self.stats.control_stalls += self.cfg.control_penalty;
+                cycles += self.cfg.control_penalty;
+            }
+            RetireClass::Mul => {
+                self.stats.muldiv_stalls += self.cfg.mul_latency;
+                cycles += self.cfg.mul_latency;
+            }
+            RetireClass::Div => {
+                self.stats.muldiv_stalls += self.cfg.div_latency;
+                cycles += self.cfg.div_latency;
+            }
+            RetireClass::ShadowStore => {
+                let saddr = ev.shadow_addr.unwrap_or_default();
+                let mut extra = self.shadow_dir_walk(saddr);
+                extra += self.dcache.access(saddr);
+                self.stats.shadow_stalls += extra;
+                self.stats.meta_mem += 1;
+                cycles += extra;
+            }
+            RetireClass::ShadowLoad { rd } => {
+                let saddr = ev.shadow_addr.unwrap_or_default();
+                let mut extra = self.shadow_dir_walk(saddr);
+                extra += self.dcache.access(saddr);
+                self.stats.shadow_stalls += extra;
+                self.stats.meta_mem += 1;
+                cycles += extra;
+                self.prev_load_dest = Some(rd);
+            }
+            RetireClass::Tchk => {
+                if let Some((lock, key)) = ev.tchk {
+                    match self.keybuffer.lookup(lock) {
+                        Some(_) => {
+                            self.counters.incr(self.ids.keybuffer_hits);
+                        }
+                        None => {
+                            self.counters.incr(self.ids.keybuffer_misses);
+                            let extra = 1 + self.dcache.access(lock);
+                            self.stats.tchk_stalls += extra;
+                            cycles += extra;
+                            self.keybuffer.fill(lock, key);
+                        }
+                    }
+                }
+            }
+            RetireClass::Other => {}
+        }
+        cycles
+    }
+
+    // ------------------------------------------------------------------
+    // Batched retirement: the plain fast engine splits `retire_decoded`
+    // into a per-block `charge_static` (the arithmetic above, summed at
+    // decode time) and the per-op `charge_*_dyn` calls below (the parts
+    // that touch the D-cache/keybuffer, whose access *order* must match
+    // the cycle engine exactly for LRU state to stay bit-identical).
+    // ------------------------------------------------------------------
+
+    /// Applies a block's (or block prefix's) statically-summed charges.
+    /// Together with the dynamic charges issued per op, the result is
+    /// bit-identical to having called [`Self::retire_decoded`] per op.
+    #[inline]
+    pub fn charge_static(&mut self, c: StaticCharges) {
+        self.stats.instret += c.comps as u64;
+        self.stats.base_cycles += c.comps as u64;
+        self.counters.add(self.ids.hwst_instrs, c.hwst as u64);
+        self.counters
+            .add(self.ids.checked_mem, c.checked_mem as u64);
+        self.stats.muldiv_stalls +=
+            c.muls as u64 * self.cfg.mul_latency + c.divs as u64 * self.cfg.div_latency;
+        self.stats.control_stalls += c.jumps as u64 * self.cfg.control_penalty;
+        self.stats.load_use_stalls += c.load_use as u64 * self.cfg.load_use_stall;
+        self.stats.meta_mem += c.meta_mem as u64;
+    }
+
+    /// Dynamic half of a [`RetireClass::Load`]/[`RetireClass::Store`]
+    /// retire: the D-cache access (the `checked_mem` bump and interlock
+    /// arming are static).
+    #[inline]
+    pub fn charge_mem_dyn(&mut self, addr: u64) {
+        self.stats.mem_stalls += self.dcache.access(addr);
+    }
+
+    /// Dynamic half of a shadow-memory retire: directory walk plus the
+    /// D-cache access at the shadow address (`meta_mem` is static).
+    #[inline]
+    pub fn charge_shadow_dyn(&mut self, saddr: u64) {
+        let mut extra = self.shadow_dir_walk(saddr);
+        extra += self.dcache.access(saddr);
+        self.stats.shadow_stalls += extra;
+    }
+
+    /// Dynamic half of a [`RetireClass::Tchk`] retire: keybuffer lookup,
+    /// and on a miss the key fetch through the D-cache plus the fill.
+    #[inline]
+    pub fn charge_tchk_dyn(&mut self, lock: u64, key: u64) {
+        match self.keybuffer.lookup(lock) {
+            Some(_) => {
+                self.counters.incr(self.ids.keybuffer_hits);
+            }
+            None => {
+                self.counters.incr(self.ids.keybuffer_misses);
+                let extra = 1 + self.dcache.access(lock);
+                self.stats.tchk_stalls += extra;
+                self.keybuffer.fill(lock, key);
+            }
+        }
+    }
+
+    /// Dynamic half of a taken [`RetireClass::Branch`] retire.
+    #[inline]
+    pub fn charge_taken_branch(&mut self) {
+        self.stats.control_stalls += self.cfg.control_penalty;
+    }
+
+    /// Load-use interlock check at a batching seam (block entry or the
+    /// component after an environment instruction), where the previous
+    /// component's identity is not known statically. Consumes
+    /// `prev_load_dest` exactly as [`Self::retire_decoded`] does.
+    #[inline]
+    pub fn interlock_seam(&mut self, info: &RetireInfo) {
+        if let Some(dest) = self.prev_load_dest.take() {
+            if info.reads(dest) {
+                self.stats.load_use_stalls += self.cfg.load_use_stall;
+            }
+        }
+    }
+
+    /// Restores the interlock state at a batching seam: called when the
+    /// plain fast engine leaves a run of statically-accounted components,
+    /// with the `load_dest` of the last component executed (the value
+    /// per-op retirement would have left behind).
+    #[inline]
+    pub fn set_prev_load_dest(&mut self, dest: Option<Reg>) {
+        self.prev_load_dest = dest;
     }
 }
 
@@ -545,6 +956,229 @@ mod tests {
         // HWST instructions too).
         assert_eq!(s.hwst_instrs, 3);
         assert_eq!(s.checked_mem, 1);
+    }
+
+    /// Every instruction form × representative events: `retire_decoded`
+    /// over `RetireInfo::of(i)` charges the exact cycles `retire(i)`
+    /// does and leaves identical stats, D-cache and keybuffer state.
+    #[test]
+    fn retire_decoded_is_equivalent_to_retire() {
+        let mem = |a| ExecEvents {
+            mem_addr: Some(a),
+            ..Default::default()
+        };
+        let shadow = |a| ExecEvents {
+            shadow_addr: Some(a),
+            ..Default::default()
+        };
+        let tchk_ev = |lock, key| ExecEvents {
+            tchk: Some((lock, key)),
+            ..Default::default()
+        };
+        let taken = ExecEvents {
+            branch_taken: true,
+            ..Default::default()
+        };
+        let none = ExecEvents::default();
+        let alu = |op, rd, rs1, rs2| Instr::Alu { op, rd, rs1, rs2 };
+        let seq: Vec<(Instr, ExecEvents)> = vec![
+            (
+                Instr::Lui {
+                    rd: Reg::A0,
+                    imm: 4096,
+                },
+                none,
+            ),
+            (
+                Instr::Auipc {
+                    rd: Reg::A1,
+                    imm: 0,
+                },
+                none,
+            ),
+            (load(Reg::A0, Reg::Sp), mem(0x40)),
+            // Dependent consumer: interlock must fire identically.
+            (alu(AluOp::Add, Reg::A1, Reg::A0, Reg::Zero), none),
+            (load(Reg::A2, Reg::Sp), mem(0x80)),
+            // Independent consumer: no interlock.
+            (alu(AluOp::Add, Reg::A3, Reg::A4, Reg::A5), none),
+            // x0 sources never carry a dependence.
+            (load(Reg::A6, Reg::Sp), mem(0xc0)),
+            (alu(AluOp::Add, Reg::A7, Reg::Zero, Reg::Zero), none),
+            (
+                Instr::Load {
+                    width: LoadWidth::W,
+                    rd: Reg::S0,
+                    rs1: Reg::A0,
+                    offset: 8,
+                    checked: true,
+                },
+                mem(0x40),
+            ),
+            (
+                Instr::Store {
+                    width: StoreWidth::D,
+                    rs1: Reg::A0,
+                    rs2: Reg::A1,
+                    offset: 0,
+                    checked: true,
+                },
+                mem(0x48),
+            ),
+            (
+                Instr::Branch {
+                    cond: BranchCond::Eq,
+                    rs1: Reg::A0,
+                    rs2: Reg::A1,
+                    offset: 8,
+                },
+                none,
+            ),
+            (
+                Instr::Branch {
+                    cond: BranchCond::Ne,
+                    rs1: Reg::A0,
+                    rs2: Reg::A1,
+                    offset: -8,
+                },
+                taken,
+            ),
+            (
+                Instr::Jal {
+                    rd: Reg::Ra,
+                    offset: 16,
+                },
+                none,
+            ),
+            (
+                Instr::Jalr {
+                    rd: Reg::Zero,
+                    rs1: Reg::Ra,
+                    offset: 0,
+                },
+                none,
+            ),
+            (alu(AluOp::Mul, Reg::A0, Reg::A1, Reg::A2), none),
+            (alu(AluOp::Div, Reg::A0, Reg::A1, Reg::A2), none),
+            (alu(AluOp::Remu, Reg::A0, Reg::A1, Reg::A2), none),
+            (
+                Instr::Csr {
+                    op: hwst_isa::CsrOp::Rw,
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    csr: 0x8c0,
+                },
+                none,
+            ),
+            (Instr::Fence, none),
+            (
+                Instr::Bndrs {
+                    rd: Reg::A0,
+                    rs1: Reg::A0,
+                    rs2: Reg::A1,
+                },
+                none,
+            ),
+            (
+                Instr::Bndrt {
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    rs2: Reg::A2,
+                },
+                none,
+            ),
+            (
+                Instr::Sbdl {
+                    rs1: Reg::A0,
+                    rs2: Reg::A0,
+                    offset: 0,
+                },
+                shadow(0x4000_0000),
+            ),
+            (
+                Instr::Sbdu {
+                    rs1: Reg::A0,
+                    rs2: Reg::A0,
+                    offset: 0,
+                },
+                shadow(0x4000_0008),
+            ),
+            (
+                Instr::Lbdls {
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                    offset: 0,
+                },
+                shadow(0x4000_0000),
+            ),
+            // Shadow loads arm the interlock too.
+            (alu(AluOp::Add, Reg::A2, Reg::A0, Reg::Zero), none),
+            (
+                Instr::Lbas {
+                    rd: Reg::A3,
+                    rs1: Reg::A1,
+                    offset: 0,
+                },
+                shadow(0x4000_0000),
+            ),
+            (Instr::Tchk { rs1: Reg::A0 }, tchk_ev(0x9000, 42)),
+            (Instr::Tchk { rs1: Reg::A0 }, tchk_ev(0x9000, 42)),
+            (Instr::Tchk { rs1: Reg::A0 }, none),
+            (
+                Instr::SrfMv {
+                    rd: Reg::A0,
+                    rs1: Reg::A1,
+                },
+                none,
+            ),
+            (Instr::SrfClr { rd: Reg::A0 }, none),
+            (Instr::Ecall, none),
+            (Instr::Ebreak, none),
+        ];
+        let mut by_instr = pipe();
+        let mut by_info = pipe();
+        for (i, ev) in &seq {
+            let a = by_instr.retire(i, ev);
+            let b = by_info.retire_decoded(&RetireInfo::of(i), ev);
+            assert_eq!(a, b, "cycle charge diverged at {i:?}");
+            assert_eq!(
+                by_instr.stats(),
+                by_info.stats(),
+                "stats diverged after {i:?}"
+            );
+        }
+        assert!(by_instr.stats().load_use_stalls > 0, "interlock exercised");
+        assert_eq!(by_instr.stats().keybuffer_hits, 1);
+        assert_eq!(by_instr.stats().keybuffer_misses, 1);
+    }
+
+    /// The trie layout's directory walk goes through the same path in
+    /// both retire flavours.
+    #[test]
+    fn retire_decoded_matches_under_trie_layout() {
+        let cfg = PipelineConfig {
+            shadow_layout: ShadowLayout::Trie,
+            ..PipelineConfig::default()
+        };
+        let mut by_instr = Pipeline::new(cfg);
+        let mut by_info = Pipeline::new(cfg);
+        let sbdl = Instr::Sbdl {
+            rs1: Reg::A0,
+            rs2: Reg::A0,
+            offset: 0,
+        };
+        for a in [0x4000_0000u64, 0x4000_0008, 0x4800_0000] {
+            let ev = ExecEvents {
+                shadow_addr: Some(a),
+                ..Default::default()
+            };
+            assert_eq!(
+                by_instr.retire(&sbdl, &ev),
+                by_info.retire_decoded(&RetireInfo::of(&sbdl), &ev)
+            );
+        }
+        assert_eq!(by_instr.stats(), by_info.stats());
+        assert!(by_instr.stats().shadow_stalls > 0);
     }
 
     #[test]

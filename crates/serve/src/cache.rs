@@ -13,6 +13,7 @@
 //! lookups and inserts happen on the coordinator in job-ID order.
 
 use crate::clock::splitmix64;
+use hwst128::exec::BlockCache;
 use hwst128::sim::Snapshot;
 use std::collections::{HashMap, VecDeque};
 
@@ -43,11 +44,17 @@ pub fn cache_key(parts: &[&[u8]]) -> CacheKey {
 }
 
 /// One cached machine: the post-load snapshot that warm-starts every
-/// subsequent run of the same `(payload, scheme, compcfg)`.
+/// subsequent run of the same `(payload, scheme, compcfg)`, plus the
+/// decoded-block cache the first (fast-engine) run populated, so warm
+/// starts skip block decoding as well as compilation and load.
 #[derive(Debug, Clone)]
 pub struct CachedRun {
     /// The post-load machine state.
     pub snapshot: Snapshot,
+    /// The decoded blocks from the populating run (empty when the
+    /// service ran it on the cycle engine, which never decodes).
+    /// Cloning is cheap: blocks are `Arc`-shared.
+    pub blocks: BlockCache,
 }
 
 /// The bounded FIFO cache.
@@ -143,6 +150,7 @@ mod tests {
                 CacheKey(i),
                 CachedRun {
                     snapshot: snapshot(),
+                    blocks: BlockCache::new(),
                 },
             );
         }
@@ -160,6 +168,7 @@ mod tests {
             CacheKey(1),
             CachedRun {
                 snapshot: snapshot(),
+                blocks: BlockCache::new(),
             },
         );
         assert!(cache.is_empty());

@@ -17,6 +17,7 @@ use crate::error::ServeError;
 use crate::quota::{TenantQuota, TenantState};
 use hwst128::compiler::ir::Module;
 use hwst128::compiler::{compile, Scheme};
+use hwst128::exec::{BlockCache, Engine};
 use hwst128::metadata::CompressionConfig;
 use hwst128::sim::{Machine, SafetyConfig, Snapshot, Trap};
 use hwst128::telemetry::{chrome_trace, Profiler};
@@ -264,6 +265,9 @@ pub struct ServeStats {
     pub cache_hits: u64,
     /// Image-cache misses.
     pub cache_misses: u64,
+    /// Decoded blocks inherited by warm starts instead of re-decoded
+    /// (always 0 on the cycle engine, which never decodes blocks).
+    pub decode_skips: u64,
     /// Worker panics isolated by the pool.
     pub panics_isolated: u64,
     /// Quota trips (fuel exhaustion or watchdog expiry).
@@ -297,6 +301,11 @@ pub struct ServeConfig {
     pub backoff: BackoffPolicy,
     /// Image-cache capacity, in entries.
     pub cache_capacity: usize,
+    /// The execution engine run attempts use. Both engines are
+    /// bit-identical (state, stats, traps, decision log); `Fast` — the
+    /// default — additionally populates and reuses decoded-block
+    /// caches across warm starts.
+    pub engine: Engine,
     /// Hard bound on drain rounds — the service's own watchdog; jobs
     /// still pending at this tick are finalized as
     /// [`ServeError::WorkerLost`].
@@ -314,6 +323,7 @@ impl Default for ServeConfig {
             quota: TenantQuota::default(),
             backoff: BackoffPolicy::default(),
             cache_capacity: 64,
+            engine: Engine::default(),
             max_ticks: 10_000,
         }
     }
@@ -340,9 +350,14 @@ struct QueuedJob {
 /// What one run attempt produced (the worker closure's return value).
 #[derive(Debug, Clone)]
 struct RunArtifact {
-    /// The post-load snapshot, present on cache misses of cacheable
-    /// payloads so the coordinator can populate the cache.
-    cache_entry: Option<Snapshot>,
+    /// The post-load snapshot and the decoded-block cache the run
+    /// populated, present on cache misses of cacheable payloads so the
+    /// coordinator can fill the image cache.
+    cache_entry: Option<(Snapshot, BlockCache)>,
+    /// Decoded blocks this attempt inherited from a warm cache entry
+    /// instead of decoding itself (0 on cold starts and on the cycle
+    /// engine).
+    decode_skips: u64,
     /// The Chrome trace, when requested.
     trace: Option<Json>,
     /// The run result: a machine outcome or a typed rejection.
@@ -367,7 +382,8 @@ struct AttemptSpec {
     fuel: u64,
     trace: bool,
     attempt: u32,
-    cached: Option<Snapshot>,
+    engine: Engine,
+    cached: Option<(Snapshot, BlockCache)>,
     want_cache_entry: bool,
 }
 
@@ -376,6 +392,7 @@ struct AttemptSpec {
 fn run_attempt(spec: AttemptSpec) -> RunArtifact {
     let no_artifact = |e: ServeError| RunArtifact {
         cache_entry: None,
+        decode_skips: 0,
         trace: None,
         result: Err(e),
     };
@@ -389,6 +406,7 @@ fn run_attempt(spec: AttemptSpec) -> RunArtifact {
         }
         return RunArtifact {
             cache_entry: None,
+            decode_skips: 0,
             trace: None,
             result: Ok(RunOutcome::Probe),
         };
@@ -397,21 +415,26 @@ fn run_attempt(spec: AttemptSpec) -> RunArtifact {
     if let Some(c) = spec.compression {
         cfg.compression = c;
     }
-    let mut machine = match &spec.cached {
-        Some(snap) => snap.restore(),
+    let (mut machine, mut blocks) = match spec.cached {
+        Some((ref snap, ref warm)) => (snap.restore(), warm.clone()),
         None => match build_machine(&spec.payload, spec.scheme, cfg) {
-            Ok(m) => m,
+            Ok(m) => (m, BlockCache::new()),
             Err(e) => return no_artifact(e),
         },
     };
-    let cache_entry = if spec.want_cache_entry && spec.cached.is_none() {
+    // Every block already decoded in the warm cache is decode work
+    // this attempt inherits instead of repeating.
+    let decode_skips = blocks.decodes();
+    let snapshot = if spec.want_cache_entry && spec.cached.is_none() {
         Some(machine.snapshot())
     } else {
         None
     };
     let (run_result, trace) = if spec.trace {
         let mut prof = Profiler::with_recorder(TRACE_RING);
-        let r = machine.run_profiled(spec.fuel, &mut prof);
+        let r = spec
+            .engine
+            .run_profiled(&mut machine, spec.fuel, &mut prof, &mut blocks);
         let events: Vec<_> = prof
             .recorder
             .as_ref()
@@ -419,10 +442,13 @@ fn run_attempt(spec: AttemptSpec) -> RunArtifact {
             .unwrap_or_default();
         (r, Some(chrome_trace(&events)))
     } else {
-        (machine.run(spec.fuel), None)
+        (spec.engine.run(&mut machine, spec.fuel, &mut blocks), None)
     };
     RunArtifact {
-        cache_entry,
+        // The block cache travels with the snapshot so warm starts
+        // resume with every block the cold run decoded.
+        cache_entry: snapshot.map(|snap| (snap, blocks)),
+        decode_skips,
         trace,
         result: Ok(match run_result {
             Ok(exit) => RunOutcome::Exit(exit),
@@ -820,9 +846,11 @@ impl Serve {
                 );
                 continue;
             }
-            let cached = job
-                .key
-                .and_then(|k| self.cache.lookup(k).map(|c| c.snapshot.clone()));
+            let cached = job.key.and_then(|k| {
+                self.cache
+                    .lookup(k)
+                    .map(|c| (c.snapshot.clone(), c.blocks.clone()))
+            });
             let warm = cached.is_some();
             if warm {
                 job.cache_hit = true;
@@ -843,6 +871,7 @@ impl Serve {
                 fuel: job.fuel,
                 trace: job.trace,
                 attempt: job.attempt,
+                engine: self.cfg.engine,
                 cached,
                 want_cache_entry: job.key.is_some(),
             };
@@ -865,8 +894,15 @@ impl Serve {
         for (job, res) in wave.into_iter().zip(results) {
             match res.outcome {
                 JobOutcome::Ok(artifact) => {
-                    if let (Some(key), Some(snap)) = (job.key, artifact.cache_entry) {
-                        self.cache.insert(key, CachedRun { snapshot: snap });
+                    self.stats.decode_skips += artifact.decode_skips;
+                    if let (Some(key), Some((snap, blocks))) = (job.key, artifact.cache_entry) {
+                        self.cache.insert(
+                            key,
+                            CachedRun {
+                                snapshot: snap,
+                                blocks,
+                            },
+                        );
                     }
                     match artifact.result {
                         Err(e) => self.finalize(job, Verdict::Rejected(e), String::new(), None),
@@ -1046,6 +1082,7 @@ impl ServeReport {
             .set("retry_successes", stats.retry_successes)
             .set("cache_hits", stats.cache_hits)
             .set("cache_misses", stats.cache_misses)
+            .set("decode_skips", stats.decode_skips)
             .set("panics_isolated", stats.panics_isolated)
             .set("quota_trips", stats.quota_trips)
             .set("circuit_opens", stats.circuit_opens)

@@ -218,7 +218,12 @@ impl Machine {
     /// paper inherits). NULL pointers are bound to the empty region
     /// `[8, 8)` by the allocator wrapper, which compresses to a nonzero
     /// word and therefore still traps.
-    fn spatial_check(&mut self, pc: u64, ptr_reg: Reg, addr: u64, bytes: u64) -> Result<(), Trap> {
+    ///
+    /// Public (and `&self` — the check only reads) so the decoded-block
+    /// execution tier shares this exact predicate instead of
+    /// re-implementing it.
+    #[inline]
+    pub fn spatial_check(&self, pc: u64, ptr_reg: Reg, addr: u64, bytes: u64) -> Result<(), Trap> {
         if let Some(c) = self.srf.read(ptr_reg) {
             if c.lower == 0 {
                 return Ok(());

@@ -48,5 +48,6 @@ mod trace;
 mod trap;
 
 pub use machine::{ExitStatus, LoadError, Machine, RuntimeEvents, SafetyConfig, Snapshot};
+pub use profile::classify;
 pub use trace::TraceEvent;
 pub use trap::Trap;

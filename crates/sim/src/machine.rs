@@ -148,6 +148,10 @@ pub struct Machine {
     pub(crate) exited: Option<u64>,
     /// Custom CSR backing store (hwst.* registers).
     pub(crate) csrs: std::collections::HashMap<u16, u64>,
+    /// Bumped on every [`Self::reload_image`]; decoded-block caches
+    /// validate against it so a swapped program can never execute
+    /// through stale pre-decoded blocks.
+    pub(crate) epoch: u64,
 }
 
 impl Machine {
@@ -191,6 +195,7 @@ impl Machine {
             events: RuntimeEvents::default(),
             exited: None,
             csrs,
+            epoch: 0,
         }
     }
 
@@ -203,6 +208,12 @@ impl Machine {
     /// [`LoadError::RaggedImage`] when the image length is not a multiple
     /// of 4, [`LoadError::Decode`] for the first undecodable word.
     pub fn from_image(base: u64, image: &[u8], cfg: SafetyConfig) -> Result<Self, LoadError> {
+        Ok(Self::new(Self::decode_image(base, image)?, cfg))
+    }
+
+    /// Decodes a raw little-endian image into a [`Program`] (shared by
+    /// [`Self::from_image`] and [`Self::reload_image`]).
+    fn decode_image(base: u64, image: &[u8]) -> Result<Program, LoadError> {
         if !image.len().is_multiple_of(4) {
             return Err(LoadError::RaggedImage { len: image.len() });
         }
@@ -211,12 +222,57 @@ impl Machine {
             let word = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
             instrs.push(hwst_isa::decode(word)?);
         }
-        Ok(Self::new(Program::from_instrs(base, instrs), cfg))
+        Ok(Program::from_instrs(base, instrs))
+    }
+
+    /// Replaces the loaded program with a freshly decoded image,
+    /// resetting the PC to the new base and clearing any exit latch.
+    ///
+    /// Data memory, registers, shadow structures and cycle counters are
+    /// deliberately left untouched — this models a program swap on a
+    /// warm machine. The program epoch is bumped, which is the signal
+    /// decoded-block caches (`hwst-exec`'s `BlockCache`) use to flush
+    /// themselves; it is the **only** event that invalidates them,
+    /// since the instruction image is immutable between reloads.
+    ///
+    /// # Errors
+    ///
+    /// The same structured [`LoadError`]s as [`Self::from_image`]; on
+    /// error the machine is unchanged.
+    pub fn reload_image(&mut self, base: u64, image: &[u8]) -> Result<(), LoadError> {
+        let program = Self::decode_image(base, image)?;
+        self.pc = program.base();
+        self.program = program;
+        self.exited = None;
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// The current program epoch: 0 at construction, bumped by every
+    /// [`Self::reload_image`]. Decoded-block caches key their validity
+    /// on `(epoch, program base, program length)`.
+    pub fn program_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The loaded program (decoded-block engines fetch through this).
+    pub fn program(&self) -> &Program {
+        &self.program
     }
 
     /// Current program counter.
+    #[inline]
     pub fn pc(&self) -> u64 {
         self.pc
+    }
+
+    /// Sets the program counter. This is the decoded-block engine's
+    /// write-back hook; it performs no fetch or alignment check — the
+    /// next execution step reports [`Trap::BadFetch`] exactly as it
+    /// would after a wild `jalr`.
+    #[inline]
+    pub fn set_pc(&mut self, pc: u64) {
+        self.pc = pc;
     }
 
     /// Peeks at the instruction the next [`step`](Self::step) will
@@ -229,11 +285,13 @@ impl Machine {
     }
 
     /// Whether the program has exited (and with which code).
+    #[inline]
     pub fn exit_code(&self) -> Option<u64> {
         self.exited
     }
 
     /// Reads a GPR (x0 reads as zero).
+    #[inline]
     pub fn reg(&self, r: Reg) -> u64 {
         if r.is_zero() {
             0
@@ -244,6 +302,7 @@ impl Machine {
 
     /// Writes a GPR (writes to x0 are discarded). Does **not** touch the
     /// SRF — callers decide propagation.
+    #[inline]
     pub fn set_reg(&mut self, r: Reg, v: u64) {
         if !r.is_zero() {
             self.regs[r.index() as usize] = v;
@@ -251,24 +310,46 @@ impl Machine {
     }
 
     /// The shadow register file (diagnostics and tests).
+    #[inline]
     pub fn srf(&self) -> &ShadowRegisterFile {
         &self.srf
     }
 
     /// Mutable shadow register file — fault-injection hook (SRF cell
     /// upsets).
+    #[inline]
     pub fn srf_mut(&mut self) -> &mut ShadowRegisterFile {
         &mut self.srf
     }
 
     /// Simulated memory (for loading data and inspecting results).
+    #[inline]
     pub fn mem(&self) -> &SparseMemory {
         &self.mem
     }
 
     /// Mutable simulated memory (test setup).
+    #[inline]
     pub fn mem_mut(&mut self) -> &mut SparseMemory {
         &mut self.mem
+    }
+
+    /// The metadata codec currently configured through the HWST CSRs.
+    #[inline]
+    pub fn codec(&self) -> &hwst_metadata::ShadowCodec {
+        &self.codec
+    }
+
+    /// The linear shadow map currently configured through
+    /// `hwst.sm_offset`.
+    #[inline]
+    pub fn shadow(&self) -> &LinearShadow {
+        &self.shadow
+    }
+
+    /// Bytes written through `putchar`/`print_u64` so far.
+    pub fn output(&self) -> &[u8] {
+        &self.output
     }
 
     /// Pipeline statistics so far.
@@ -283,6 +364,7 @@ impl Machine {
 
     /// Mutable pipeline model — fault-injection hook (keybuffer
     /// poisoning).
+    #[inline]
     pub fn pipeline_mut(&mut self) -> &mut Pipeline {
         &mut self.pipeline
     }
@@ -333,6 +415,22 @@ impl Machine {
     /// Whether hardware temporal checks are armed.
     pub(crate) fn temporal_on(&self) -> bool {
         self.csr(csr::HWST_STATUS) & csr::STATUS_TEMPORAL != 0
+    }
+
+    /// Whether hardware spatial checks are armed (the
+    /// `hwst.status.spatial` bit as [`step`](Self::step) reads it).
+    ///
+    /// Execution engines may cache this between CSR writes: only a
+    /// `csr*` instruction (or environment call) can change it.
+    pub fn spatial_enabled(&self) -> bool {
+        self.spatial_on()
+    }
+
+    /// Whether hardware temporal checks are armed (the
+    /// `hwst.status.temporal` bit). Same caching contract as
+    /// [`Self::spatial_enabled`].
+    pub fn temporal_enabled(&self) -> bool {
+        self.temporal_on()
     }
 
     /// Runs until exit, trap or `fuel` instructions.
@@ -484,5 +582,29 @@ mod tests {
         let mut m = Machine::new(exit_prog(5), SafetyConfig::default());
         assert_eq!(m.run(100).unwrap().code, 5);
         assert_eq!(m.run(100).unwrap().code, 5, "idempotent after exit");
+    }
+
+    #[test]
+    fn reload_image_swaps_program_and_bumps_epoch() {
+        let mut m = Machine::new(exit_prog(5), SafetyConfig::default());
+        assert_eq!(m.program_epoch(), 0);
+        assert_eq!(m.run(100).unwrap().code, 5);
+        let stats_before = m.stats();
+        m.reload_image(0x2_0000, &exit_prog(9).to_image())
+            .expect("valid image reloads");
+        assert_eq!(m.program_epoch(), 1);
+        assert_eq!(m.pc(), 0x2_0000, "pc reset to the new base");
+        assert_eq!(m.exit_code(), None, "exit latch cleared");
+        let e = m.run(100).unwrap();
+        assert_eq!(e.code, 9);
+        assert!(
+            e.stats.instret > stats_before.instret,
+            "cycle counters carry across the reload"
+        );
+        // A bad image leaves the machine (and its epoch) unchanged.
+        let mut m2 = Machine::new(exit_prog(1), SafetyConfig::default());
+        assert!(m2.reload_image(0, &[0x13u8; 3]).is_err());
+        assert_eq!(m2.program_epoch(), 0);
+        assert_eq!(m2.run(100).unwrap().code, 1);
     }
 }

@@ -32,7 +32,11 @@ use hwst_telemetry::{Breakdown, Profiler, Track};
 
 /// Splits one step's cycle delta into overhead categories (see the
 /// module docs for the model).
-fn classify(instr: &Instr, before: &CycleStats, after: &CycleStats) -> Breakdown {
+///
+/// Public so the decoded-block execution tier attributes through the
+/// exact same function — telemetry bit-identity across engines falls
+/// out of sharing it rather than re-deriving it.
+pub fn classify(instr: &Instr, before: &CycleStats, after: &CycleStats) -> Breakdown {
     let shadow = after.shadow_stalls - before.shadow_stalls;
     let keybuffer = after.tchk_stalls - before.tchk_stalls;
     let runtime = after.runtime_stalls - before.runtime_stalls;

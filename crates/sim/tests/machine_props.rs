@@ -3,6 +3,7 @@
 //! register values, arbitrary CSR writes. Traps are fine; panics are
 //! bugs.
 
+use hwst_exec::{run_fast, BlockCache};
 use hwst_isa::{decode, Instr, Program, Reg};
 use hwst_sim::inject::{run_with_plan, FaultClass, InjectionPlan};
 use hwst_sim::{syscall, Machine, SafetyConfig};
@@ -136,6 +137,37 @@ proptest! {
         }
     }
 
+    /// Random decodable instruction streams execute **identically** on
+    /// the cycle interpreter and the decoded-block fast engine, at any
+    /// fuel budget: the same result (exit or trap), the same final PC
+    /// and registers, the same cycle stats. This is the generative
+    /// counterpart of the workload differential gate in
+    /// `tests/exec.rs` — random streams reach decoder corners (jumps
+    /// into fused pairs, blocks ending mid-idiom, traps at every
+    /// offset) no workload exercises.
+    #[test]
+    fn random_words_execute_identically_on_both_engines(
+        words in prop::collection::vec(any::<u32>(), 1..64),
+        fuel in 1u64..5_000,
+    ) {
+        let instrs: Vec<Instr> =
+            words.iter().filter_map(|&w| decode(w).ok()).collect();
+        if instrs.is_empty() {
+            return Ok(());
+        }
+        let prog = Program::from_instrs(0x1_0000, instrs);
+        let mut cycle = Machine::new(prog.clone(), SafetyConfig::default());
+        let cycle_result = cycle.run(fuel);
+        let mut fast = Machine::new(prog, SafetyConfig::default());
+        let fast_result = run_fast(&mut fast, fuel, &mut BlockCache::new());
+        prop_assert_eq!(&cycle_result, &fast_result);
+        prop_assert_eq!(cycle.pc(), fast.pc());
+        for r in Reg::ALL {
+            prop_assert_eq!(cycle.reg(r), fast.reg(r), "register {}", r.name());
+        }
+        prop_assert_eq!(cycle.stats(), fast.stats());
+    }
+
     /// Every fault class × any seed × any trigger point: the machine
     /// degrades to a classified trap or exit status, never a panic.
     #[test]
@@ -232,6 +264,50 @@ fn image_round_trip_executes_identically() {
 fn bad_image_reports_decode_error() {
     let image = 0xffff_ffffu32.to_le_bytes();
     assert!(Machine::from_image(0, &image, SafetyConfig::default()).is_err());
+}
+
+#[test]
+fn image_reload_flushes_the_block_cache() {
+    // Run program A on the fast engine (populating the block cache),
+    // reload program B over the same base, and rerun with the SAME
+    // cache: the stale decoded blocks must not execute — the reload
+    // bumps the program epoch, which is the cache's flush signal.
+    use hwst_isa::AluImmOp;
+    let exit_prog = |code: i64| {
+        Program::from_instrs(
+            0x1_0000,
+            vec![
+                Instr::AluImm {
+                    op: AluImmOp::Addi,
+                    rd: Reg::A0,
+                    rs1: Reg::Zero,
+                    imm: code,
+                },
+                Instr::AluImm {
+                    op: AluImmOp::Addi,
+                    rd: Reg::A7,
+                    rs1: Reg::Zero,
+                    imm: syscall::EXIT as i64,
+                },
+                Instr::Ecall,
+            ],
+        )
+    };
+    let mut m = Machine::new(exit_prog(7), SafetyConfig::default());
+    let mut cache = BlockCache::new();
+    let first = run_fast(&mut m, 1_000, &mut cache).expect("program A exits");
+    assert_eq!(first.code, 7);
+    assert!(cache.decodes() > 0, "the cold run populates the cache");
+
+    let image_b = exit_prog(9).to_image();
+    m.reload_image(0x1_0000, &image_b).expect("image B loads");
+    let decodes_before = cache.decodes();
+    let second = run_fast(&mut m, 1_000, &mut cache).expect("program B exits");
+    assert_eq!(second.code, 9, "stale blocks must not execute");
+    assert!(
+        cache.decodes() > decodes_before,
+        "the reload must force a re-decode, not serve stale blocks"
+    );
 }
 
 #[test]

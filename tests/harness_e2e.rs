@@ -26,7 +26,7 @@ fn assert_rows_identical(serial: &[Fig4Row], parallel: &[Fig4Row]) {
 /// A representative cross-suite subset through a 4-worker pool:
 /// identical rows, ordering, and geomean vs serial. (The harness's own
 /// tests cover 1 vs {2, 4, 16} workers on synthetic jobs; the full
-/// 23-workload sweep below rides the `--ignored` gate.)
+/// 23-workload sweep runs below.)
 #[test]
 fn fig4_subset_parallel_identical_to_serial() {
     let names = ["string", "math", "treeadd", "health", "bzip2", "lbm"];
@@ -49,10 +49,11 @@ fn fig4_subset_parallel_identical_to_serial() {
 }
 
 /// The full 23-workload Fig. 4 sweep (ISSUE 3 acceptance): `--jobs 4`
-/// produces results identical to the serial run. Heavier, so it rides
-/// the `--ignored` release gate in CI.
+/// produces results identical to the serial run. Formerly an
+/// `--ignored` heavy gate; the decoded-block fast engine (the default
+/// in `fig4_rows`/`fig4_results`) makes the full sweep cheap enough to
+/// run in tier-1.
 #[test]
-#[ignore = "full sweep; run via the CI heavy gates"]
 fn fig4_full_sweep_parallel_identical_to_serial() {
     let serial = hwst_bench::fig4_rows(Scale::Test);
     let results = fig4_results(Scale::Test, &PoolConfig::parallel(4), &mut NullSink);

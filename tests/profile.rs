@@ -66,7 +66,7 @@ fn profiling_has_no_observer_effect() {
 
 /// ≥95% of every workload's cycles attribute to named functions (the
 /// startup shim is the only unattributed code), on the cross-suite
-/// subset. The full 23-workload sweep rides the `--ignored` gate.
+/// subset; the full 23-workload sweep runs below.
 #[test]
 fn attribution_covers_named_functions() {
     for name in ["string", "math", "FFT", "treeadd", "health", "bzip2"] {
@@ -82,9 +82,9 @@ fn attribution_covers_named_functions() {
 }
 
 /// Full-sweep acceptance: all 23 workloads profile cleanly with ≥95%
-/// attribution. Heavier, so it rides the `--ignored` release gate.
+/// attribution. Formerly an `--ignored` heavy gate; the fast engine's
+/// profiled path makes the full sweep cheap enough to run in tier-1.
 #[test]
-#[ignore = "full sweep; run via the CI heavy gates"]
 fn attribution_covers_named_functions_full_sweep() {
     for wl in hwst128::workloads::all() {
         let r = profile_row(&wl, Scale::Test);

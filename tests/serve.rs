@@ -139,6 +139,13 @@ fn cache_hits_skip_recompilation() {
     assert_eq!(report.stats.cache_hits, 2);
     assert!(!report.reports[0].cache_hit);
     assert!(report.reports[1].cache_hit && report.reports[2].cache_hit);
+    // Warm starts inherit the cold run's decoded-block cache: both
+    // warm attempts skip every block the cold run decoded.
+    assert!(
+        report.stats.decode_skips >= 2,
+        "warm starts skipped no decodes: {}",
+        report.stats.decode_skips
+    );
     // All three agree on the run result — warm starts are bit-identical.
     let cycles: Vec<u64> = report
         .reports
