@@ -10,14 +10,18 @@
 //!
 //! Flags: the harness family (`--jobs`, `--json PATH`, `--progress`,
 //! `--timeout-secs`, `--bench-scale`) plus `--smoke` (2 mutation seeds
-//! per scheme instead of 8 — the CI configuration).
+//! per scheme instead of 8 — the CI configuration) and `--opt O0|O1`
+//! (back-end tier; at `-O1` the register-allocation mutation campaign
+//! replaces the metadata-plumbing one and validation carries the
+//! register-tracking obligations).
 //!
 //! Exit codes (stable, documented in README): `0` — all workloads
 //! validate and every mutant is killed; `1` — any divergence, finding,
 //! surviving mutant or failed job; `2` — usage or I/O error.
 
+use hwst128::compiler::OptLevel;
 use hwst_bench::cli::BenchArgs;
-use hwst_bench::runs::{binval_results, serial_wall, BINVAL_MASTER_SEED};
+use hwst_bench::runs::{binval_results_opt, serial_wall, BINVAL_MASTER_SEED};
 use hwst_bench::summary::{binval_summary, write_json};
 use hwst_harness::collect_ok;
 use std::time::Instant;
@@ -27,18 +31,30 @@ fn main() {
     let smoke = args.flag("--smoke");
     let scale = args.scale();
     let pool = args.pool();
+    let opt = match args.value("--opt") {
+        None => OptLevel::O0,
+        Some(s) => OptLevel::by_name(s).unwrap_or_else(|| {
+            eprintln!("error: unknown opt level {s:?} (expected O0 or O1)");
+            std::process::exit(2)
+        }),
+    };
     let seeds_per_scheme: u64 = if smoke { 2 } else { 8 };
     println!(
-        "binval — binary-level translation validation{}, {} worker(s)",
+        "binval — binary-level translation validation [-{}]{}, {} worker(s)",
+        opt.label(),
         if smoke { " [smoke]" } else { "" },
         pool.workers
     );
     println!(
-        "mutation campaign: {seeds_per_scheme} seed(s)/scheme, master seed {:#x}",
+        "mutation campaign ({}): {seeds_per_scheme} seed(s)/scheme, master seed {:#x}",
+        match opt {
+            OptLevel::O0 => "metadata plumbing",
+            OptLevel::O1 => "register allocation",
+        },
         BINVAL_MASTER_SEED
     );
     let start = Instant::now();
-    let results = binval_results(scale, seeds_per_scheme, &pool, args.sink().as_mut());
+    let results = binval_results_opt(scale, seeds_per_scheme, opt, &pool, args.sink().as_mut());
     let wall = start.elapsed();
     let (rows, failed) = collect_ok(results.clone());
     println!(
@@ -80,6 +96,7 @@ fn main() {
             scale,
             pool.workers,
             seeds_per_scheme,
+            opt,
             &results,
             wall,
             &failed,

@@ -10,15 +10,17 @@
 //!
 //! Flags: the harness family (`--jobs`, `--json PATH`, `--progress`,
 //! `--timeout-secs`, `--bench-scale`) plus `--smoke` for the 4-workload
-//! CI subset.
+//! CI subset and `--opt O0|O1` to measure the optimized back-end's
+//! images instead of the baseline tier.
 //!
 //! Exit codes (stable, documented in README): `0` — every workload
 //! measured and bit-identical; `1` — any failed or diverged workload;
 //! `2` — usage or I/O error.
 
+use hwst128::compiler::OptLevel;
 use hwst_bench::cli::BenchArgs;
 use hwst_bench::exec::exec_geomean;
-use hwst_bench::runs::{exec_results, profile_names, serial_wall};
+use hwst_bench::runs::{exec_results_opt, profile_names, serial_wall};
 use hwst_bench::summary::{exec_summary, write_json};
 use hwst_harness::collect_ok;
 use std::time::Instant;
@@ -28,15 +30,23 @@ fn main() {
     let smoke = args.flag("--smoke");
     let scale = args.scale();
     let pool = args.pool();
+    let opt = match args.value("--opt") {
+        None => OptLevel::O0,
+        Some(s) => OptLevel::by_name(s).unwrap_or_else(|| {
+            eprintln!("error: unknown opt level {s:?} (expected O0 or O1)");
+            std::process::exit(2)
+        }),
+    };
     let names = profile_names(smoke);
     println!(
-        "X1 — fast-engine speedup{} ({} workloads), scale {scale:?}, {} worker(s)",
+        "X1 — fast-engine speedup [-{}]{} ({} workloads), scale {scale:?}, {} worker(s)",
+        opt.label(),
         if smoke { " [smoke]" } else { "" },
         names.len(),
         pool.workers
     );
     let start = Instant::now();
-    let results = exec_results(&names, scale, &pool, args.sink().as_mut());
+    let results = exec_results_opt(&names, scale, opt, &pool, args.sink().as_mut());
     let wall = start.elapsed();
     let (rows, failed) = collect_ok(results.clone());
     println!(
@@ -67,7 +77,7 @@ fn main() {
         pool.workers
     );
     if let Some(path) = args.json_path() {
-        let doc = exec_summary(scale, pool.workers, &results, wall, &failed);
+        let doc = exec_summary(scale, pool.workers, opt, &results, wall, &failed);
         write_json(path, &doc).unwrap_or_else(|e| {
             eprintln!("error: could not write {}: {e}", path.display());
             std::process::exit(2)

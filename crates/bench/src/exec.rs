@@ -13,7 +13,7 @@
 //! (`instret`, exit status) are deterministic and are what the
 //! correctness gates key on.
 
-use hwst128::compiler::{compile, Scheme};
+use hwst128::compiler::{compile_with_options, CompileOptions, OptLevel, Scheme};
 use hwst128::config_for;
 use hwst128::exec::{run_fast, BlockCache};
 use hwst128::sim::Machine;
@@ -70,9 +70,22 @@ pub fn exec_row(wl: &Workload, scale: Scale) -> ExecRow {
 /// description of a result divergence (which would be a fast-engine
 /// bug — the differential gates exist to keep this unreachable).
 pub fn try_exec_row(wl: &Workload, scale: Scale) -> Result<ExecRow, String> {
+    try_exec_row_opt(wl, scale, OptLevel::O0)
+}
+
+/// [`try_exec_row`] with the image built at a caller-chosen back-end
+/// tier — `-O1` measures the fast engine over the optimized image the
+/// production path now ships.
+///
+/// # Errors
+///
+/// Same as [`try_exec_row`].
+pub fn try_exec_row_opt(wl: &Workload, scale: Scale, opt: OptLevel) -> Result<ExecRow, String> {
     let module = wl.module(scale);
-    let prog = compile(&module, Scheme::Hwst128Tchk)
-        .map_err(|e| format!("{} (Hwst128Tchk): {e}", wl.name))?;
+    let opts = CompileOptions::new(Scheme::Hwst128Tchk).with_opt(opt);
+    let prog = compile_with_options(&module, opts)
+        .map_err(|e| format!("{} (Hwst128Tchk, -{}): {e}", wl.name, opt.label()))?
+        .program;
     let fuel = wl.fuel(scale);
     let cfg = config_for(Scheme::Hwst128Tchk);
 

@@ -27,11 +27,11 @@ pub mod profile;
 pub mod runs;
 pub mod summary;
 
-use hwst128::compiler::{compile, Scheme};
+use hwst128::compiler::{compile, OptLevel, Scheme};
 use hwst128::exec::Engine;
-use hwst128::run_scheme_with;
 use hwst128::sim::{Machine, SafetyConfig};
 use hwst128::workloads::{all, Scale, Suite, Workload};
+use hwst128::{run_scheme_opt_with, run_scheme_with};
 
 /// One Fig. 4 row: per-scheme overhead percentages for a workload.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +112,94 @@ pub fn fig4_geomean(rows: &[Fig4Row]) -> [f64; 3] {
             .map(|r| (1.0 + r.overhead_pct[i] / 100.0).ln())
             .sum();
         *o = ((logsum / rows.len() as f64).exp() - 1.0) * 100.0;
+    }
+    out
+}
+
+/// One O1-experiment row: the Fig. 4 matrix measured at both back-end
+/// tiers, answering whether HWST128's relative overhead grows or
+/// shrinks on an optimized baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4O1Row {
+    /// Workload name.
+    pub name: String,
+    /// Suite label.
+    pub suite: Suite,
+    /// Uninstrumented baseline cycles at `-O0`.
+    pub o0_baseline_cycles: u64,
+    /// Uninstrumented baseline cycles at `-O1`.
+    pub o1_baseline_cycles: u64,
+    /// Eq. 7 overhead % for SBCETS, HWST128, HWST128_tchk at `-O0`.
+    pub o0_overhead_pct: [f64; 3],
+    /// Eq. 7 overhead % for SBCETS, HWST128, HWST128_tchk at `-O1`.
+    pub o1_overhead_pct: [f64; 3],
+}
+
+impl Fig4O1Row {
+    /// `-O0` cycles over `-O1` cycles on the uninstrumented baseline —
+    /// how much faster the optimizing back-end makes the program the
+    /// overheads are measured against.
+    pub fn baseline_speedup(&self) -> f64 {
+        self.o0_baseline_cycles as f64 / (self.o1_baseline_cycles as f64).max(1.0)
+    }
+}
+
+/// Computes one O1-experiment row: all four schemes at both tiers
+/// (eight runs) under `engine`.
+///
+/// # Errors
+///
+/// Returns `"<workload> (<scheme>@<tier>): <trap/compile error>"` for
+/// the first cell that fails to compile or run clean.
+pub fn try_fig4_o1_row(wl: &Workload, scale: Scale, engine: Engine) -> Result<Fig4O1Row, String> {
+    let module = wl.module(scale);
+    let fuel = wl.fuel(scale);
+    let mut cycles = [[0.0f64; 4]; 2];
+    for (t, &opt) in [OptLevel::O0, OptLevel::O1].iter().enumerate() {
+        for (slot, &s) in cycles[t].iter_mut().zip(Scheme::ALL.iter()) {
+            *slot = run_scheme_opt_with(&module, s, fuel, opt, engine)
+                .map_err(|e| format!("{} ({s}@{}): {e}", wl.name, opt.label()))?
+                .stats
+                .total_cycles() as f64;
+        }
+    }
+    let over = |c: &[f64; 4]| {
+        [
+            (c[1] / c[0] - 1.0) * 100.0,
+            (c[2] / c[0] - 1.0) * 100.0,
+            (c[3] / c[0] - 1.0) * 100.0,
+        ]
+    };
+    Ok(Fig4O1Row {
+        name: wl.name.to_string(),
+        suite: wl.suite,
+        o0_baseline_cycles: cycles[0][0] as u64,
+        o1_baseline_cycles: cycles[1][0] as u64,
+        o0_overhead_pct: over(&cycles[0]),
+        o1_overhead_pct: over(&cycles[1]),
+    })
+}
+
+/// Geometric mean of the per-row baseline speedups (the ISSUE 9
+/// acceptance number: ≥ 1.3×).
+pub fn fig4_o1_geomean_speedup(rows: &[Fig4O1Row]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let logsum: f64 = rows.iter().map(|r| r.baseline_speedup().ln()).sum();
+    (logsum / rows.len() as f64).exp()
+}
+
+/// Geometric mean of each `-O1` overhead column, mirroring
+/// [`fig4_geomean`] for the optimized tier.
+pub fn fig4_o1_geomean(rows: &[Fig4O1Row]) -> [f64; 3] {
+    let mut out = [0.0; 3];
+    for (i, o) in out.iter_mut().enumerate() {
+        let logsum: f64 = rows
+            .iter()
+            .map(|r| (1.0 + r.o1_overhead_pct[i] / 100.0).ln())
+            .sum();
+        *o = ((logsum / rows.len().max(1) as f64).exp() - 1.0) * 100.0;
     }
     out
 }

@@ -9,11 +9,11 @@
 //! determinism test).
 
 use crate::{
-    try_cycles_with_keybuffer, try_fig4_row_with, try_fig5_row, Fig4Row, Fig5Row, ResilienceConfig,
-    ResilienceRow,
+    try_cycles_with_keybuffer, try_fig4_o1_row, try_fig4_row_with, try_fig5_row, Fig4O1Row,
+    Fig4Row, Fig5Row, ResilienceConfig, ResilienceRow,
 };
 use hwst128::compiler::binval;
-use hwst128::compiler::{compile, Scheme};
+use hwst128::compiler::{compile, OptLevel, Scheme};
 use hwst128::exec::Engine;
 use hwst128::isa::Program;
 use hwst128::juliet::{measure_case, CoverageReport};
@@ -57,6 +57,36 @@ pub fn fig4_results_with(
     sink: &mut dyn Sink,
 ) -> Vec<JobResult<Fig4Row>> {
     run(fig4_jobs_with(scale, engine), cfg, sink)
+}
+
+/// One job per O1-experiment workload, in `names` order. Unknown names
+/// become failing jobs (structured failures, not panics).
+pub fn fig4_o1_jobs(names: &[&str], scale: Scale, engine: Engine) -> Vec<Job<Fig4O1Row>> {
+    names
+        .iter()
+        .map(|name| match Workload::by_name(name) {
+            Some(wl) => Job::new(format!("fig4_o1/{}", wl.name), move || {
+                try_fig4_o1_row(&wl, scale, engine)
+            }),
+            None => {
+                let name = name.to_string();
+                Job::new(format!("fig4_o1/{name}"), move || {
+                    Err(format!("unknown workload `{name}`"))
+                })
+            }
+        })
+        .collect()
+}
+
+/// Runs the O1 experiment on the pool; results in `names` order.
+pub fn fig4_o1_results(
+    names: &[&str],
+    scale: Scale,
+    engine: Engine,
+    cfg: &PoolConfig,
+    sink: &mut dyn Sink,
+) -> Vec<JobResult<Fig4O1Row>> {
+    run(fig4_o1_jobs(names, scale, engine), cfg, sink)
 }
 
 /// One job per Fig. 5 SPEC workload, in the paper's row order.
@@ -327,9 +357,32 @@ pub fn try_binval_row(
     scheme: Scheme,
     seeds: &[u64],
 ) -> Result<BinvalRow, String> {
+    try_binval_row_opt(wl, scale, scheme, seeds, OptLevel::O0)
+}
+
+/// [`try_binval_row`] at a caller-chosen back-end tier. At `-O0` the
+/// classic metadata-plumbing mutation campaign runs (with IR-level RCE
+/// for the A9 baseline); at `-O1` the register-allocation campaign
+/// runs instead — its operators target the invariants only the
+/// optimizer can break, and its sites are enumerated semantically so
+/// the 100% kill bar is meaningful on optimized images.
+///
+/// # Errors
+///
+/// Same hard-error semantics as [`try_binval_row`].
+pub fn try_binval_row_opt(
+    wl: &Workload,
+    scale: Scale,
+    scheme: Scheme,
+    seeds: &[u64],
+    opt: OptLevel,
+) -> Result<BinvalRow, String> {
     let module = wl.module(scale);
-    let tv = binval::translation_validate_with(&module, scheme, true)
-        .map_err(|e| format!("{} ({scheme:?}): {e}", wl.name))?;
+    let tv = match opt {
+        OptLevel::O0 => binval::translation_validate_with(&module, scheme, true),
+        OptLevel::O1 => binval::translation_validate_opt(&module, scheme, OptLevel::O1),
+    }
+    .map_err(|e| format!("{} ({scheme:?}): {e}", wl.name))?;
     if tv.diverged() {
         return Err(format!(
             "{} ({scheme:?}): translation validation diverged — IR verdict {}, binary \
@@ -359,8 +412,11 @@ pub fn try_binval_row(
             tv.report.lowering_findings()
         ));
     }
-    let mc = binval::mutation_campaign(&module, scheme, seeds)
-        .map_err(|e| format!("{} ({scheme:?}): {e}", wl.name))?;
+    let mc = match opt {
+        OptLevel::O0 => binval::mutation_campaign(&module, scheme, seeds),
+        OptLevel::O1 => binval::reg_mutation_campaign(&module, scheme, OptLevel::O1, seeds),
+    }
+    .map_err(|e| format!("{} ({scheme:?}): {e}", wl.name))?;
     if !mc.all_killed() {
         let survivor = mc
             .outcomes
@@ -403,6 +459,11 @@ pub fn try_binval_row(
 /// One job per (workload × scheme) binval cell, workloads outermost —
 /// the same nesting the serial gate would use.
 pub fn binval_jobs(scale: Scale, seeds_per_scheme: u64) -> Vec<Job<BinvalRow>> {
+    binval_jobs_opt(scale, seeds_per_scheme, OptLevel::O0)
+}
+
+/// [`binval_jobs`] at a caller-chosen back-end tier.
+pub fn binval_jobs_opt(scale: Scale, seeds_per_scheme: u64, opt: OptLevel) -> Vec<Job<BinvalRow>> {
     let seeds = binval_seeds(seeds_per_scheme);
     let mut jobs = Vec::new();
     for wl in all() {
@@ -410,7 +471,7 @@ pub fn binval_jobs(scale: Scale, seeds_per_scheme: u64) -> Vec<Job<BinvalRow>> {
             let seeds = seeds.clone();
             jobs.push(Job::new(
                 format!("binval/{}/{scheme:?}", wl.name),
-                move || try_binval_row(&wl, scale, scheme, &seeds),
+                move || try_binval_row_opt(&wl, scale, scheme, &seeds, opt),
             ));
         }
     }
@@ -424,7 +485,18 @@ pub fn binval_results(
     cfg: &PoolConfig,
     sink: &mut dyn Sink,
 ) -> Vec<JobResult<BinvalRow>> {
-    run(binval_jobs(scale, seeds_per_scheme), cfg, sink)
+    binval_results_opt(scale, seeds_per_scheme, OptLevel::O0, cfg, sink)
+}
+
+/// [`binval_results`] at a caller-chosen back-end tier.
+pub fn binval_results_opt(
+    scale: Scale,
+    seeds_per_scheme: u64,
+    opt: OptLevel,
+    cfg: &PoolConfig,
+    sink: &mut dyn Sink,
+) -> Vec<JobResult<BinvalRow>> {
+    run(binval_jobs_opt(scale, seeds_per_scheme, opt), cfg, sink)
 }
 
 /// The P1 smoke subset: one workload per suite flavour (string-heavy,
@@ -494,11 +566,21 @@ pub fn profile_results_with(
 /// One job per X1 workload, in `names` order: both engines timed, the
 /// results differentially compared. Unknown names become failing jobs.
 pub fn exec_jobs(names: &[&str], scale: Scale) -> Vec<Job<crate::exec::ExecRow>> {
+    exec_jobs_opt(names, scale, OptLevel::O0)
+}
+
+/// [`exec_jobs`] with the images built at a caller-chosen back-end
+/// tier.
+pub fn exec_jobs_opt(
+    names: &[&str],
+    scale: Scale,
+    opt: OptLevel,
+) -> Vec<Job<crate::exec::ExecRow>> {
     names
         .iter()
         .map(|name| match Workload::by_name(name) {
             Some(wl) => Job::new(format!("exec/{}", wl.name), move || {
-                crate::exec::try_exec_row(&wl, scale)
+                crate::exec::try_exec_row_opt(&wl, scale, opt)
             }),
             None => {
                 let name = name.to_string();
@@ -517,7 +599,18 @@ pub fn exec_results(
     cfg: &PoolConfig,
     sink: &mut dyn Sink,
 ) -> Vec<JobResult<crate::exec::ExecRow>> {
-    run(exec_jobs(names, scale), cfg, sink)
+    exec_results_opt(names, scale, OptLevel::O0, cfg, sink)
+}
+
+/// [`exec_results`] at a caller-chosen back-end tier.
+pub fn exec_results_opt(
+    names: &[&str],
+    scale: Scale,
+    opt: OptLevel,
+    cfg: &PoolConfig,
+    sink: &mut dyn Sink,
+) -> Vec<JobResult<crate::exec::ExecRow>> {
+    run(exec_jobs_opt(names, scale, opt), cfg, sink)
 }
 
 /// One build configuration of the A10 bounds ablation: a workload

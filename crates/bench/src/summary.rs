@@ -6,7 +6,10 @@
 //! object keys are emitted in a fixed order so summaries diff cleanly.
 
 use crate::runs::serial_wall;
-use crate::{fig4_geomean, fig5_geomean, Fig4Row, Fig5Row, ResilienceConfig, ResilienceRow};
+use crate::{
+    fig4_geomean, fig4_o1_geomean, fig4_o1_geomean_speedup, fig5_geomean, Fig4O1Row, Fig4Row,
+    Fig5Row, ResilienceConfig, ResilienceRow,
+};
 use hwst128::juliet::{CoverageReport, Cwe, Detector};
 use hwst128::sim::inject::OutcomeCounts;
 use hwst128::workloads::{Scale, Suite};
@@ -89,6 +92,65 @@ pub fn fig4_summary(
     .set("failed", failures(failed))
     .set("geomean", overhead_triple(&fig4_geomean(&owned)))
     .set("suite_geomean", suites)
+}
+
+/// The `BENCH_fig4_o1.json` document. `meets_target` reports the
+/// geomean baseline speedup against `target_speedup` (1.3×) honestly.
+pub fn fig4_o1_summary(
+    scale: Scale,
+    workers: usize,
+    results: &[JobResult<Fig4O1Row>],
+    wall: Duration,
+    failed: &[FailedJob],
+) -> Json {
+    let rows: Vec<Fig4O1Row> = results
+        .iter()
+        .filter_map(|r| r.outcome.ok())
+        .cloned()
+        .collect();
+    let target = 1.3;
+    let geomean = fig4_o1_geomean_speedup(&rows);
+    timing(
+        header("hwst-bench/fig4_o1", scale, workers),
+        wall,
+        serial_wall(results),
+    )
+    .set(
+        "rows",
+        Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj()
+                        .set("name", r.name.as_str())
+                        .set("suite", r.suite.to_string())
+                        .set("o0_baseline_cycles", r.o0_baseline_cycles)
+                        .set("o1_baseline_cycles", r.o1_baseline_cycles)
+                        .set("baseline_speedup", r.baseline_speedup())
+                        .set("o0_overhead_pct", overhead_triple(&r.o0_overhead_pct))
+                        .set("o1_overhead_pct", overhead_triple(&r.o1_overhead_pct))
+                })
+                .collect(),
+        ),
+    )
+    .set("failed", failures(failed))
+    .set("geomean_baseline_speedup", geomean)
+    .set("target_speedup", target)
+    .set("meets_target", geomean >= target)
+    .set(
+        "o0_geomean",
+        overhead_triple(&fig4_geomean(
+            &rows
+                .iter()
+                .map(|r| Fig4Row {
+                    name: r.name.clone(),
+                    suite: r.suite,
+                    baseline_cycles: r.o0_baseline_cycles,
+                    overhead_pct: r.o0_overhead_pct,
+                })
+                .collect::<Vec<_>>(),
+        )),
+    )
+    .set("o1_geomean", overhead_triple(&fig4_o1_geomean(&rows)))
 }
 
 /// The `BENCH_fig5.json` document.
@@ -226,6 +288,7 @@ pub fn binval_summary(
     scale: Scale,
     workers: usize,
     seeds_per_scheme: u64,
+    opt: hwst128::compiler::OptLevel,
     results: &[JobResult<crate::runs::BinvalRow>],
     wall: Duration,
     failed: &[FailedJob],
@@ -244,6 +307,7 @@ pub fn binval_summary(
         format!("{:#x}", crate::runs::BINVAL_MASTER_SEED),
     )
     .set("seeds_per_scheme", seeds_per_scheme)
+    .set("opt", opt.label())
     .set(
         "rows",
         Json::Arr(
@@ -364,6 +428,7 @@ pub fn profile_summary(
 pub fn exec_summary(
     scale: Scale,
     workers: usize,
+    opt: hwst128::compiler::OptLevel,
     results: &[JobResult<crate::exec::ExecRow>],
     wall: Duration,
     failed: &[FailedJob],
@@ -376,6 +441,7 @@ pub fn exec_summary(
         wall,
         serial_wall(results),
     )
+    .set("opt", opt.label())
     .set(
         "rows",
         Json::Arr(

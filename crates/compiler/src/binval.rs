@@ -102,7 +102,7 @@ use hwst_metadata::{CompressionConfig, ShadowCodec};
 use crate::bounds::{self, Witness};
 use crate::instrument::{self, Scheme, SkippedCheck};
 use crate::ir::Module;
-use crate::lower::{lower_with_plan, CheckSite, FnPlan, LowerPlan};
+use crate::lower::{lower_with_plan, lower_with_plan_opt, CheckSite, FnPlan, LowerPlan, OptLevel};
 use crate::{analysis, rce, verify, CompileError};
 
 // ---------------------------------------------------------------------------
@@ -1046,6 +1046,18 @@ impl<'a> FnInterp<'a> {
                         } else {
                             st.vals.remove(&s);
                         }
+                        // Store-forwarding: after a full-width store of
+                        // a register into a pointer home slot, the
+                        // register provably holds that slot's current
+                        // value — exactly the fact the `-O1` cache
+                        // relies on when a later checked access consumes
+                        // the register without an intervening reload.
+                        if width == StoreWidth::D && !rs2.is_zero() && self.ptr_slots.contains(&s) {
+                            st.regs[rs2.index() as usize].prov = Prov::Slot {
+                                off: s,
+                                exact: true,
+                            };
+                        }
                         if self.emit {
                             if let Prov::Slot { off: p, .. } = val.prov {
                                 if self.ptr_slots.contains(&p) && self.ptr_slots.contains(&s) {
@@ -1429,14 +1441,15 @@ impl<'a> FnInterp<'a> {
     }
 
     /// Fixpoint + findings pass over the recovered machine CFG.
-    fn run(&mut self) -> (Vec<Finding>, FnReport) {
-        let range = self.plan.start..self.plan.start + self.plan.len;
-        let g = cfg::recover(self.instrs, range);
+    /// Runs the dataflow fixpoint over `g` with findings suppressed
+    /// (`self.emit` must be false) and returns the per-block in-states
+    /// (`None` = unreachable).
+    fn fixpoint(&mut self, g: &cfg::MachineCfg) -> Vec<Option<AbsState>> {
         let n = g.blocks.len();
-        if n == 0 {
-            return (std::mem::take(&mut self.findings), self.stats.clone());
-        }
         let mut inputs: Vec<Option<AbsState>> = vec![None; n];
+        if n == 0 {
+            return inputs;
+        }
         inputs[0] = Some(AbsState::entry());
         let mut work = vec![0usize];
         // Monotone joins on a finite-height domain terminate; the guard
@@ -1466,6 +1479,16 @@ impl<'a> FnInterp<'a> {
                 }
             }
         }
+        inputs
+    }
+
+    fn run(&mut self) -> (Vec<Finding>, FnReport) {
+        let range = self.plan.start..self.plan.start + self.plan.len;
+        let g = cfg::recover(self.instrs, range);
+        if g.blocks.is_empty() {
+            return (std::mem::take(&mut self.findings), self.stats.clone());
+        }
+        let inputs = self.fixpoint(&g);
         // Findings pass: each reachable block exactly once, from its
         // fixed in-state.
         self.emit = true;
@@ -1473,8 +1496,17 @@ impl<'a> FnInterp<'a> {
             let Some(start_state) = input else { continue };
             let mut st = start_state.clone();
             let mut pairs = HashMap::new();
-            for s in &mut self.reg_srcs {
+            // `-O1` carries live pointer values across block boundaries
+            // in cache registers, so the per-block source tracking is
+            // seeded from the fixed in-state's provenance facts rather
+            // than starting empty. The fixpoint's `Slot` provenance is a
+            // must-fact (joins demote on disagreement), so the seed only
+            // adds edges that hold on every path into the block.
+            for (r, s) in self.reg_srcs.iter_mut().enumerate() {
                 s.clear();
+                if let Prov::Slot { off, .. } = start_state.regs[r].prov {
+                    s.insert(off);
+                }
             }
             for at in g.blocks[b].start..g.blocks[b].end {
                 self.transfer(&mut st, at, &mut pairs);
@@ -1529,6 +1561,145 @@ impl<'a> FnInterp<'a> {
         }
         self.emit = false;
         (std::mem::take(&mut self.findings), self.stats.clone())
+    }
+
+    /// Enumerates candidate sites for the `-O1` register-allocation
+    /// mutation operators (see [`RegMutation`]). Every listed site is
+    /// chosen so that the corresponding mutant is *guaranteed*
+    /// non-equivalent under the abstract semantics — a sound validator
+    /// must kill 100% of them:
+    ///
+    /// * `clobber`: the reaching definition of a pool register that a
+    ///   later checked access in the same block consumes, with no
+    ///   intervening redefinition or store of that register (a store
+    ///   would re-establish provenance by forwarding);
+    /// * `drop_spill`: a write-through spill store whose forwarding
+    ///   fact (`reg == slot content`) a later checked access in the
+    ///   same block depends on — the pre-store provenance differs from
+    ///   the stored slot, and the block is not on a CFG cycle so the
+    ///   mutant's in-state provably equals the original's;
+    /// * `swap_pair`: any reachable scheduled upper-half shadow store.
+    fn reg_sites(&mut self, sites: &mut RegSites) {
+        let range = self.plan.start..self.plan.start + self.plan.len;
+        let g = cfg::recover(self.instrs, range);
+        if g.blocks.is_empty() {
+            return;
+        }
+        let inputs = self.fixpoint(&g);
+        let n = g.blocks.len();
+        // `on_cycle[b]`: is b reachable from itself?
+        let mut on_cycle = vec![false; n];
+        for (b, flag) in on_cycle.iter_mut().enumerate() {
+            let mut seen = vec![false; n];
+            let mut stack: Vec<usize> = g.blocks[b].succs.clone();
+            while let Some(x) = stack.pop() {
+                if x == b {
+                    *flag = true;
+                    break;
+                }
+                if !seen[x] {
+                    seen[x] = true;
+                    stack.extend(g.blocks[x].succs.iter().copied());
+                }
+            }
+        }
+        for (b, input) in inputs.iter().enumerate() {
+            let Some(start_state) = input else { continue };
+            let mut st = start_state.clone();
+            let mut pairs = HashMap::new();
+            let end = g.blocks[b].end;
+            for at in g.blocks[b].start..end {
+                let ins = self.instrs[at];
+                if let Some(rd) = gpr_def(&ins) {
+                    if crate::regalloc::POOL.contains(&rd) && self.feeds_checked_access(at, end, rd)
+                    {
+                        sites.clobber.push(at);
+                    }
+                }
+                if !on_cycle[b] {
+                    if let Instr::Store {
+                        width: StoreWidth::D,
+                        rs1,
+                        rs2,
+                        offset,
+                        checked: false,
+                    } = ins
+                    {
+                        if let Num::Sp(d) = num_add(st.regs[rs1.index() as usize].num, offset) {
+                            let s = d.wrapping_add(self.fs);
+                            let pre = st.regs[rs2.index() as usize].prov;
+                            if crate::regalloc::POOL.contains(&rs2)
+                                && self.ptr_slots.contains(&s)
+                                && !matches!(pre, Prov::Slot { off, .. } if off == s)
+                                && self.spill_feeds_check(at, end, rs2, s)
+                            {
+                                sites.drop_spill.push(at);
+                            }
+                        }
+                    }
+                }
+                if matches!(ins, Instr::Sbdu { .. }) {
+                    sites.swap_pair.push(at);
+                }
+                self.transfer(&mut st, at, &mut pairs);
+            }
+        }
+    }
+
+    /// Does the pool register defined at `at` feed a checked access
+    /// before `end`, with nothing in between that could re-establish
+    /// its provenance after a clobber (redefinition, store of the
+    /// register, or a call boundary)?
+    fn feeds_checked_access(&self, at: usize, end: usize, rd: Reg) -> bool {
+        for later in &self.instrs[at + 1..end] {
+            match *later {
+                Instr::Load {
+                    rs1, checked: true, ..
+                } if rs1 == rd => return true,
+                Instr::Store {
+                    rs1, rs2, checked, ..
+                } if rs1 == rd || rs2 == rd => return checked && rs1 == rd,
+                Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Ecall | Instr::Ebreak => {
+                    return false
+                }
+                _ => {
+                    if gpr_def(later) == Some(rd) {
+                        return false;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Does a checked access through `rd` with plan slot `s` follow the
+    /// spill store at `at` before `end`, with no intervening
+    /// redefinition, store of `rd`, or call?
+    fn spill_feeds_check(&self, at: usize, end: usize, rd: Reg, s: i64) -> bool {
+        for (j, later) in self.instrs[at + 1..end].iter().enumerate() {
+            let here = at + 1 + j;
+            match *later {
+                Instr::Load {
+                    rs1, checked: true, ..
+                } if rs1 == rd => {
+                    return matches!(self.check_at.get(&here), Some(site) if site.slot == s)
+                }
+                Instr::Store {
+                    rs1, rs2, checked, ..
+                } if rs1 == rd || rs2 == rd => {
+                    return checked
+                        && rs1 == rd
+                        && matches!(self.check_at.get(&here), Some(site) if site.slot == s)
+                }
+                Instr::Jal { .. } | Instr::Jalr { .. } => return false,
+                _ => {
+                    if gpr_def(later) == Some(rd) {
+                        return false;
+                    }
+                }
+            }
+        }
+        false
     }
 }
 
@@ -1763,6 +1934,40 @@ fn validate_impl(
     }
     let codec = ShadowCodec::new(compression, layout.lock_region_base);
     for fp in &plan.funcs {
+        // `-O1` structural obligation: the register-assignment table
+        // must name real home/local slots and allocatable pool
+        // registers before anything is believed about cached values.
+        // (The semantic half of the obligation needs no table at all —
+        // every use of a cache register is re-proven through the
+        // provenance domain, which only learns `reg == slot content`
+        // from the write-through stores actually present in the code.)
+        let mut prev_slot: Option<i64> = None;
+        for &(slot, reg) in &fp.reg_assign {
+            let mut problems: Vec<String> = Vec::new();
+            if slot < 8 || slot >= fp.alloca_base || slot % 8 != 0 {
+                problems.push(format!(
+                    "slot {slot} is not an 8-aligned home/local slot below the alloca base"
+                ));
+            }
+            if !crate::regalloc::POOL.contains(&reg) {
+                problems.push(format!("{reg} is not an allocatable callee-saved register"));
+            }
+            if prev_slot.is_some_and(|p| p >= slot) {
+                problems.push("assigned slots are not strictly ascending".to_string());
+            }
+            prev_slot = Some(slot);
+            for p in problems {
+                findings.push(Finding {
+                    class: FindingClass::Lowering,
+                    code: "REG_ASSIGN_INVALID",
+                    func: fp.name.clone(),
+                    at: fp.start,
+                    pc: program.base() + fp.start as u64 * 4,
+                    cwe: None,
+                    message: format!("register assignment ({slot} -> {reg}): {p}"),
+                });
+            }
+        }
         // Plan sanity: every recorded IR check site must map onto a
         // checked machine access (catches instruction deletion).
         for site in &fp.checks {
@@ -1853,9 +2058,23 @@ fn global_finding(program: &Program, code: &'static str, message: String) -> Fin
 /// Returns a [`CompileError`] when the module fails analysis or
 /// lowering (validation itself never errors — it reports findings).
 pub fn validate_module(module: &Module, scheme: Scheme) -> Result<BinvalReport, CompileError> {
+    validate_module_opt(module, scheme, OptLevel::O0)
+}
+
+/// [`validate_module`] at a caller-chosen back-end optimization tier —
+/// the `-O1` gate that every optimized image must clear.
+///
+/// # Errors
+///
+/// Same as [`validate_module`].
+pub fn validate_module_opt(
+    module: &Module,
+    scheme: Scheme,
+    opt: OptLevel,
+) -> Result<BinvalReport, CompileError> {
     let info = analysis::analyze(module)?;
     let instrumented = instrument::instrument(module, &info, scheme);
-    let (program, plan) = lower_with_plan(&instrumented, scheme)?;
+    let (program, plan) = lower_with_plan_opt(&instrumented, scheme, opt)?;
     Ok(validate(
         &program,
         &plan,
@@ -1920,6 +2139,32 @@ pub fn translation_validate_with(
     scheme: Scheme,
     run_rce: bool,
 ) -> Result<TvOutcome, CompileError> {
+    translation_validate_full(module, scheme, run_rce, OptLevel::O0)
+}
+
+/// [`translation_validate`] at a caller-chosen back-end optimization
+/// tier: the `-O1` soundness gate. The IR-level verdict is tier-
+/// independent (the same instrumented module is lowered either way);
+/// the binary-level validation runs against the optimized image and
+/// its plan, including the register-assignment obligations.
+///
+/// # Errors
+///
+/// Same as [`translation_validate`].
+pub fn translation_validate_opt(
+    module: &Module,
+    scheme: Scheme,
+    opt: OptLevel,
+) -> Result<TvOutcome, CompileError> {
+    translation_validate_full(module, scheme, false, opt)
+}
+
+fn translation_validate_full(
+    module: &Module,
+    scheme: Scheme,
+    run_rce: bool,
+    opt: OptLevel,
+) -> Result<TvOutcome, CompileError> {
     let info = analysis::analyze(module)?;
     let mut instrumented = instrument::instrument(module, &info, scheme);
     let stats = if run_rce {
@@ -1928,7 +2173,7 @@ pub fn translation_validate_with(
         rce::RceStats::default()
     };
     let ir = verify::verify(&instrumented, scheme);
-    let (program, plan) = lower_with_plan(&instrumented, scheme)?;
+    let (program, plan) = lower_with_plan_opt(&instrumented, scheme, opt)?;
     let report = validate(
         &program,
         &plan,
@@ -2153,6 +2398,197 @@ pub fn mutation_campaign(
             let pick = splitmix64(seed ^ (mi as u64).wrapping_mul(0xa076_1d64_78bd_642f));
             let site = sites[(pick % sites.len() as u64) as usize];
             let mutant = mutate(&program, site, m);
+            let r = validate(
+                &mutant,
+                &plan,
+                CompressionConfig::SPEC_DEFAULT,
+                MemoryLayout::default(),
+            );
+            let pc = program.base() + site as u64 * 4;
+            report.outcomes.push(MutantOutcome {
+                mutation: m.name(),
+                seed,
+                site,
+                pc,
+                func: plan
+                    .func_at_pc(pc)
+                    .map_or_else(|| "<shim>".to_string(), |f| f.name.clone()),
+                killed: !r.ok(),
+                findings: r.findings.len(),
+            });
+        }
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Register-allocation mutation self-test (the `-O1` kill bar)
+// ---------------------------------------------------------------------------
+
+/// A seeded corruption of the `-O1` back-end's register-allocation
+/// invariants. Where [`Mutation`] corrupts the metadata *plumbing*,
+/// these corrupt the facts the optimizer is trusted with: that cached
+/// registers hold what their home slots hold, that write-through spill
+/// stores actually happen, and that scheduled shadow-store pairs keep
+/// their producers. Sites are enumerated semantically (over the
+/// validator's own abstract states) so every mutant is guaranteed
+/// non-equivalent — the campaign requires a 100% kill rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegMutation {
+    /// Replace the reaching definition of a live cache register with
+    /// `addi r, x0, 1` — a later checked access consumes an address of
+    /// unknown provenance (`CHECK_ADDR_UNKNOWN`).
+    ClobberLiveReg,
+    /// Delete a write-through spill store a later checked access
+    /// depends on — the register's slot-provenance is never
+    /// established, so the access fails the provenance or plan
+    /// cross-check.
+    DropSpill,
+    /// Retarget a scheduled upper-half shadow store at `SRF[x0]`,
+    /// which is never populated — the pair stores a zero temporal half
+    /// (`SBD_UNPOPULATED`), modelling the scheduler pairing the store
+    /// with the wrong producer.
+    SwapScheduledPair,
+}
+
+impl RegMutation {
+    /// All register-allocation mutation operators.
+    pub const ALL: [RegMutation; 3] = [
+        RegMutation::ClobberLiveReg,
+        RegMutation::DropSpill,
+        RegMutation::SwapScheduledPair,
+    ];
+
+    /// Stable name for reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            RegMutation::ClobberLiveReg => "clobber-live-reg",
+            RegMutation::DropSpill => "drop-spill",
+            RegMutation::SwapScheduledPair => "swap-scheduled-pair",
+        }
+    }
+}
+
+/// Candidate sites for the register-allocation mutation operators, one
+/// list per operator (instruction indices into the program).
+#[derive(Debug, Clone, Default)]
+pub struct RegSites {
+    /// [`RegMutation::ClobberLiveReg`] sites: reaching definitions of
+    /// pool registers that feed checked accesses.
+    pub clobber: Vec<usize>,
+    /// [`RegMutation::DropSpill`] sites: write-through spill stores
+    /// that later checked accesses depend on.
+    pub drop_spill: Vec<usize>,
+    /// [`RegMutation::SwapScheduledPair`] sites: reachable scheduled
+    /// upper-half shadow stores.
+    pub swap_pair: Vec<usize>,
+}
+
+impl RegSites {
+    /// Total candidate count across all operators.
+    pub fn total(&self) -> usize {
+        self.clobber.len() + self.drop_spill.len() + self.swap_pair.len()
+    }
+
+    /// The site list for `m`.
+    pub fn for_op(&self, m: RegMutation) -> &[usize] {
+        match m {
+            RegMutation::ClobberLiveReg => &self.clobber,
+            RegMutation::DropSpill => &self.drop_spill,
+            RegMutation::SwapScheduledPair => &self.swap_pair,
+        }
+    }
+}
+
+/// Enumerates register-allocation mutation sites for a lowered image
+/// by sweeping the validator's abstract states (see
+/// [`RegMutation`]). At `-O0` the clobber and drop-spill lists are
+/// empty by construction — no pool register ever feeds a checked
+/// access there.
+pub fn reg_mutation_sites(program: &Program, plan: &LowerPlan) -> RegSites {
+    let codec = ShadowCodec::new(
+        CompressionConfig::SPEC_DEFAULT,
+        MemoryLayout::default().lock_region_base,
+    );
+    let mut sites = RegSites::default();
+    for fp in &plan.funcs {
+        let mut interp = FnInterp::new(program.instrs(), program.base(), fp, plan.scheme, codec);
+        interp.reg_sites(&mut sites);
+    }
+    sites
+}
+
+/// Applies `m` at `site` (an index from [`reg_mutation_sites`]) and
+/// returns the corrupted program. A site whose instruction does not
+/// match the operator's shape is returned unchanged — the campaign
+/// never panics on a stale site list.
+pub fn reg_mutate(program: &Program, site: usize, m: RegMutation) -> Program {
+    let mut instrs = program.instrs().to_vec();
+    match m {
+        RegMutation::ClobberLiveReg => {
+            if let Some(rd) = instrs.get(site).and_then(gpr_def) {
+                instrs[site] = Instr::AluImm {
+                    op: AluImmOp::Addi,
+                    rd,
+                    rs1: Reg::Zero,
+                    imm: 1,
+                };
+            }
+        }
+        RegMutation::DropSpill => {
+            if matches!(instrs.get(site), Some(Instr::Store { .. })) {
+                instrs[site] = Instr::AluImm {
+                    op: AluImmOp::Addi,
+                    rd: Reg::Zero,
+                    rs1: Reg::Zero,
+                    imm: 0,
+                };
+            }
+        }
+        RegMutation::SwapScheduledPair => {
+            if let Some(Instr::Sbdu { rs1, offset, .. }) = instrs.get(site).copied() {
+                instrs[site] = Instr::Sbdu {
+                    rs1,
+                    rs2: Reg::Zero,
+                    offset,
+                };
+            }
+        }
+    }
+    Program::from_instrs(program.base(), instrs)
+}
+
+/// Runs the deterministic register-allocation mutation campaign for
+/// `module` × `scheme` at `opt`: for every seed and every operator
+/// with a non-empty site list, one site is chosen by `splitmix64`,
+/// mutated, and re-validated against the unchanged plan.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for analysis/lowering failures.
+pub fn reg_mutation_campaign(
+    module: &Module,
+    scheme: Scheme,
+    opt: OptLevel,
+    seeds: &[u64],
+) -> Result<MutationReport, CompileError> {
+    let info = analysis::analyze(module)?;
+    let instrumented = instrument::instrument(module, &info, scheme);
+    let (program, plan) = lower_with_plan_opt(&instrumented, scheme, opt)?;
+    let sites = reg_mutation_sites(&program, &plan);
+    let mut report = MutationReport {
+        candidates: sites.total(),
+        outcomes: Vec::new(),
+    };
+    for &seed in seeds {
+        for (mi, &m) in RegMutation::ALL.iter().enumerate() {
+            let list = sites.for_op(m);
+            if list.is_empty() {
+                continue;
+            }
+            let pick = splitmix64(seed ^ (mi as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+            let site = list[(pick % list.len() as u64) as usize];
+            let mutant = reg_mutate(&program, site, m);
             let r = validate(
                 &mutant,
                 &plan,

@@ -60,12 +60,15 @@ mod lower;
 pub mod opt;
 mod printer;
 pub mod rce;
+pub mod regalloc;
 pub mod verify;
 
 pub use builder::{FuncBuilder, ModuleBuilder};
 pub use error::CompileError;
 pub use instrument::Scheme;
-pub use lower::{lower_with_plan, CheckSite, FnPlan, LowerPlan};
+pub use lower::{
+    lower_opt, lower_with_plan, lower_with_plan_opt, CheckSite, FnPlan, LowerPlan, OptLevel,
+};
 pub use printer::function_with_cfg;
 
 use hwst_isa::Program;
@@ -132,6 +135,10 @@ pub struct CompileOptions {
     /// and skip every check it proves unnecessary, emitting one proof
     /// witness per skip.
     pub bounds: bool,
+    /// Back-end optimization level ([`OptLevel`]): `O0` is the paper's
+    /// frame-slot lowering, `O1` adds linear-scan register allocation,
+    /// frame-slot load/store elimination and metadata-op scheduling.
+    pub opt: OptLevel,
 }
 
 impl CompileOptions {
@@ -142,6 +149,7 @@ impl CompileOptions {
             rce: false,
             verify: false,
             bounds: false,
+            opt: OptLevel::O0,
         }
     }
 
@@ -160,6 +168,12 @@ impl CompileOptions {
     /// Enables the static bounds-proof check elimination.
     pub const fn with_bounds(mut self) -> Self {
         self.bounds = true;
+        self
+    }
+
+    /// Selects the back-end optimization level.
+    pub const fn with_opt(mut self, opt: OptLevel) -> Self {
+        self.opt = opt;
         self
     }
 }
@@ -225,7 +239,7 @@ pub fn compile_with_options(
         verify::verify_with(&instrumented, opts.scheme, &skips, &witnesses)?;
     }
     let check_count = rce::static_check_count(&instrumented);
-    let program = lower::lower(&instrumented, opts.scheme)?;
+    let program = lower::lower_opt(&instrumented, opts.scheme, opts.opt)?;
     Ok(Compiled {
         program,
         rce: stats,

@@ -1,0 +1,501 @@
+//! Liveness analysis and linear-scan register allocation for the `-O1`
+//! backend tier.
+//!
+//! The `-O0` lowering gives every IR variable and spill local a home
+//! frame slot and shuttles every value through `t`-register scratch.
+//! This module decides, ahead of emission, which of those frame-resident
+//! cells get a dedicated *cache register* from the callee-free
+//! `s0..s11` pool (which the `-O0` generator never touches). The `-O1`
+//! emitter keeps a cached copy of the cell in that register under a
+//! strict write-through discipline — the home slot stays authoritative
+//! at every call boundary — so an assignment here can only change how
+//! many loads and stores are emitted, never what any slot contains.
+//!
+//! Because correctness is carried by the emitter's write-through cache
+//! (and re-proved per image by `binval`), the analysis here is allowed
+//! to be block-granular: live intervals span whole blocks in emission
+//! order, and two entities may share a register only when their
+//! intervals never overlap. Imprecision costs reloads, not soundness.
+//!
+//! Entities are:
+//!
+//! * IR variables ([`VarId`](crate::ir::VarId)) — home slot `8 + 8*i`;
+//! * spill locals ([`LocalId`](crate::ir::LocalId) cells accessed via
+//!   `LocalGet`/`LocalSet`) — slot `locals_base + 8*i`.
+//!
+//! Neither kind is ever address-taken, so caching them in registers is
+//! unobservable through memory.
+
+use crate::dataflow::{inst_defs, Cfg};
+use crate::ir::{Function, Inst, Terminator};
+use hwst_isa::Reg;
+use std::collections::BTreeMap;
+
+/// The `-O1` cache-register pool: all twelve `s` registers, which the
+/// baseline code generator leaves untouched and the simulator's syscall
+/// handlers never write (only `a0..a2` carry syscall results).
+pub const POOL: [Reg; 12] = [
+    Reg::S0,
+    Reg::S1,
+    Reg::S2,
+    Reg::S3,
+    Reg::S4,
+    Reg::S5,
+    Reg::S6,
+    Reg::S7,
+    Reg::S8,
+    Reg::S9,
+    Reg::S10,
+    Reg::S11,
+];
+
+/// One per-entity allocation decision, retained for golden tests and
+/// diagnostics.
+#[derive(Debug, Clone)]
+pub struct EntityPlan {
+    /// Display name: `v<n>` for variables, `l<n>` for spill locals.
+    pub name: String,
+    /// Home frame slot (sp-relative byte offset).
+    pub slot: i64,
+    /// First block index (emission order) where the entity is live.
+    pub start: usize,
+    /// Last block index (emission order) where the entity is live.
+    pub end: usize,
+    /// Loop-depth-weighted use count driving spill decisions.
+    pub weight: u64,
+    /// Assigned cache register, or `None` if the entity stays
+    /// frame-only (spilled).
+    pub reg: Option<Reg>,
+}
+
+/// The result of register allocation for one function.
+#[derive(Debug, Clone, Default)]
+pub struct Allocation {
+    /// Home slot → assigned cache register. Many slots may map to the
+    /// same register when their live intervals do not overlap.
+    pub assign: BTreeMap<i64, Reg>,
+    /// Variables (by `VarId` index) with zero uses anywhere in the
+    /// function: their defining stores can be elided by the emitter
+    /// (after the emitter excludes pointer variables, whose home slots
+    /// anchor shadow metadata).
+    pub dead_vars: Vec<u32>,
+    /// Per-entity decisions in deterministic (slot) order, including
+    /// spills, for golden rendering.
+    pub plans: Vec<EntityPlan>,
+}
+
+/// A dense bitset over entity indices.
+#[derive(Clone, PartialEq, Eq, Default)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(n: usize) -> BitSet {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+    fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+    fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+    /// `self |= other`, reporting whether anything changed.
+    fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            let next = *w | *o;
+            changed |= next != *w;
+            *w = next;
+        }
+        changed
+    }
+    /// `self |= other \ minus`, reporting whether anything changed.
+    fn union_minus(&mut self, other: &BitSet, minus: &BitSet) -> bool {
+        let mut changed = false;
+        for ((w, o), m) in self.words.iter_mut().zip(&other.words).zip(&minus.words) {
+            let next = *w | (*o & !*m);
+            changed |= next != *w;
+            *w = next;
+        }
+        changed
+    }
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w >> b & 1 == 1)
+                .map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+/// Per-entity static facts gathered in one walk over the function.
+struct Facts {
+    /// `gen[b]`: entities with an upward-exposed use in block `b`.
+    gen: Vec<BitSet>,
+    /// `kill[b]`: entities defined in block `b`.
+    kill: Vec<BitSet>,
+    /// `touched[b]`: entities used or defined anywhere in block `b`.
+    touched: Vec<BitSet>,
+    /// Raw (unweighted) per-block use+def counts, per entity.
+    counts: Vec<Vec<u32>>,
+    /// Total use count per entity (reads only, defs excluded).
+    use_counts: Vec<u64>,
+}
+
+/// Entity index spaces: variables first, then locals.
+fn var_ent(v: u32) -> usize {
+    v as usize
+}
+
+fn gather(f: &Function, n_ents: usize) -> Facts {
+    let nb = f.blocks.len();
+    let local_ent = |l: u32| f.num_vars as usize + l as usize;
+    let mut gen = vec![BitSet::new(n_ents); nb];
+    let mut kill = vec![BitSet::new(n_ents); nb];
+    let mut touched = vec![BitSet::new(n_ents); nb];
+    let mut counts = vec![vec![0u32; n_ents]; nb];
+    let mut use_counts = vec![0u64; n_ents];
+
+    fn step_use(
+        e: usize,
+        defined: &BitSet,
+        gen_b: &mut BitSet,
+        touched_b: &mut BitSet,
+        counts_b: &mut [u32],
+        use_counts: &mut [u64],
+    ) {
+        if !defined.contains(e) {
+            gen_b.insert(e);
+        }
+        touched_b.insert(e);
+        counts_b[e] += 1;
+        use_counts[e] += 1;
+    }
+    fn step_def(
+        e: usize,
+        defined: &mut BitSet,
+        kill_b: &mut BitSet,
+        touched_b: &mut BitSet,
+        counts_b: &mut [u32],
+    ) {
+        defined.insert(e);
+        kill_b.insert(e);
+        touched_b.insert(e);
+        counts_b[e] += 1;
+    }
+
+    for (bi, block) in f.blocks.iter().enumerate() {
+        let mut defined = BitSet::new(n_ents);
+        for inst in &block.insts {
+            // Uses first (an instruction reads its operands before it
+            // writes its destination).
+            for u in inst.uses() {
+                step_use(
+                    var_ent(u.0),
+                    &defined,
+                    &mut gen[bi],
+                    &mut touched[bi],
+                    &mut counts[bi],
+                    &mut use_counts,
+                );
+            }
+            if let Inst::LocalGet { index, .. } = inst {
+                step_use(
+                    local_ent(index.0),
+                    &defined,
+                    &mut gen[bi],
+                    &mut touched[bi],
+                    &mut counts[bi],
+                    &mut use_counts,
+                );
+            }
+            for d in inst_defs(inst) {
+                step_def(
+                    var_ent(d.0),
+                    &mut defined,
+                    &mut kill[bi],
+                    &mut touched[bi],
+                    &mut counts[bi],
+                );
+            }
+            if let Inst::LocalSet { index, .. } = inst {
+                step_def(
+                    local_ent(index.0),
+                    &mut defined,
+                    &mut kill[bi],
+                    &mut touched[bi],
+                    &mut counts[bi],
+                );
+            }
+        }
+        let term_use = match &block.term {
+            Terminator::Br { cond, .. } => Some(var_ent(cond.0)),
+            Terminator::Ret { value: Some(v) } => Some(var_ent(v.0)),
+            _ => None,
+        };
+        if let Some(e) = term_use {
+            step_use(
+                e,
+                &defined,
+                &mut gen[bi],
+                &mut touched[bi],
+                &mut counts[bi],
+                &mut use_counts,
+            );
+        }
+    }
+
+    // Parameters are defined by the prologue's parking stores, i.e.
+    // before the entry block runs.
+    for p in &f.params {
+        let e = var_ent(p.0);
+        kill[0].insert(e);
+        touched[0].insert(e);
+    }
+
+    Facts {
+        gen,
+        kill,
+        touched,
+        counts,
+        use_counts,
+    }
+}
+
+/// Backward liveness fixpoint; returns `(live_in, live_out)` per block.
+fn liveness(cfg: &Cfg, facts: &Facts, nb: usize, n_ents: usize) -> (Vec<BitSet>, Vec<BitSet>) {
+    let mut live_in = vec![BitSet::new(n_ents); nb];
+    let mut live_out = vec![BitSet::new(n_ents); nb];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        // Postorder-ish sweep: visiting in reverse emission order
+        // converges quickly for reducible control flow.
+        for b in (0..nb).rev() {
+            let mut out = BitSet::new(n_ents);
+            for &s in &cfg.succs[b] {
+                out.union_with(&live_in[s]);
+            }
+            changed |= live_out[b].union_with(&out);
+            let snapshot = live_out[b].clone();
+            changed |= live_in[b].union_with(&facts.gen[b]);
+            changed |= live_in[b].union_minus(&snapshot, &facts.kill[b]);
+        }
+    }
+    (live_in, live_out)
+}
+
+/// Loop nesting depth per block, from the natural loop of each
+/// retreating edge in the [`Cfg`]'s reverse postorder.
+fn loop_depths(cfg: &Cfg, nb: usize) -> Vec<u32> {
+    let mut depth = vec![0u32; nb];
+    for h in 0..nb {
+        let Some(h_pos) = cfg.rpo_pos.get(h).copied().flatten() else {
+            continue;
+        };
+        for &p in &cfg.preds[h] {
+            let Some(p_pos) = cfg.rpo_pos.get(p).copied().flatten() else {
+                continue;
+            };
+            if p_pos < h_pos {
+                continue; // forward edge
+            }
+            // Natural loop of the back edge p -> h: h plus everything
+            // that reaches p without passing through h.
+            let mut in_loop = vec![false; nb];
+            in_loop[h] = true;
+            let mut stack = vec![p];
+            while let Some(b) = stack.pop() {
+                if in_loop[b] {
+                    continue;
+                }
+                in_loop[b] = true;
+                for &q in &cfg.preds[b] {
+                    stack.push(q);
+                }
+            }
+            for (b, &inl) in in_loop.iter().enumerate() {
+                if inl {
+                    depth[b] = depth[b].saturating_add(1);
+                }
+            }
+        }
+    }
+    depth
+}
+
+/// Runs liveness and linear-scan allocation over `f`.
+///
+/// `Allocation::assign` maps home slots to cache registers; entities
+/// whose weighted demand loses the scan stay frame-only and appear in
+/// [`Allocation::plans`] with `reg: None`.
+pub fn allocate(f: &Function) -> Allocation {
+    let nb = f.blocks.len();
+    let n_vars = f.num_vars as usize;
+    let n_ents = n_vars + f.num_locals as usize;
+    if nb == 0 || n_ents == 0 {
+        return Allocation::default();
+    }
+    let locals_base = 8 + 8 * n_vars as i64;
+    let cfg = Cfg::new(f);
+    let facts = gather(f, n_ents);
+    let (live_in, live_out) = liveness(&cfg, &facts, nb, n_ents);
+    let depth = loop_depths(&cfg, nb);
+
+    // Block-granular intervals + loop-weighted counts.
+    let mut start = vec![usize::MAX; n_ents];
+    let mut end = vec![0usize; n_ents];
+    let mut weight = vec![0u64; n_ents];
+    for b in 0..nb {
+        let d = depth[b].min(10);
+        let scale = 1u64 << (2 * d);
+        for e in facts.touched[b]
+            .iter()
+            .chain(live_in[b].iter())
+            .chain(live_out[b].iter())
+        {
+            start[e] = start[e].min(b);
+            end[e] = end[e].max(b);
+        }
+        for (e, &c) in facts.counts[b].iter().enumerate() {
+            weight[e] = weight[e].saturating_add(u64::from(c).saturating_mul(scale));
+        }
+    }
+
+    let slot_of = |e: usize| -> i64 {
+        if e < n_vars {
+            8 + 8 * e as i64
+        } else {
+            locals_base + 8 * (e - n_vars) as i64
+        }
+    };
+    let name_of = |e: usize| -> String {
+        if e < n_vars {
+            format!("v{e}")
+        } else {
+            format!("l{}", e - n_vars)
+        }
+    };
+
+    // Linear scan over entities in interval-start order. Candidates
+    // are entities that are actually touched and worth caching (at
+    // least one read somewhere).
+    let mut order: Vec<usize> = (0..n_ents)
+        .filter(|&e| start[e] != usize::MAX && facts.use_counts[e] > 0)
+        .collect();
+    order.sort_by_key(|&e| (start[e], slot_of(e)));
+
+    let mut free: Vec<Reg> = POOL.iter().rev().copied().collect();
+    // (end, entity, reg, weight) of currently live assignments.
+    let mut active: Vec<(usize, usize, Reg, u64)> = Vec::new();
+    let mut assigned: Vec<Option<Reg>> = vec![None; n_ents];
+
+    for &e in &order {
+        // Expire intervals that ended before this one starts.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].0 < start[e] {
+                free.push(active[i].2);
+                active.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        if let Some(r) = free.pop() {
+            assigned[e] = Some(r);
+            active.push((end[e], e, r, weight[e]));
+        } else if let Some(victim_at) = active
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, a)| (a.3, a.1))
+            .map(|(i, _)| i)
+        {
+            let victim = active[victim_at];
+            if victim.3 < weight[e] {
+                // Steal the lowest-weight register; its former owner
+                // becomes frame-only everywhere.
+                assigned[victim.1] = None;
+                assigned[e] = Some(victim.2);
+                active[victim_at] = (end[e], e, victim.2, weight[e]);
+            }
+        }
+    }
+
+    let mut assign = BTreeMap::new();
+    let mut plans = Vec::new();
+    for &e in &order {
+        if let Some(r) = assigned[e] {
+            assign.insert(slot_of(e), r);
+        }
+        plans.push(EntityPlan {
+            name: name_of(e),
+            slot: slot_of(e),
+            start: start[e],
+            end: end[e],
+            weight: weight[e],
+            reg: assigned[e],
+        });
+    }
+    plans.sort_by_key(|p| p.slot);
+
+    let dead_vars = (0..n_vars as u32)
+        .filter(|&v| facts.use_counts[var_ent(v)] == 0 && start[var_ent(v)] != usize::MAX)
+        .filter(|&v| !f.params.iter().any(|p| p.0 == v))
+        .collect();
+
+    Allocation {
+        assign,
+        dead_vars,
+        plans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::BinOp;
+    use crate::ModuleBuilder;
+
+    fn sample() -> crate::ir::Module {
+        let mut mb = ModuleBuilder::new();
+        let mut f = mb.func("main");
+        let a = f.konst(3);
+        let b = f.konst(4);
+        let c = f.bin(BinOp::Add, a, b);
+        let _dead = f.bin(BinOp::Add, c, c);
+        f.ret(Some(c));
+        f.finish();
+        mb.finish()
+    }
+
+    #[test]
+    fn hot_vars_get_registers_and_dead_defs_are_found() {
+        let m = sample();
+        let f = &m.funcs[0];
+        let alloc = allocate(f);
+        // a, b, c are all used; each should land in a register.
+        for used in [0u32, 1, 2] {
+            let slot = 8 + 8 * i64::from(used);
+            assert!(alloc.assign.contains_key(&slot), "v{used} unassigned");
+        }
+        assert!(alloc.dead_vars.contains(&3), "dead def not detected");
+        // Distinct simultaneously-live entities get distinct registers.
+        let regs: Vec<_> = alloc.assign.values().collect();
+        let mut uniq = regs.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(regs.len(), uniq.len(), "overlapping shares: {regs:?}");
+    }
+
+    #[test]
+    fn allocation_is_deterministic() {
+        let m = sample();
+        let a1 = allocate(&m.funcs[0]);
+        let a2 = allocate(&m.funcs[0]);
+        assert_eq!(a1.assign, a2.assign);
+        assert_eq!(a1.dead_vars, a2.dead_vars);
+    }
+}

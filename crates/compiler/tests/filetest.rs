@@ -8,9 +8,12 @@
 //! predecessor/dominator changes too.
 //!
 //! Passes: `opt` (the light optimizer, source IR), `rce`
-//! (instrument for HWST128_tchk, then redundant-check elimination) and
+//! (instrument for HWST128_tchk, then redundant-check elimination),
 //! `bounds` (the static bounds-proof pass: witness table, skip table
-//! and the instrumented-with-skips IR).
+//! and the instrumented-with-skips IR) and `o1` (instrument for
+//! HWST128_tchk, then the optimizing back-end: the rendered `-O1`
+//! disassembly with each function's frame/ptr-slot/register-assignment
+//! header, so spill decisions and metadata-op scheduling are pinned).
 //!
 //! To regenerate after an intentional output change:
 //!
@@ -20,7 +23,7 @@
 
 use hwst_compiler::ir::{BinOp, Module, VarId, Width};
 use hwst_compiler::{analysis, bounds, function_with_cfg, instrument, opt, rce};
-use hwst_compiler::{FuncBuilder, ModuleBuilder, Scheme};
+use hwst_compiler::{lower_with_plan_opt, FuncBuilder, ModuleBuilder, OptLevel, Scheme};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -93,6 +96,66 @@ fn heap_copy() -> Module {
     f.store(v, t, 0, Width::U64);
     f.free(cell);
     f.free(p);
+    f.ret(Some(v));
+    f.finish();
+    mb.finish()
+}
+
+/// Register pressure: fourteen values defined up front and all still
+/// live at the final reduction, so the `-O1` linear-scan allocator
+/// (twelve pool registers) must spill — the golden pins which home
+/// slots win registers and which stay memory-resident.
+fn spill() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let buf = f.stack_alloc(128);
+    let mut vals = Vec::new();
+    for i in 0..14i64 {
+        let k = f.konst(i + 1);
+        f.store(k, buf, i * 8, Width::U64);
+        vals.push(f.load(buf, i * 8, Width::U64));
+    }
+    // First reduction in definition order, second in reverse: every
+    // value's last use sits in the second chain, so all fourteen are
+    // simultaneously live where the chains meet.
+    let mut fwd = vals[0];
+    for &v in &vals[1..] {
+        fwd = f.bin(BinOp::Add, fwd, v);
+    }
+    let mut rev = vals[13];
+    for &v in vals[..13].iter().rev() {
+        rev = f.bin(BinOp::Add, rev, v);
+    }
+    let out = f.bin(BinOp::Sub, fwd, rev);
+    f.ret(Some(out));
+    f.finish();
+    mb.finish()
+}
+
+/// A copy loop through two heap pointers plus a through-memory pointer
+/// store: the `-O1` golden pins the metadata-op schedule — which
+/// `lbdls` reloads the emitter's SRF cache elides across the
+/// straight-line body, and where the `sbdl`/`sbdu` pair of the
+/// `store_ptr` lands relative to the shuttle reload it feeds on.
+fn ptrloop() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let mut f = mb.func("main");
+    let src = f.malloc_bytes(64);
+    let dst = f.malloc_bytes(64);
+    let cell = f.malloc_bytes(16);
+    f.store_ptr(src, cell, 0);
+    count_loop(&mut f, 8, |f, iv| {
+        let off = f.bin_imm(BinOp::Sll, iv, 3);
+        let s = f.gep(src, off);
+        let v = f.load(s, 0, Width::U64);
+        let d = f.gep(dst, off);
+        f.store(v, d, 0, Width::U64);
+    });
+    let back = f.load_ptr(cell, 0);
+    let v = f.load(back, 56, Width::U64);
+    f.free(cell);
+    f.free(dst);
+    f.free(src);
     f.ret(Some(v));
     f.finish();
     mb.finish()
@@ -187,6 +250,44 @@ fn run_pass(pass: &str, module: Module) -> String {
             s.push_str(&render_module(&instrumented));
             s
         }
+        "o1" => {
+            let info = analysis::analyze(&module).expect("fixture analyzes");
+            let instrumented = instrument::instrument(&module, &info, Scheme::Hwst128Tchk);
+            let (prog, plan) =
+                lower_with_plan_opt(&instrumented, Scheme::Hwst128Tchk, OptLevel::O1)
+                    .expect("fixture lowers at -O1");
+            let mut s = String::from("; pass: o1 (scheme=HWST128_tchk)\n");
+            for fp in &plan.funcs {
+                let _ = writeln!(
+                    s,
+                    "; fn {}: frame={} alloca_base={} meta_stores={} checks={}",
+                    fp.name,
+                    fp.frame_size,
+                    fp.alloca_base,
+                    fp.meta_stores,
+                    fp.checks.len()
+                );
+                let _ = writeln!(s, ";   ptr_slots: {:?}", fp.ptr_slots);
+                if fp.reg_assign.is_empty() {
+                    let _ = writeln!(s, ";   reg_assign: (none)");
+                } else {
+                    let pairs: Vec<String> = fp
+                        .reg_assign
+                        .iter()
+                        .map(|(slot, r)| format!("{r}<-slot{slot}"))
+                        .collect();
+                    let _ = writeln!(s, ";   reg_assign: {}", pairs.join(" "));
+                }
+                for (i, ins) in prog.instrs()[fp.start..fp.start + fp.len]
+                    .iter()
+                    .enumerate()
+                {
+                    let pc = fp.start_pc + i as u64 * 4;
+                    let _ = writeln!(s, "{pc:#07x}  {ins}");
+                }
+            }
+            s
+        }
         other => panic!("unknown pass {other:?} in filetests"),
     }
 }
@@ -198,12 +299,14 @@ fn fixture(name: &str) -> Module {
         "straightline" => straightline(),
         "loop_sum" => loop_sum(),
         "heap_copy" => heap_copy(),
+        "spill" => spill(),
+        "ptrloop" => ptrloop(),
         other => panic!("unknown fixture {other:?} in filetests"),
     }
 }
 
-const FIXTURES: &[&str] = &["straightline", "loop_sum", "heap_copy"];
-const PASSES: &[&str] = &["opt", "rce", "bounds"];
+const FIXTURES: &[&str] = &["straightline", "loop_sum", "heap_copy", "spill", "ptrloop"];
+const PASSES: &[&str] = &["opt", "rce", "bounds", "o1"];
 
 fn filetests_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/filetests")

@@ -128,6 +128,47 @@ pub fn run_scheme_with(
     Ok(exit)
 }
 
+/// [`run_scheme`] at an explicit back-end [`compiler::OptLevel`] —
+/// `O1` images pass through the same translation-validation obligations
+/// as `O0`, so this is still the one-call experiment step.
+///
+/// # Errors
+///
+/// Returns the compile error or the trap that stopped execution, both as
+/// boxed errors.
+pub fn run_scheme_opt(
+    module: &compiler::ir::Module,
+    scheme: compiler::Scheme,
+    fuel: u64,
+    opt: compiler::OptLevel,
+) -> Result<sim::ExitStatus, Box<dyn std::error::Error + Send + Sync>> {
+    let opts = compiler::CompileOptions::new(scheme).with_opt(opt);
+    let prog = compiler::compile_with_options(module, opts)?.program;
+    let exit = sim::Machine::new(prog, config_for(scheme)).run(fuel)?;
+    Ok(exit)
+}
+
+/// [`run_scheme_opt`] under a caller-chosen [`exec::Engine`].
+///
+/// # Errors
+///
+/// Returns the compile error or the trap that stopped execution, both as
+/// boxed errors.
+pub fn run_scheme_opt_with(
+    module: &compiler::ir::Module,
+    scheme: compiler::Scheme,
+    fuel: u64,
+    opt: compiler::OptLevel,
+    engine: exec::Engine,
+) -> Result<sim::ExitStatus, Box<dyn std::error::Error + Send + Sync>> {
+    let opts = compiler::CompileOptions::new(scheme).with_opt(opt);
+    let prog = compiler::compile_with_options(module, opts)?.program;
+    let mut cache = exec::BlockCache::new();
+    let mut m = sim::Machine::new(prog, config_for(scheme));
+    let exit = engine.run(&mut m, fuel, &mut cache)?;
+    Ok(exit)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

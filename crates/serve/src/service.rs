@@ -16,7 +16,7 @@ use crate::clock::TickClock;
 use crate::error::ServeError;
 use crate::quota::{TenantQuota, TenantState};
 use hwst128::compiler::ir::Module;
-use hwst128::compiler::{compile, Scheme};
+use hwst128::compiler::{compile_with_options, CompileOptions, OptLevel, Scheme};
 use hwst128::exec::{BlockCache, Engine};
 use hwst128::metadata::CompressionConfig;
 use hwst128::sim::{Machine, SafetyConfig, Snapshot, Trap};
@@ -306,6 +306,10 @@ pub struct ServeConfig {
     /// default — additionally populates and reuses decoded-block
     /// caches across warm starts.
     pub engine: Engine,
+    /// Back-end optimization level for server-side compilation of
+    /// workload and module payloads. Part of the image-cache key, so
+    /// tiers never share cache entries.
+    pub opt: OptLevel,
     /// Hard bound on drain rounds — the service's own watchdog; jobs
     /// still pending at this tick are finalized as
     /// [`ServeError::WorkerLost`].
@@ -324,6 +328,7 @@ impl Default for ServeConfig {
             backoff: BackoffPolicy::default(),
             cache_capacity: 64,
             engine: Engine::default(),
+            opt: OptLevel::O0,
             max_ticks: 10_000,
         }
     }
@@ -383,6 +388,7 @@ struct AttemptSpec {
     trace: bool,
     attempt: u32,
     engine: Engine,
+    opt: OptLevel,
     cached: Option<(Snapshot, BlockCache)>,
     want_cache_entry: bool,
 }
@@ -417,7 +423,7 @@ fn run_attempt(spec: AttemptSpec) -> RunArtifact {
     }
     let (mut machine, mut blocks) = match spec.cached {
         Some((ref snap, ref warm)) => (snap.restore(), warm.clone()),
-        None => match build_machine(&spec.payload, spec.scheme, cfg) {
+        None => match build_machine(&spec.payload, spec.scheme, spec.opt, cfg) {
             Ok(m) => (m, BlockCache::new()),
             Err(e) => return no_artifact(e),
         },
@@ -462,22 +468,26 @@ fn run_attempt(spec: AttemptSpec) -> RunArtifact {
 fn build_machine(
     payload: &Payload,
     scheme: Scheme,
+    opt: OptLevel,
     cfg: SafetyConfig,
 ) -> Result<Machine, ServeError> {
+    let opts = CompileOptions::new(scheme).with_opt(opt);
     match payload {
         Payload::Workload { name, scale } => {
             let wl = Workload::by_name(name)
                 .ok_or_else(|| ServeError::UnknownWorkload { name: name.clone() })?;
             let module = wl.module(*scale);
-            let prog = compile(&module, scheme)
-                .map_err(|e| ServeError::CompileRejected { why: e.to_string() })?;
+            let prog = compile_with_options(&module, opts)
+                .map_err(|e| ServeError::CompileRejected { why: e.to_string() })?
+                .program;
             Ok(Machine::new(prog, cfg))
         }
         Payload::Image { base, bytes } => Machine::from_image(*base, bytes, cfg)
             .map_err(|e| ServeError::BadImage { why: e.to_string() }),
         Payload::Module(m) => {
-            let prog = compile(m, scheme)
-                .map_err(|e| ServeError::CompileRejected { why: e.to_string() })?;
+            let prog = compile_with_options(m, opts)
+                .map_err(|e| ServeError::CompileRejected { why: e.to_string() })?
+                .program;
             Ok(Machine::new(prog, cfg))
         }
         Payload::ChaosPanic { .. } => Err(ServeError::WorkerLost {
@@ -551,6 +561,7 @@ impl Serve {
                     cache_key(&[
                         &payload_bytes,
                         scheme.label().as_bytes(),
+                        self.cfg.opt.label().as_bytes(),
                         &compression
                             .unwrap_or(hwst128::config_for(scheme).compression)
                             .to_csr()
@@ -872,6 +883,7 @@ impl Serve {
                 trace: job.trace,
                 attempt: job.attempt,
                 engine: self.cfg.engine,
+                opt: self.cfg.opt,
                 cached,
                 want_cache_entry: job.key.is_some(),
             };
