@@ -2,52 +2,69 @@
 //! per scheme — how many machine instructions each protection level adds
 //! to the same program (the paper reports runtime only; code size is the
 //! other half of the deployment cost).
+//!
+//! `--scheme A,B,...` narrows (or widens — the zoo designs are valid
+//! labels) the column set; the default is the published five.
 
 use hwst128::compiler::{compile_with_sizes, Scheme};
 use hwst128::workloads::{Scale, Workload};
+use hwst_bench::cli::BenchArgs;
 use hwst_bench::{require, require_some};
 
 fn main() {
-    println!("static code size (machine instructions, whole program)");
-    println!(
-        "{:<11} {:>9} {:>9} {:>9} {:>9} {:>7}",
-        "workload", "baseline", "SBCETS", "HWST128", "_tchk", "SHORE"
-    );
-    let schemes = [
+    let args = BenchArgs::parse();
+    let schemes = args.schemes(&[
         Scheme::None,
         Scheme::Sbcets,
         Scheme::Hwst128,
         Scheme::Hwst128Tchk,
         Scheme::Shore,
-    ];
-    let mut totals = [0usize; 5];
+    ]);
+    if schemes.is_empty() {
+        eprintln!("error: empty --scheme list");
+        std::process::exit(2);
+    }
+    println!("static code size (machine instructions, whole program)");
+    print!("{:<11}", "workload");
+    for s in &schemes {
+        print!(" {:>12}", s.label());
+    }
+    println!();
+    let mut totals = vec![0usize; schemes.len()];
     for name in ["sha", "dijkstra", "treeadd", "health", "bzip2"] {
         let wl = require_some(name, Workload::by_name(name));
         let module = wl.module(Scale::Test);
-        let mut row = Vec::new();
+        print!("{name:<11}");
         for (i, &s) in schemes.iter().enumerate() {
             let (prog, _) = require(name, compile_with_sizes(&module, s));
-            row.push(prog.len());
+            print!(" {:>12}", prog.len());
             totals[i] += prog.len();
         }
-        println!(
-            "{:<11} {:>9} {:>9} {:>9} {:>9} {:>7}",
-            name, row[0], row[1], row[2], row[3], row[4]
-        );
+        println!();
     }
-    println!(
-        "{:<11} {:>9} {:>9} {:>9} {:>9} {:>7}",
-        "TOTAL", totals[0], totals[1], totals[2], totals[3], totals[4]
-    );
-    println!();
-    for (i, &s) in schemes.iter().enumerate().skip(1) {
-        println!(
-            "{:<13} {:>5.2}x the baseline text size",
-            s.label(),
-            totals[i] as f64 / totals[0] as f64
-        );
+    print!("{:<11}", "TOTAL");
+    for t in &totals {
+        print!(" {t:>12}");
     }
     println!();
+    println!();
+    if let Some(base) = schemes
+        .iter()
+        .position(|&s| s == Scheme::None)
+        .map(|i| totals[i])
+    {
+        for (i, &s) in schemes.iter().enumerate() {
+            if s == Scheme::None {
+                continue;
+            }
+            println!(
+                "{:<13} {:>5.2}x the baseline text size",
+                s.label(),
+                totals[i] as f64 / base as f64
+            );
+        }
+        println!();
+    }
     println!("-> full HWST128 (tchk) is the smallest *complete*-protection");
     println!("   text: one tchk replaces the software key-check sequence, and");
     println!("   bndr/sbd pairs replace SBCETS's runtime calls. The no-tchk");

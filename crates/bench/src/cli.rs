@@ -13,6 +13,7 @@
 //! Bin-specific flags (`--smoke`, `--stride N`, `--model`) go through
 //! [`BenchArgs::flag`] / [`BenchArgs::value`].
 
+use hwst128::compiler::Scheme;
 use hwst128::exec::Engine;
 use hwst128::workloads::Scale;
 use hwst_harness::{ConsoleSink, NullSink, PoolConfig, Sink};
@@ -103,6 +104,42 @@ impl BenchArgs {
         self.json_path().map(Path::to_path_buf)
     }
 
+    /// The scheme/design filter shared by the sweeping bins:
+    /// `--scheme A,B,...` (repeatable), matched against
+    /// [`Scheme::label`] case-insensitively, `none` accepted as an
+    /// alias for `baseline`. Absent flags yield `default`; unknown
+    /// labels abort with the known list rather than being silently
+    /// dropped.
+    pub fn schemes(&self, default: &[Scheme]) -> Vec<Scheme> {
+        let mut picked = Vec::new();
+        let mut explicit = false;
+        for (i, a) in self.args.iter().enumerate() {
+            if a != "--scheme" {
+                continue;
+            }
+            explicit = true;
+            let raw = self.args.get(i + 1).map(String::as_str).unwrap_or_default();
+            for label in raw.split(',').filter(|l| !l.is_empty()) {
+                let scheme = scheme_by_label(label).unwrap_or_else(|| {
+                    let known: Vec<&str> = ALL_SCHEMES.iter().map(|s| s.label()).collect();
+                    eprintln!(
+                        "error: unknown scheme `{label}` (known: {})",
+                        known.join(", ")
+                    );
+                    std::process::exit(2)
+                });
+                if !picked.contains(&scheme) {
+                    picked.push(scheme);
+                }
+            }
+        }
+        if explicit {
+            picked
+        } else {
+            default.to_vec()
+        }
+    }
+
     /// The progress sink: verbose per-job lines with `--progress`,
     /// failures-only otherwise.
     pub fn sink(&self) -> Box<dyn Sink> {
@@ -114,6 +151,32 @@ impl BenchArgs {
             })
         }
     }
+}
+
+/// Every scheme the compiler knows, in declaration order — the
+/// `--scheme` match domain.
+pub const ALL_SCHEMES: [Scheme; 9] = [
+    Scheme::None,
+    Scheme::Sbcets,
+    Scheme::Hwst128,
+    Scheme::Hwst128Tchk,
+    Scheme::Shore,
+    Scheme::RvCure,
+    Scheme::L4Pointer,
+    Scheme::CryptSan,
+    Scheme::HeapSafe,
+];
+
+/// Resolves a scheme from its [`Scheme::label`] (case-insensitive);
+/// `none` is accepted as an alias for `baseline`.
+pub fn scheme_by_label(raw: &str) -> Option<Scheme> {
+    if raw.eq_ignore_ascii_case("none") {
+        return Some(Scheme::None);
+    }
+    ALL_SCHEMES
+        .iter()
+        .copied()
+        .find(|s| s.label().eq_ignore_ascii_case(raw))
 }
 
 #[cfg(test)]
@@ -143,6 +206,24 @@ mod tests {
         assert_eq!(cycle.engine(), Engine::Cycle);
         let fast = BenchArgs::from_vec(vec!["--engine".into(), "fast".into()]);
         assert_eq!(fast.engine(), Engine::Fast);
+    }
+
+    #[test]
+    fn parses_scheme_lists() {
+        let args = |v: &[&str]| BenchArgs::from_vec(v.iter().map(|s| s.to_string()).collect());
+        let default = [Scheme::Hwst128Tchk];
+        assert_eq!(args(&[]).schemes(&default), vec![Scheme::Hwst128Tchk]);
+        assert_eq!(
+            args(&["--scheme", "SBCETS,HWST128_tchk"]).schemes(&default),
+            vec![Scheme::Sbcets, Scheme::Hwst128Tchk]
+        );
+        // Repeatable, case-insensitive, deduplicated, `none` aliased.
+        assert_eq!(
+            args(&["--scheme", "rv-cure", "--scheme", "none,RV-CURE"]).schemes(&default),
+            vec![Scheme::RvCure, Scheme::None]
+        );
+        assert_eq!(scheme_by_label("heapsafe"), Some(Scheme::HeapSafe));
+        assert_eq!(scheme_by_label("no-such"), None);
     }
 
     #[test]

@@ -38,6 +38,29 @@ pub enum Scheme {
     /// part of the paper's Fig. 4 series ([`Scheme::ALL`] stays the
     /// published four); used by the spatial-only ablation.
     Shore,
+    /// RV-CURE (arXiv:2308.02945) zoo model: a full-pipeline
+    /// capability-tag architecture. Modeled as hardware metadata
+    /// propagation with tagged checks (`tchk`) but *without* the
+    /// keybuffer — RV-CURE validates capabilities inline rather than
+    /// caching lock words. Not in [`Scheme::ALL`]; see DESIGN.md §4l.
+    RvCure,
+    /// L4 Pointer (arXiv:2302.06819) zoo model: software-only 128-bit
+    /// wide pointers. Metadata travels *with* the pointer, so checks
+    /// are inline compare+branch sequences (no runtime helper calls)
+    /// and propagation is plain word traffic. Not in [`Scheme::ALL`].
+    L4Pointer,
+    /// CryptSan (arXiv:2202.08669) zoo model: PAC-style pointer
+    /// signing. Authentication happens on dereference and catches
+    /// temporal reuse (dangling signatures) but direct in-bounds-object
+    /// overflows keep a valid signature, so no spatial checks are
+    /// emitted. Detection of spatial bugs is probabilistic at the
+    /// Juliet layer. Not in [`Scheme::ALL`].
+    CryptSan,
+    /// HeapSafe (arXiv:2105.08712) zoo model: heap-only reference
+    /// tagging. Hardware-assisted binds/checks exist only for `malloc`
+    /// results; stack and global pointers are never bound, so those
+    /// CWEs are missed by construction. Not in [`Scheme::ALL`].
+    HeapSafe,
 }
 
 impl Scheme {
@@ -49,6 +72,16 @@ impl Scheme {
         Scheme::Hwst128Tchk,
     ];
 
+    /// The four related-work designs modeled by `hwst-zoo` (experiment
+    /// Z1/Z2). Deliberately *not* part of [`Scheme::ALL`] so every
+    /// Fig. 4/5/6 artifact keeps its published shape.
+    pub const ZOO: [Scheme; 4] = [
+        Scheme::RvCure,
+        Scheme::L4Pointer,
+        Scheme::CryptSan,
+        Scheme::HeapSafe,
+    ];
+
     /// Display label used by the benchmark harness.
     pub const fn label(self) -> &'static str {
         match self {
@@ -57,12 +90,23 @@ impl Scheme {
             Scheme::Hwst128 => "HWST128",
             Scheme::Hwst128Tchk => "HWST128_tchk",
             Scheme::Shore => "SHORE",
+            Scheme::RvCure => "RV-CURE",
+            Scheme::L4Pointer => "L4Pointer",
+            Scheme::CryptSan => "CryptSan",
+            Scheme::HeapSafe => "HeapSafe",
         }
     }
 
     /// Whether the scheme uses the HWST128 hardware (SRF & friends).
     pub const fn uses_hardware(self) -> bool {
-        matches!(self, Scheme::Hwst128 | Scheme::Hwst128Tchk | Scheme::Shore)
+        matches!(
+            self,
+            Scheme::Hwst128
+                | Scheme::Hwst128Tchk
+                | Scheme::Shore
+                | Scheme::RvCure
+                | Scheme::HeapSafe
+        )
     }
 
     /// Whether the scheme carries temporal (key/lock) metadata at all.
@@ -70,9 +114,33 @@ impl Scheme {
         !matches!(self, Scheme::None | Scheme::Shore)
     }
 
+    /// Whether only heap allocations are bound (HeapSafe's defining
+    /// restriction: stack and global pointers carry no metadata, so
+    /// stack/global CWEs are unreachable by construction).
+    pub const fn heap_only(self) -> bool {
+        matches!(self, Scheme::HeapSafe)
+    }
+
     /// Whether software key/lock companion variables are carried.
     const fn sw_temporal(self) -> bool {
-        matches!(self, Scheme::Sbcets | Scheme::Hwst128)
+        matches!(
+            self,
+            Scheme::Sbcets | Scheme::Hwst128 | Scheme::L4Pointer | Scheme::CryptSan
+        )
+    }
+
+    /// Whether software base/bound/key/lock companions are carried at
+    /// all (every non-hardware scheme that instruments).
+    const fn sw_companions(self) -> bool {
+        matches!(self, Scheme::Sbcets | Scheme::L4Pointer | Scheme::CryptSan)
+    }
+
+    /// Whether dereference checks are *inline* compare+branch sequences
+    /// rather than runtime helper calls (L4 Pointer carries metadata in
+    /// the wide pointer itself; CryptSan's PAC authentication is an
+    /// inline instruction, not a call).
+    const fn inline_sw_checks(self) -> bool {
+        matches!(self, Scheme::L4Pointer | Scheme::CryptSan)
     }
 }
 
@@ -665,6 +733,30 @@ impl<'a> Rewriter<'a> {
         }
     }
 
+    /// Software shadow address of `container + off` — the same Eq. 1
+    /// arithmetic [`meta_load_fn`] performs, but emitted *inline* for
+    /// the zoo schemes whose metadata moves without a runtime call
+    /// (L4 Pointer's wide-pointer words, CryptSan's signature lookup).
+    fn inline_shadow_addr(&mut self, container: VarId, off: i64) -> VarId {
+        let c = self.container_addr(container, off);
+        let shifted = self.fresh();
+        self.emit(Inst::BinImm {
+            op: BinOp::Sll,
+            dst: shifted,
+            lhs: c,
+            imm: 2,
+        });
+        let offc = self.konst(SHADOW_OFFSET);
+        let saddr = self.fresh();
+        self.emit(Inst::Bin {
+            op: BinOp::Add,
+            dst: saddr,
+            lhs: shifted,
+            rhs: offc,
+        });
+        saddr
+    }
+
     /// SBCETS spatial check: a call to the runtime helper, exactly as the
     /// unmodified SoftBoundCETS pass emits at `-O0` (the checks are
     /// library functions; only optimised builds inline them).
@@ -690,7 +782,6 @@ impl<'a> Rewriter<'a> {
     }
 
     /// Software spatial check of an `n`-byte access at `p + off`.
-    #[allow(dead_code)]
     fn sw_spatial_check(&mut self, p: VarId, off: i64, n: u64) {
         let c = self.comps(p);
         let addr = if off != 0 {
@@ -805,8 +896,10 @@ impl<'a> Rewriter<'a> {
     /// compare (Hwst128).
     fn temporal_check(&mut self, p: VarId) {
         match self.scheme {
-            Scheme::Hwst128Tchk => self.emit(Inst::Tchk { ptr: p }),
-            Scheme::Hwst128 => self.sw_temporal_check(p),
+            Scheme::Hwst128Tchk | Scheme::RvCure | Scheme::HeapSafe => {
+                self.emit(Inst::Tchk { ptr: p });
+            }
+            Scheme::Hwst128 | Scheme::L4Pointer | Scheme::CryptSan => self.sw_temporal_check(p),
             Scheme::Sbcets => self.sbcets_temporal_check(p),
             Scheme::None | Scheme::Shore => {}
         }
@@ -837,7 +930,8 @@ impl<'a> Rewriter<'a> {
             .info
             .func(&self.src.name)
             .is_some_and(|fi| fi.has_stack_alloc)
-            && self.scheme.temporal_safety();
+            && self.scheme.temporal_safety()
+            && !self.scheme.heap_only();
 
         // ---- entry prologue (block 0) ----
         self.cur = 0;
@@ -1147,12 +1241,14 @@ impl<'a> Rewriter<'a> {
                 let (key, lock) = match self.frame_grant {
                     Some(g) => g,
                     None => {
-                        debug_assert!(!self.scheme.temporal_safety());
+                        // SHORE carries no temporal metadata; HeapSafe
+                        // deliberately leaves stack pointers unbound.
+                        debug_assert!(!self.scheme.temporal_safety() || self.scheme.heap_only());
                         let z = self.konst(0);
                         (z, z)
                     }
                 };
-                if hw {
+                if hw && !self.scheme.heap_only() {
                     let b = self.copy(dst);
                     self.emit(Inst::BindSpatial {
                         ptr: dst,
@@ -1185,7 +1281,7 @@ impl<'a> Rewriter<'a> {
                 // (the bounds are static); only the software companions
                 // are materialised here.
                 self.emit(Inst::AddrOfGlobal { dst, global });
-                if self.scheme == Scheme::Sbcets || self.scheme == Scheme::Hwst128 {
+                if self.scheme.sw_companions() || self.scheme == Scheme::Hwst128 {
                     let size = self.module.globals[global.0 as usize].size.div_ceil(8) * 8;
                     let bound = self.fresh();
                     self.emit(Inst::BinImm {
@@ -1262,6 +1358,47 @@ impl<'a> Rewriter<'a> {
                             },
                         );
                     }
+                } else if self.scheme.inline_sw_checks() {
+                    // Zoo software schemes: the metadata words reload
+                    // inline (no helper call). L4 Pointer carries all
+                    // four words in the wide pointer; CryptSan only
+                    // recovers key/lock (the signature's liveness
+                    // witness) — its pointers carry no bounds.
+                    let saddr = self.inline_shadow_addr(addr, offset);
+                    let (base, bound) = if self.scheme == Scheme::L4Pointer {
+                        let base = self.fresh();
+                        let bound = self.fresh();
+                        for (dstv, off) in [(base, 0i64), (bound, 8)] {
+                            self.emit(Inst::Load {
+                                dst: dstv,
+                                addr: saddr,
+                                offset: off,
+                                width: Width::U64,
+                            });
+                        }
+                        (base, bound)
+                    } else {
+                        (self.konst(0), self.konst(-1))
+                    };
+                    let key = self.fresh();
+                    let lock = self.fresh();
+                    for (dstv, off) in [(key, 16i64), (lock, 24)] {
+                        self.emit(Inst::Load {
+                            dst: dstv,
+                            addr: saddr,
+                            offset: off,
+                            width: Width::U64,
+                        });
+                    }
+                    self.set_comps(
+                        dst,
+                        Companions {
+                            base,
+                            bound,
+                            key,
+                            lock,
+                        },
+                    );
                 } else {
                     // Runtime shadow-map lookup (a function call at -O0),
                     // then reload the fields from the scratch record.
@@ -1308,6 +1445,25 @@ impl<'a> Rewriter<'a> {
                         container: addr,
                         offset,
                     });
+                } else if self.scheme.inline_sw_checks() {
+                    // Inline shadow-word spill, mirroring the LoadPtr
+                    // reload path: L4 Pointer writes all four words,
+                    // CryptSan only the key/lock pair.
+                    let c = self.comps(src);
+                    let saddr = self.inline_shadow_addr(addr, offset);
+                    let words: &[(VarId, i64)] = if self.scheme == Scheme::L4Pointer {
+                        &[(c.base, 0), (c.bound, 8), (c.key, 16), (c.lock, 24)]
+                    } else {
+                        &[(c.key, 16), (c.lock, 24)]
+                    };
+                    for &(srcv, off) in words {
+                        self.emit(Inst::Store {
+                            src: srcv,
+                            addr: saddr,
+                            offset: off,
+                            width: Width::U64,
+                        });
+                    }
                 } else {
                     let c = self.comps(src);
                     let container = self.container_addr(addr, offset);
@@ -1361,8 +1517,10 @@ impl<'a> Rewriter<'a> {
                 self.temporal_check(ptr);
                 let lock = match self.scheme {
                     Scheme::Shore => self.konst(0),
-                    Scheme::Sbcets | Scheme::Hwst128 => self.comps(ptr).lock,
-                    Scheme::Hwst128Tchk => {
+                    Scheme::Sbcets | Scheme::Hwst128 | Scheme::L4Pointer | Scheme::CryptSan => {
+                        self.comps(ptr).lock
+                    }
+                    Scheme::Hwst128Tchk | Scheme::RvCure | Scheme::HeapSafe => {
                         // Extract the lock from the SRF through the
                         // scratch shadow container (the wrapper path).
                         let g = self.fresh();
@@ -1420,7 +1578,7 @@ impl<'a> Rewriter<'a> {
     /// otherwise the free is of an interior pointer (CWE761).
     fn free_base_check(&mut self, ptr: VarId) {
         let base = match self.scheme {
-            Scheme::Sbcets | Scheme::Hwst128 => {
+            Scheme::Sbcets | Scheme::Hwst128 | Scheme::L4Pointer | Scheme::CryptSan => {
                 // In hardware mode the base companion is not tracked for
                 // reloaded pointers; fetch it from the scratch shadow.
                 if self.scheme == Scheme::Hwst128 {
@@ -1446,7 +1604,7 @@ impl<'a> Rewriter<'a> {
                     self.comps(ptr).base
                 }
             }
-            Scheme::Hwst128Tchk => {
+            Scheme::Hwst128Tchk | Scheme::RvCure | Scheme::HeapSafe => {
                 let g = self.fresh();
                 self.emit(Inst::AddrOfGlobal {
                     dst: g,
@@ -1527,9 +1685,25 @@ impl<'a> Rewriter<'a> {
                 // Spatial is free (bounded access); temporal in software.
                 self.sw_temporal_check(p);
             }
-            Scheme::Hwst128Tchk => {
+            // RV-CURE validates its capability inline (no keybuffer —
+            // the config pays the lock-word latency per check) and
+            // HeapSafe tag-checks every access; both reuse `tchk`,
+            // which passes vacuously on unbound (stack/global under
+            // HeapSafe) pointers.
+            Scheme::Hwst128Tchk | Scheme::RvCure | Scheme::HeapSafe => {
                 self.emit(Inst::Tchk { ptr: p });
             }
+            // L4 Pointer: both halves inline — the wide pointer already
+            // holds bounds and tag, so checks are compare+branch with
+            // no call overhead.
+            Scheme::L4Pointer => {
+                self.sw_spatial_check(p, off, n);
+                self.sw_temporal_check(p);
+            }
+            // CryptSan: PAC authentication on dereference — a temporal
+            // liveness check only. In-bounds-object overflows keep a
+            // valid signature, so no spatial sequence exists to emit.
+            Scheme::CryptSan => self.sw_temporal_check(p),
             // SHORE: spatial checks ride the bounded accesses; nothing
             // temporal exists to check.
             Scheme::None | Scheme::Shore => {}

@@ -211,8 +211,18 @@ fn covered(
     size: i64,
 ) -> bool {
     match scheme {
-        Scheme::Hwst128Tchk => fact.contains(&CheckFact::Tchk(defs.temporal_root(addr))),
-        Scheme::Hwst128 => fact
+        // The zoo's tag-checking designs (RV-CURE, HeapSafe) reuse the
+        // `tchk` contract: every dereference must carry a tchk fact.
+        // HeapSafe's stack/global checks pass vacuously at runtime, but
+        // the instruction is still emitted, so the demand is identical.
+        Scheme::Hwst128Tchk | Scheme::RvCure | Scheme::HeapSafe => {
+            fact.contains(&CheckFact::Tchk(defs.temporal_root(addr)))
+        }
+        // The inline-software zoo designs promise the same recognised
+        // inline temporal pattern as HWST128; L4 Pointer's inline
+        // spatial guards are never touched by RCE (no fact models
+        // them), so the temporal fact is the verifiable IR contract.
+        Scheme::Hwst128 | Scheme::L4Pointer | Scheme::CryptSan => fact
             .iter()
             .any(|f| matches!(f, CheckFact::SbTemporal { .. })),
         Scheme::Sbcets => {

@@ -243,6 +243,9 @@ fn config_for(scheme: Scheme) -> SafetyConfig {
             keybuffer: false,
             ..SafetyConfig::default()
         },
+        Scheme::RvCure => SafetyConfig::hwst128_no_tchk(),
+        Scheme::HeapSafe => SafetyConfig::default(),
+        Scheme::L4Pointer | Scheme::CryptSan => SafetyConfig::baseline(),
     }
 }
 
@@ -276,6 +279,29 @@ proptest! {
             );
             prop_assert_eq!(&plain, &rce, "rce diverged under {}\nacts: {:?}", scheme, acts);
             prop_assert_eq!(&plain, &full, "bounds diverged under {}\nacts: {:?}", scheme, acts);
+        }
+    }
+
+    /// The four zoo schemes (RV-CURE, L4 Pointer, CryptSan, HeapSafe)
+    /// never panic the compiler, verifier or machine on generator
+    /// programs, and each preserves the benign observable behaviour.
+    /// `exec` panics on any compile error or trap, so the proptest
+    /// harness doubles as the no-panic gate.
+    #[test]
+    fn zoo_schemes_are_panic_free_and_transparent(
+        acts in prop::collection::vec(act_strategy(), 1..48)
+    ) {
+        let module = build(&acts);
+        let base = exec(&module, CompileOptions::new(Scheme::None), "baseline");
+        for scheme in Scheme::ZOO {
+            let plain = exec(&module, CompileOptions::new(scheme), "zoo");
+            let verified = exec(
+                &module,
+                CompileOptions::new(scheme).with_rce().with_verify(),
+                "zoo rce+verify",
+            );
+            prop_assert_eq!(&base, &plain, "{} diverged\nacts: {:?}", scheme, acts);
+            prop_assert_eq!(&base, &verified, "{} rce diverged\nacts: {:?}", scheme, acts);
         }
     }
 

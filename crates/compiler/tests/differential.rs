@@ -169,6 +169,9 @@ fn config_for(scheme: Scheme) -> SafetyConfig {
             keybuffer: false,
             ..SafetyConfig::default()
         },
+        Scheme::RvCure => SafetyConfig::hwst128_no_tchk(),
+        Scheme::HeapSafe => SafetyConfig::default(),
+        Scheme::L4Pointer | Scheme::CryptSan => SafetyConfig::baseline(),
     }
 }
 
@@ -181,9 +184,17 @@ proptest! {
     ) {
         let module = build(&acts);
         let mut results = Vec::new();
-        for scheme in
-            [Scheme::None, Scheme::Sbcets, Scheme::Hwst128, Scheme::Hwst128Tchk, Scheme::Shore]
-        {
+        for scheme in [
+            Scheme::None,
+            Scheme::Sbcets,
+            Scheme::Hwst128,
+            Scheme::Hwst128Tchk,
+            Scheme::Shore,
+            Scheme::RvCure,
+            Scheme::L4Pointer,
+            Scheme::CryptSan,
+            Scheme::HeapSafe,
+        ] {
             let prog = compile(&module, scheme).expect("compiles");
             let exit = Machine::new(prog, config_for(scheme))
                 .run(20_000_000)

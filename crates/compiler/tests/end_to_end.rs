@@ -14,6 +14,9 @@ fn config_for(scheme: Scheme) -> SafetyConfig {
             keybuffer: false,
             ..SafetyConfig::default()
         },
+        Scheme::RvCure => SafetyConfig::hwst128_no_tchk(),
+        Scheme::HeapSafe => SafetyConfig::default(),
+        Scheme::L4Pointer | Scheme::CryptSan => SafetyConfig::baseline(),
     }
 }
 

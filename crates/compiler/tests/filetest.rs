@@ -288,8 +288,26 @@ fn run_pass(pass: &str, module: Module) -> String {
             }
             s
         }
+        // Zoo instrumentation goldens: the inline wide-pointer scheme
+        // (shadow transfers of all four metadata words + inline
+        // spatial/temporal compare-and-branch) and the heap-only tagging
+        // scheme (no stack binds, no frame lock, `tchk` checks) — the
+        // two zoo designs whose emitted shapes differ most from the
+        // published four.
+        "l4pointer" => zoo_instrument(Scheme::L4Pointer, module),
+        "heapsafe" => zoo_instrument(Scheme::HeapSafe, module),
         other => panic!("unknown pass {other:?} in filetests"),
     }
+}
+
+fn zoo_instrument(scheme: Scheme, module: Module) -> String {
+    let info = analysis::analyze(&module).expect("fixture analyzes");
+    let instrumented = instrument::instrument(&module, &info, scheme);
+    format!(
+        "; pass: instrument (scheme={})\n{}",
+        scheme.label(),
+        render_module(&instrumented)
+    )
 }
 
 // ------------------------------------------------------------------ runner
@@ -306,7 +324,7 @@ fn fixture(name: &str) -> Module {
 }
 
 const FIXTURES: &[&str] = &["straightline", "loop_sum", "heap_copy", "spill", "ptrloop"];
-const PASSES: &[&str] = &["opt", "rce", "bounds", "o1"];
+const PASSES: &[&str] = &["opt", "rce", "bounds", "o1", "l4pointer", "heapsafe"];
 
 fn filetests_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/filetests")

@@ -87,6 +87,15 @@ pub fn config_for(scheme: compiler::Scheme) -> sim::SafetyConfig {
             keybuffer: false,
             ..sim::SafetyConfig::default()
         },
+        // Zoo designs (DESIGN.md §4l). RV-CURE validates capabilities
+        // inline with no lock cache, so every `tchk` pays the lock-word
+        // access — the same timing point as HWST128-without-keybuffer.
+        Scheme::RvCure => sim::SafetyConfig::hwst128_no_tchk(),
+        // HeapSafe's heap tag check is a cached fast path: full hardware
+        // with the keybuffer armed (fewer binds reach it anyway).
+        Scheme::HeapSafe => sim::SafetyConfig::default(),
+        // L4 Pointer and CryptSan are software-only: baseline core.
+        Scheme::L4Pointer | Scheme::CryptSan => sim::SafetyConfig::baseline(),
     }
 }
 

@@ -2,7 +2,10 @@
 
 use crate::{Case, Cwe};
 
-/// The four protection/detection systems of Fig. 6.
+/// The four protection/detection systems of Fig. 6, plus the four
+/// related-work designs modeled by the comparative zoo (experiment Z1;
+/// DESIGN.md §4l). The zoo entries stay out of [`Detector::ALL`] so the
+/// Fig. 6 artifact keeps its published shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Detector {
     /// Default GCC 8.2 (stack protector + glibc heap consistency checks).
@@ -13,6 +16,22 @@ pub enum Detector {
     Sbcets,
     /// HWST128 (this work).
     Hwst128,
+    /// RV-CURE capability tags (arXiv:2308.02945): full spatial+temporal
+    /// coverage at word granularity; tags do not survive provenance
+    /// laundering through integer round-trips.
+    RvCure,
+    /// L4 Pointer software wide pointers (arXiv:2302.06819): byte-exact
+    /// software bounds + key/lock, SoftBoundCETS-class coverage.
+    L4Pointer,
+    /// CryptSan PAC-style pointer signing (arXiv:2202.08669): temporal
+    /// bugs authenticate-fail deterministically; spatial bugs are caught
+    /// only when the overflow clobbers a signed pointer that is later
+    /// used (modeled as a fixed 1-in-8 reachable slice).
+    CryptSan,
+    /// HeapSafe heap-only tagging (arXiv:2105.08712): stack CWEs are
+    /// unreachable by construction; heap coverage matches the hardware
+    /// schemes at word granularity.
+    HeapSafe,
 }
 
 impl Detector {
@@ -24,6 +43,14 @@ impl Detector {
         Detector::Hwst128,
     ];
 
+    /// The four zoo detectors, in Z1 row order.
+    pub const ZOO: [Detector; 4] = [
+        Detector::RvCure,
+        Detector::L4Pointer,
+        Detector::CryptSan,
+        Detector::HeapSafe,
+    ];
+
     /// Display label.
     pub const fn label(self) -> &'static str {
         match self {
@@ -31,6 +58,10 @@ impl Detector {
             Detector::Asan => "ASAN",
             Detector::Sbcets => "SBCETS",
             Detector::Hwst128 => "HWST128",
+            Detector::RvCure => "RV-CURE",
+            Detector::L4Pointer => "L4Pointer",
+            Detector::CryptSan => "CryptSan",
+            Detector::HeapSafe => "HeapSafe",
         }
     }
 }
@@ -80,6 +111,23 @@ const fn model_count(det: Detector, cwe: Cwe) -> u32 {
         // and serve as the cross-check oracle.
         Detector::Sbcets => cwe.reachable_count(),
         Detector::Hwst128 => cwe.reachable_count() - cwe.sub_granule_count(),
+        // Zoo designs (DESIGN.md §4l). RV-CURE mirrors the hardware
+        // envelope; L4 Pointer the byte-exact software one; HeapSafe
+        // drops the stack category entirely; CryptSan keeps the
+        // temporal CWEs deterministic, never sees the unsigned NULL
+        // derefs (476/690), and catches the fixed 1-in-8
+        // pointer-clobber slice of the reachable spatial cases.
+        Detector::RvCure => cwe.reachable_count() - cwe.sub_granule_count(),
+        Detector::L4Pointer => cwe.reachable_count(),
+        Detector::HeapSafe => match cwe {
+            Cwe::Cwe121 => 0,
+            _ => cwe.reachable_count() - cwe.sub_granule_count(),
+        },
+        Detector::CryptSan => match cwe {
+            Cwe::Cwe415 | Cwe::Cwe416 | Cwe::Cwe761 => cwe.reachable_count(),
+            Cwe::Cwe476 | Cwe::Cwe690 => 0,
+            _ => cwe.reachable_count().div_ceil(8),
+        },
     }
 }
 
@@ -94,6 +142,17 @@ pub fn model_detects(det: Detector, case: &Case) -> bool {
     match det {
         Detector::Sbcets => !case.laundered,
         Detector::Hwst128 => !case.laundered && !case.sub_granule,
+        Detector::RvCure => !case.laundered && !case.sub_granule,
+        Detector::L4Pointer => !case.laundered,
+        Detector::HeapSafe => case.cwe != Cwe::Cwe121 && !case.laundered && !case.sub_granule,
+        Detector::CryptSan => match case.cwe {
+            Cwe::Cwe415 | Cwe::Cwe416 | Cwe::Cwe761 => !case.laundered,
+            Cwe::Cwe476 | Cwe::Cwe690 => false,
+            // Pointer-clobber slice: deterministic 1-in-8 stride over
+            // the reachable indices (laundered cases start at
+            // `reachable_count`, so the stride count is exact).
+            _ => !case.laundered && case.index.is_multiple_of(8),
+        },
         _ => {
             // Stripe the detectable cases uniformly over the category so
             // per-index attributes do not correlate with detection.
@@ -132,6 +191,71 @@ mod tests {
             .filter(|c| model_detects(Detector::Asan, c))
             .count();
         assert_eq!(hits, 0, "paper §5.2: ASAN misses all of CWE690");
+    }
+
+    #[test]
+    fn zoo_model_counts_agree_with_striping() {
+        // The per-CWE tables and the per-case verdicts are two views of
+        // the same model; they must agree exactly for every zoo design.
+        let cases = suite();
+        for det in Detector::ZOO {
+            for cwe in Cwe::ALL {
+                let detected = cases
+                    .iter()
+                    .filter(|c| c.cwe == cwe)
+                    .filter(|c| model_detects(det, c))
+                    .count() as u32;
+                assert_eq!(
+                    detected,
+                    model_count(det, cwe),
+                    "{det} disagrees with its table on {cwe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zoo_coverage_structure() {
+        let cases = suite();
+        let count = |d: Detector| cases.iter().filter(|c| model_detects(d, c)).count();
+        // RV-CURE matches the hardware envelope, L4 Pointer the
+        // byte-exact software one.
+        assert_eq!(count(Detector::RvCure), count(Detector::Hwst128));
+        assert_eq!(count(Detector::L4Pointer), count(Detector::Sbcets));
+        // HeapSafe = hardware envelope minus the whole stack category.
+        let stack = cases
+            .iter()
+            .filter(|c| c.cwe == Cwe::Cwe121)
+            .filter(|c| model_detects(Detector::Hwst128, c))
+            .count();
+        assert_eq!(count(Detector::HeapSafe), count(Detector::Hwst128) - stack);
+        assert!(
+            !cases
+                .iter()
+                .filter(|c| c.cwe == Cwe::Cwe121)
+                .any(|c| model_detects(Detector::HeapSafe, c)),
+            "HeapSafe misses stack CWEs by construction"
+        );
+        // CryptSan: deterministic on temporal CWEs, probabilistic slice
+        // on spatial ones, nothing on the NULL-deref categories.
+        for cwe in [Cwe::Cwe476, Cwe::Cwe690] {
+            assert!(!cases
+                .iter()
+                .filter(|c| c.cwe == cwe)
+                .any(|c| model_detects(Detector::CryptSan, c)));
+        }
+        let cryptsan_spatial = cases
+            .iter()
+            .filter(|c| c.cwe.is_spatial() && model_detects(Detector::CryptSan, c))
+            .count();
+        let sbcets_spatial = cases
+            .iter()
+            .filter(|c| c.cwe.is_spatial() && model_detects(Detector::Sbcets, c))
+            .count();
+        assert!(
+            cryptsan_spatial * 4 < sbcets_spatial,
+            "the pointer-clobber slice must stay a small minority: {cryptsan_spatial} vs {sbcets_spatial}"
+        );
     }
 
     #[test]

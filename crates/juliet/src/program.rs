@@ -272,6 +272,13 @@ fn hwst128_config_for(scheme: Scheme) -> SafetyConfig {
             keybuffer: false,
             ..SafetyConfig::default()
         },
+        // Zoo designs — mirrors `hwst128::config_for` (this crate sits
+        // below the facade): RV-CURE checks tags with no lock cache,
+        // HeapSafe keeps the cached fast path, the software designs run
+        // on the baseline core.
+        Scheme::RvCure => SafetyConfig::hwst128_no_tchk(),
+        Scheme::HeapSafe => SafetyConfig::default(),
+        Scheme::L4Pointer | Scheme::CryptSan => SafetyConfig::baseline(),
     }
 }
 
